@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ABL1 -- buffer spacing ablation (assumption A7's "good candidate").
+ *
+ * The paper suggests spacing clock buffers so that the wire delay
+ * between buffers matches a buffer's own delay. Shorter segments give
+ * a faster sustainable period tau = b + m*L but cost more buffers and
+ * more per-distance latency u = m + b/L; the balanced point L* = b/m
+ * puts both within 2x of their optima, minimising the tau*u product.
+ * We sweep the spacing for all three process presets.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "circuit/process.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsync;
+    using namespace vsync::circuit;
+    const auto opts = BenchOptions::parse(argc, argv);
+
+    bench::headline(
+        "ABL1: buffer spacing sweep -- period tau = b + m*L vs "
+        "latency-per-lambda u = m + b/L (balanced point L* = b/m)");
+
+    for (const ProcessParams &p :
+         {ProcessParams::nmos1983(), ProcessParams::cmosGeneric(),
+          ProcessParams::gaasFast()}) {
+        const double lstar = p.stageDelay / p.m;
+        Table table(csprintf("ABL1 %s (b = %.3g ns, m = %.3g "
+                             "ns/lambda, L* = %.3g lambda)",
+                             p.name.c_str(), p.stageDelay, p.m, lstar),
+                    {"spacing (lambda)", "tau (ns)",
+                     "latency/lambda (ns)", "buffers/1k-lambda",
+                     "tau*u (ns^2/lambda)"});
+        double best_product = infinity;
+        Length best_spacing = 0.0;
+        for (double f : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+            const Length spacing = lstar * f;
+            const Time tau = p.stageDelay + p.m * spacing;
+            const double u = p.m + p.stageDelay / spacing;
+            const double product = tau * u;
+            if (product < best_product) {
+                best_product = product;
+                best_spacing = spacing;
+            }
+            table.addRow({Table::num(spacing), Table::num(tau),
+                          Table::num(u),
+                          Table::num(1000.0 / spacing),
+                          Table::num(product)});
+        }
+        emitTable(table, opts);
+        std::printf("best tau*u at spacing %.3g lambda (L* = %.3g): "
+                    "the paper's wire-delay ~= buffer-delay rule.\n",
+                    best_spacing, lstar);
+    }
+    return 0;
+}

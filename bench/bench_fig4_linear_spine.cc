@@ -1,0 +1,138 @@
+/**
+ * @file
+ * FIG4/THM3 -- clocking one-dimensional arrays (Fig 4, Theorem 3).
+ *
+ * The clock runs along the array: every communicating pair is one
+ * pitch apart on CLK, so the summation-model skew -- and with buffered
+ * pipelined distribution (A7) the whole period -- is independent of
+ * array length. Equipotential distribution of the same tree needs the
+ * entire wire settled per event (A6) and degrades linearly. The desim
+ * column shows the pipelined clock genuinely carrying many events in
+ * flight while delivering exactly one edge per period to the last
+ * cell.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "circuit/clocked_chain.hh"
+#include "clocktree/buffering.hh"
+#include "clocktree/builders.hh"
+#include "common/rng.hh"
+#include "core/clock_period.hh"
+#include "core/skew_model.hh"
+#include "desim/clock_net.hh"
+#include "layout/generators.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsync;
+    const auto opts = BenchOptions::parse(argc, argv);
+
+    const double m = 0.5, eps = 0.05;
+    const core::SkewModel model = core::SkewModel::summation(m, eps);
+    core::ClockParams params;
+    params.alpha = m;
+    params.m = m;
+    params.eps = eps;
+    params.bufferDelay = 0.2;
+    params.bufferSpacing = 4.0;
+    params.delta = 2.0;
+
+    bench::headline(
+        "FIG4/THM3: 1-D array with the clock run along it, summation "
+        "model (m = 0.5, eps = 0.05 ns/lambda, delta = 2 ns)");
+
+    Table table("FIG4 spine-clocked linear arrays",
+                {"n", "max s (lambda)", "sigma (ns)",
+                 "pipelined period (ns)", "equipotential period (ns)",
+                 "events in flight"});
+
+    std::vector<double> ns, pipe, equi;
+    for (int n : {8, 32, 128, 512, 2048, 8192}) {
+        const layout::Layout l = layout::linearLayout(n);
+        const auto tree = clocktree::buildSpine(l);
+        const auto report = core::analyzeSkew(l, tree, model);
+        const auto p = core::clockPeriod(report, tree, params,
+                                         core::ClockingMode::Pipelined);
+        const auto e = core::clockPeriod(
+            report, tree, params, core::ClockingMode::Equipotential);
+
+        // Desim: drive the buffered spine at the pipelined period and
+        // count concurrent events between root and far end.
+        int in_flight = 0;
+        if (n <= 2048) {
+            desim::Simulator sim;
+            const auto buffered =
+                clocktree::BufferedClockTree::insertBuffers(
+                    tree, params.bufferSpacing);
+            desim::ClockNet net(
+                sim, buffered,
+                [&](const clocktree::BufferedSite &site, std::size_t) {
+                    Time d = m * site.wireFromParent;
+                    if (site.isBuffer)
+                        d += params.bufferDelay;
+                    return desim::EdgeDelays::same(d);
+                });
+            net.drive(p.period, 24);
+            in_flight =
+                net.maxEventsInFlight(tree.nodeOfCell(n - 1));
+        }
+
+        table.addRow({Table::integer(n), Table::num(report.maxS),
+                      Table::num(report.maxSkewUpper),
+                      Table::num(p.period), Table::num(e.period),
+                      n <= 2048 ? Table::integer(in_flight) : "-"});
+        ns.push_back(n);
+        pipe.push_back(p.period);
+        equi.push_back(e.period);
+    }
+    emitTable(table, opts);
+    bench::printGrowth("pipelined period", ns, pipe);
+    bench::printGrowth("equipotential period", ns, equi);
+    std::printf("expected: pipelined period O(1) (Theorem 3), "
+                "equipotential period Theta(n) (A6); events in flight "
+                "grow with n, confirming several clock events travel "
+                "the wire at once.\n");
+
+    // Register-level validation: real desim flip-flops clocked by the
+    // simulated buffered spine shift a bit pattern; the bisected
+    // minimum workable period is flat in n.
+    bench::headline(
+        "FIG4/THM3 circuit level: clocked shift chain -- minimum "
+        "workable period by bisection over real registers "
+        "(setup/hold checked in the simulator)");
+    Table chain("FIG4 circuit-level shift chain",
+                {"n", "min period (ns)", "events in flight",
+                 "pattern intact"});
+    circuit::ProcessParams proc = circuit::ProcessParams::cmosGeneric();
+    proc.m = 0.1;
+    proc.eps = 0.01;
+    proc.setupTime = 0.2;
+    proc.holdTime = 0.05;
+    proc.clkToQ = 0.3;
+    proc.bufferSpacing = 8.0;
+    Rng rng(opts.seedSet ? opts.seed : 0xf164);
+    std::vector<double> cns, cperiods;
+    for (int n : {8, 32, 128, 512}) {
+        const layout::Layout l = layout::linearLayout(n);
+        const auto tree = clocktree::buildSpine(l);
+        const Time min_period =
+            circuit::minShiftChainPeriod(l, tree, proc, rng, 0.05);
+        const auto check = circuit::runClockedShiftChain(
+            l, tree, proc, {true, false, true, true}, min_period + 0.1,
+            rng.deriveStream(static_cast<unsigned>(n)));
+        chain.addRow({Table::integer(n), Table::fixed(min_period, 2),
+                      Table::integer(check.clockEventsInFlight),
+                      check.correct ? "yes" : "NO"});
+        cns.push_back(n);
+        cperiods.push_back(min_period);
+    }
+    emitTable(chain, opts);
+    bench::printGrowth("circuit-level min period", cns, cperiods);
+    std::printf("expected: the register-level minimum period is flat "
+                "in n -- Theorem 3 survives contact with setup/hold "
+                "windows and a pipelined clock genuinely in flight.\n");
+    return 0;
+}

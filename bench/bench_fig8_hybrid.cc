@@ -1,0 +1,123 @@
+/**
+ * @file
+ * FIG8 -- hybrid synchronization (Section VI, Fig 8).
+ *
+ * For n x n meshes under the summation model, four ways to run the
+ * array:
+ *  - global equipotential clock (A6): period grows with the layout,
+ *  - global pipelined clock: tau is constant but the skew sigma of the
+ *    best tree grows Theta(n) (Section V-B), so the period grows too,
+ *  - fully self-timed: constant rate but every cell pays the
+ *    handshake overhead and the array still runs at worst-case cell
+ *    speed (Section I),
+ *  - hybrid (local clocks + self-timed element network): constant
+ *    cycle, plain clocked cell design, and the matmul result still
+ *    matches the ideal executor.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "clocktree/builders.hh"
+#include "common/rng.hh"
+#include "core/clock_period.hh"
+#include "core/skew_model.hh"
+#include "hybrid/executor.hh"
+#include "layout/generators.hh"
+#include "systolic/matmul.hh"
+#include "systolic/selftimed.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsync;
+    const auto opts = BenchOptions::parse(argc, argv);
+    const std::uint64_t seed = opts.seedSet ? opts.seed : 0xf169;
+
+    const double m = 0.05, eps = 0.005;
+    const core::SkewModel model = core::SkewModel::summation(m, eps);
+    core::ClockParams cp;
+    cp.alpha = m;
+    cp.m = m;
+    cp.eps = eps;
+    cp.bufferDelay = 0.2;
+    cp.bufferSpacing = 4.0;
+    cp.delta = 2.0;
+
+    hybrid::HybridParams hp;
+    hp.localClockPerLambda = m;
+    hp.delta = cp.delta;
+    hp.handshakeWirePerLambda = m;
+    hp.handshakeLogic = 0.5;
+
+    // Self-timed handshake overhead per firing (per-cell, Section I's
+    // "extra hardware and delay in each cell").
+    const Time selftimed_overhead = 1.0;
+
+    bench::headline(
+        "FIG8: synchronizing n x n meshes -- cycle time by scheme "
+        "(summation model, m = 0.05, eps = 0.005, delta = 2 ns, "
+        "4x4-lambda hybrid elements)");
+
+    Table table("FIG8 hybrid synchronization",
+                {"n", "equipotential (ns)", "pipelined global (ns)",
+                 "self-timed (ns)", "hybrid (ns)", "hybrid correct"});
+
+    Rng rng(seed);
+    std::vector<double> ns, equi, pipe, hybr;
+    for (int n : {8, 16, 32, 64}) {
+        const layout::Layout l = layout::meshLayout(n, n);
+        const auto tree = clocktree::buildHTreeGrid(l, n, n);
+        const auto report = core::analyzeSkew(l, tree, model);
+        const auto pe = core::clockPeriod(
+            report, tree, cp, core::ClockingMode::Equipotential);
+        const auto pp = core::clockPeriod(report, tree, cp,
+                                          core::ClockingMode::Pipelined);
+
+        // Self-timed: uniform worst-case cells (the regular-array
+        // case), so the steady cycle is delta + handshake overhead.
+        systolic::SystolicArray arr = systolic::buildMatMul(n);
+        const auto st = systolic::runSelfTimed(
+            arr, 3 * n,
+            [&](CellId, int) { return cp.delta + selftimed_overhead; },
+            true);
+
+        // Hybrid: run the real matmul and verify the product.
+        std::vector<std::vector<systolic::Word>> a(
+            n, std::vector<systolic::Word>(n));
+        auto b = a;
+        for (auto *mat : {&a, &b})
+            for (auto &row : *mat)
+                for (auto &v : row)
+                    v = rng.uniform(-1.0, 1.0);
+        const auto exec = hybrid::runHybrid(
+            arr, l, 4.0, hp, systolic::matMulCycles(n),
+            systolic::matMulInputs(a, b));
+        const auto c = systolic::matMulReference(a, b);
+        bool correct = true;
+        for (int i = 0; i < n && correct; ++i)
+            for (int j = 0; j < n && correct; ++j)
+                correct = std::fabs(exec.trace.finalStates[i * n + j][0] -
+                                    c[i][j]) < 1e-9;
+
+        table.addRow({Table::integer(n), Table::num(pe.period),
+                      Table::num(pp.period),
+                      Table::num(st.steadyCycle),
+                      Table::num(exec.cycleTime),
+                      correct ? "yes" : "NO"});
+        ns.push_back(n);
+        equi.push_back(pe.period);
+        pipe.push_back(pp.period);
+        hybr.push_back(exec.cycleTime);
+    }
+    emitTable(table, opts);
+    bench::printGrowth("equipotential", ns, equi);
+    bench::printGrowth("pipelined global", ns, pipe);
+    bench::printGrowth("hybrid", ns, hybr);
+    std::printf("expected: both global schemes grow with n (A6 resp. "
+                "Theorem 6's sigma), self-timed and hybrid stay O(1); "
+                "hybrid wins by keeping cells simple and avoiding the "
+                "per-cell handshake tax.\n");
+    return 0;
+}

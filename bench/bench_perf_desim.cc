@@ -1,0 +1,81 @@
+/**
+ * @file
+ * PERF -- google-benchmark microbenchmarks of the discrete-event
+ * kernel and the simulated clock nets (engineering, not a paper
+ * figure).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "clocktree/buffering.hh"
+#include "clocktree/builders.hh"
+#include "desim/clock_net.hh"
+#include "desim/simulator.hh"
+#include "layout/generators.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    const int depth = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        desim::Simulator sim;
+        int count = 0;
+        std::function<void()> tick = [&]() {
+            if (++count < depth)
+                sim.schedule(1.0, tick);
+        };
+        sim.schedule(0.0, tick);
+        sim.run();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void
+BM_FanoutScheduling(benchmark::State &state)
+{
+    const int fanout = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        desim::Simulator sim;
+        for (int i = 0; i < fanout; ++i)
+            sim.schedule(static_cast<Time>(i % 97),
+                         []() { benchmark::ClobberMemory(); });
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_FanoutScheduling)->Arg(1000)->Arg(50000);
+
+void
+BM_PipelinedSpineClockNet(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const layout::Layout l = layout::linearLayout(n);
+    const auto tree = clocktree::buildSpine(l);
+    const auto buffered =
+        clocktree::BufferedClockTree::insertBuffers(tree, 4.0);
+    for (auto _ : state) {
+        desim::Simulator sim;
+        desim::ClockNet net(
+            sim, buffered,
+            [](const clocktree::BufferedSite &site, std::size_t) {
+                Time d = 0.5 * site.wireFromParent;
+                if (site.isBuffer)
+                    d += 0.2;
+                return desim::EdgeDelays::same(d);
+            });
+        net.drive(2.0, 16);
+        benchmark::DoNotOptimize(
+            net.risingArrivals(tree.nodeOfCell(n - 1)).size());
+    }
+    state.SetItemsProcessed(state.iterations() * n * 16);
+}
+BENCHMARK(BM_PipelinedSpineClockNet)->Arg(64)->Arg(512)->Arg(4096);
+
+} // namespace

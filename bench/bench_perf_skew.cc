@@ -1,0 +1,78 @@
+/**
+ * @file
+ * PERF -- google-benchmark microbenchmarks of clock-tree construction
+ * and skew analysis (engineering, not a paper figure).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "clocktree/builders.hh"
+#include "common/rng.hh"
+#include "core/lower_bound.hh"
+#include "core/skew_analysis.hh"
+#include "core/skew_model.hh"
+#include "layout/generators.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+void
+BM_BuildHTree(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const layout::Layout l = layout::meshLayout(n, n);
+    for (auto _ : state) {
+        auto tree = clocktree::buildHTreeGrid(l, n, n);
+        benchmark::DoNotOptimize(tree.maxRootPathLength());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_BuildHTree)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_AnalyzeSkewMesh(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const layout::Layout l = layout::meshLayout(n, n);
+    const auto tree = clocktree::buildHTreeGrid(l, n, n);
+    const auto model = core::SkewModel::summation(0.05, 0.005);
+    for (auto _ : state) {
+        const auto report = core::analyzeSkew(l, tree, model);
+        benchmark::DoNotOptimize(report.maxSkewUpper);
+    }
+    state.SetItemsProcessed(state.iterations() * l.comm().edgeCount());
+}
+BENCHMARK(BM_AnalyzeSkewMesh)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_SampleSkewInstance(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const layout::Layout l = layout::meshLayout(n, n);
+    const auto tree = clocktree::buildHTreeGrid(l, n, n);
+    Rng rng(4242);
+    for (auto _ : state) {
+        const auto inst =
+            core::sampleSkewInstance(l, tree, 0.05, 0.005, rng);
+        benchmark::DoNotOptimize(inst.maxCommSkew);
+    }
+    state.SetItemsProcessed(state.iterations() * tree.size());
+}
+BENCHMARK(BM_SampleSkewInstance)->Arg(8)->Arg(32);
+
+void
+BM_CircleArgument(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const layout::Layout l = layout::meshLayout(n, n);
+    const auto tree = clocktree::buildHTreeGrid(l, n, n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::circleArgumentLowerBound(l, tree, 0.05, 32));
+    }
+}
+BENCHMARK(BM_CircleArgument)->Arg(8)->Arg(16)->Arg(32);
+
+} // namespace

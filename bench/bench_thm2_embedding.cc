@@ -1,0 +1,96 @@
+/**
+ * @file
+ * THM2 -- Theorem 2 with the grid-embedding substrate.
+ *
+ * Any ideally synchronized array of bounded aspect ratio can be clocked
+ * at a size-independent period under the difference model. Strongly
+ * rectangular grids (the paper's n^(2/3) x n^(1/3) example) are first
+ * embedded near-square; we use the interleaved fold (documented
+ * substitution for Aleliunas-Rosenberg [1], DESIGN.md section 2) and
+ * report its measured area factor and edge dilation alongside the
+ * resulting H-tree clock period.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "clocktree/builders.hh"
+#include "core/clock_period.hh"
+#include "core/skew_model.hh"
+#include "layout/embed.hh"
+#include "layout/generators.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsync;
+    const auto opts = BenchOptions::parse(argc, argv);
+
+    const core::SkewModel model = core::SkewModel::difference(0.5);
+    core::ClockParams params;
+    params.m = 0.5;
+    params.eps = 0.005;
+    params.bufferDelay = 0.2;
+    params.bufferSpacing = 4.0;
+    params.delta = 2.0;
+
+    bench::headline(
+        "THM2: rectangular grids embedded near-square, then H-tree "
+        "clocked under the difference model (paper's example family: "
+        "n^(2/3) x n^(1/3) grids)");
+
+    Table table("THM2 embedding + clocking",
+                {"grid", "cells", "folds", "area factor", "dilation",
+                 "aspect", "max d", "period (ns)"});
+
+    std::vector<double> ns, periods;
+    for (int k : {2, 3, 4, 5, 6}) {
+        // rows = 2^k, cols = 2^(2k): cells n = 2^(3k), rows = n^(1/3).
+        const int rows = 1 << k;
+        const int cols = 1 << (2 * k);
+        layout::EmbedStats stats;
+        const layout::Layout l =
+            layout::embedMeshNearSquare(rows, cols, 2.0, &stats);
+
+        // Build a generic recursive-bisection tree over the embedded
+        // placement and equalise leaf depths (Lemma 1).
+        auto tree = clocktree::buildRecursiveBisection(l);
+        // Equalise: pad every bound node's wire to the max root path.
+        Length max_h = 0.0;
+        for (CellId c = 0; static_cast<std::size_t>(c) < l.size(); ++c)
+            max_h = std::max(max_h,
+                             tree.rootPathLength(tree.nodeOfCell(c)));
+        for (CellId c = 0; static_cast<std::size_t>(c) < l.size(); ++c) {
+            const NodeId v = tree.nodeOfCell(c);
+            const Length deficit = max_h - tree.rootPathLength(v);
+            if (deficit > 1e-12)
+                tree.padWire(v, deficit);
+        }
+
+        const auto report = core::analyzeSkew(l, tree, model);
+        const auto period = core::clockPeriod(
+            report, tree, params, core::ClockingMode::Pipelined);
+        table.addRow({csprintf("%dx%d", rows, cols),
+                      Table::integer(static_cast<long long>(l.size())),
+                      Table::integer(stats.folds),
+                      Table::num(stats.areaFactor),
+                      Table::num(stats.dilation),
+                      Table::num(stats.aspectRatio),
+                      Table::num(report.maxD),
+                      Table::num(period.period)});
+        ns.push_back(static_cast<double>(l.size()));
+        periods.push_back(period.period);
+    }
+    emitTable(table, opts);
+    bench::printGrowth("period vs cells", ns, periods);
+    std::printf(
+        "expected: aspect ratio <= 2 after folding, area factor "
+        "bounded, max d = 0 after Lemma 1 equalisation, so the period "
+        "is O(1) in cells. Dilation grows ~sqrt(aspect) -- the "
+        "documented substitution for the cited O(1)-dilation "
+        "embedding; communication delay delta is a model parameter "
+        "here, so the theorem's period claim is unaffected.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction binaries.
+ */
+
+#ifndef VSYNC_BENCH_BENCH_UTIL_HH
+#define VSYNC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "clocktree/clock_tree.hh"
+#include "common/fit.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "core/skew_analysis.hh"
+
+namespace vsync::bench
+{
+
+/** Per-cell clock arrival offsets from a sampled instance. */
+inline std::vector<Time>
+offsetsFromInstance(const core::SkewInstance &inst,
+                    const clocktree::ClockTree &tree, std::size_t cells)
+{
+    std::vector<Time> offsets;
+    offsets.reserve(cells);
+    for (CellId c = 0; static_cast<std::size_t>(c) < cells; ++c)
+        offsets.push_back(inst.arrival[tree.nodeOfCell(c)]);
+    return offsets;
+}
+
+/** Print a one-line growth-law verdict for a measured series. */
+inline void
+printGrowth(const std::string &what, const std::vector<double> &ns,
+            const std::vector<double> &ys)
+{
+    const GrowthLaw law = classifyGrowth(ns, ys);
+    const PowerFit fit = fitPower(ns, ys);
+    std::printf("growth[%s]: %s (power-fit exponent %.2f, R^2 %.3f)\n",
+                what.c_str(), growthLawName(law).c_str(), fit.exponent,
+                fit.r2);
+}
+
+/** Print a headline line above a table. */
+inline void
+headline(const std::string &text)
+{
+    std::printf("\n# %s\n", text.c_str());
+}
+
+} // namespace vsync::bench
+
+#endif // VSYNC_BENCH_BENCH_UTIL_HH

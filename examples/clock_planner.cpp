@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The "spectrum of synchronization models" as a planning tool: for
+ * each topology and technology assumption, print the advisor's scheme,
+ * the justifying result, and a quantitative check at a concrete size.
+ */
+
+#include <cstdio>
+
+#include "clocktree/builders.hh"
+#include "core/advisor.hh"
+#include "core/clock_period.hh"
+#include "core/skew_analysis.hh"
+#include "core/skew_model.hh"
+#include "layout/generators.hh"
+#include "treemachine/htree_machine.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+/** Quantify the recommended scheme at a 256-cell instance. */
+double
+measuredPeriod([[maybe_unused]] graph::TopologyKind kind,
+               const core::Advice &advice, const core::ClockParams &cp)
+{
+    const core::SkewModel model =
+        core::SkewModel::summation(cp.m, cp.eps);
+    switch (advice.scheme) {
+      case core::SyncScheme::PipelinedSpine: {
+          const layout::Layout l = layout::linearLayout(256);
+          const auto t = clocktree::buildSpine(l);
+          return core::clockPeriod(core::analyzeSkew(l, t, model), t,
+                                   cp, core::ClockingMode::Pipelined)
+              .period;
+      }
+      case core::SyncScheme::PipelinedHTree: {
+          const layout::Layout l = layout::meshLayout(16, 16);
+          const auto t = clocktree::buildHTreeGrid(l, 16, 16);
+          const auto diff = core::SkewModel::difference(cp.m);
+          return core::clockPeriod(core::analyzeSkew(l, t, diff), t,
+                                   cp, core::ClockingMode::Pipelined)
+              .period;
+      }
+      case core::SyncScheme::ClockAlongDataPaths: {
+          const auto tm = treemachine::buildHTreeMachine(8);
+          const auto stats =
+              treemachine::insertPipelineRegisters(tm, 4.0, cp.m, 0.2);
+          return stats.pipelineInterval + cp.delta;
+      }
+      case core::SyncScheme::Hybrid:
+          // Local element cost: bounded by construction.
+          return cp.delta + cp.m * 8.0 + 4.0 * cp.m * 4.0 + 3.0 * 0.5;
+      case core::SyncScheme::GlobalEquipotential: {
+          const layout::Layout l = layout::meshLayout(16, 16);
+          const auto t = clocktree::buildHTreeGrid(l, 16, 16);
+          return core::clockPeriod(
+                     core::analyzeSkew(l, t, model), t, cp,
+                     core::ClockingMode::Equipotential)
+              .period;
+      }
+      case core::SyncScheme::FullySelfTimed:
+          return cp.delta + 1.0;
+    }
+    return 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vsync;
+
+    core::ClockParams cp;
+    cp.alpha = 0.05;
+    cp.m = 0.05;
+    cp.eps = 0.005;
+    cp.bufferDelay = 0.2;
+    cp.bufferSpacing = 4.0;
+    cp.delta = 2.0;
+
+    struct Scenario
+    {
+        const char *label;
+        core::TechnologyAssumptions tech;
+    };
+    std::vector<Scenario> scenarios;
+    {
+        core::TechnologyAssumptions t;
+        t.skewModel = core::SkewModelKind::Summation;
+        scenarios.push_back({"on-chip (summation model)", t});
+        t.skewModel = core::SkewModelKind::Difference;
+        scenarios.push_back({"tuned discrete wiring (difference)", t});
+        t.skewModel = core::SkewModelKind::Summation;
+        t.temporalInvariance = false;
+        scenarios.push_back({"noisy clock paths (A8 broken)", t});
+        t.temporalInvariance = true;
+        t.smallSystem = true;
+        scenarios.push_back({"small chip (LSI-scale)", t});
+    }
+
+    for (const Scenario &sc : scenarios) {
+        std::printf("=== %s ===\n", sc.label);
+        for (graph::TopologyKind kind :
+             {graph::TopologyKind::Linear, graph::TopologyKind::Mesh,
+              graph::TopologyKind::Hex,
+              graph::TopologyKind::BinaryTree}) {
+            const char *names[] = {"linear", "ring", "mesh", "torus",
+                                   "hex", "binary-tree"};
+            const auto advice = core::adviseScheme(kind, sc.tech);
+            std::printf(
+                "  %-11s -> %-24s period %-10s (~%.2f ns at 256 "
+                "cells)\n",
+                names[static_cast<int>(kind)],
+                core::syncSchemeName(advice.scheme).c_str(),
+                growthLawName(advice.periodGrowth).c_str(),
+                measuredPeriod(kind, advice, cp));
+            std::printf("      %s\n", advice.justification.c_str());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

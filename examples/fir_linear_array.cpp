@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A deeper 1-D example: scale a spine-clocked FIR array and watch the
+ * Theorem 3 guarantee hold chip after chip.
+ *
+ * For each array length we fabricate several chips (random per-wire
+ * delays within the summation model), compute each chip's minimum safe
+ * period from its real clock arrival times, run the filter, and verify
+ * the output. The paper's point: the same cell design and the same
+ * period work at every length -- 1-D arrays are modular and
+ * indefinitely extensible.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "clocktree/builders.hh"
+#include "common/rng.hh"
+#include "core/skew_analysis.hh"
+#include "layout/generators.hh"
+#include "systolic/clocked_executor.hh"
+#include "systolic/fir.hh"
+
+int
+main()
+{
+    using namespace vsync;
+    const double m = 0.05, eps = 0.005;
+
+    systolic::LinkTiming timing;
+    timing.setup = 0.2;
+    timing.hold = 0.1;
+    timing.clkToQ = 0.2;
+    timing.deltaMin = 0.5;
+    timing.deltaMax = 2.0;
+
+    // One fixed period budget for every size: intrinsic link delay
+    // plus the one-pitch worst-case skew (Theorem 3's constant).
+    const Time period = timing.clkToQ + timing.deltaMax + timing.setup +
+                        (m + eps);
+    std::printf("fixed period budget: %.3f ns for every array size\n\n",
+                period);
+    std::printf("%8s %8s %14s %14s %10s\n", "n", "chips",
+                "worst min-safe", "worst skew", "all correct");
+
+    Rng rng(7);
+    const std::vector<systolic::Word> xs{3, 1, 4, 1, 5, 9, 2, 6};
+    bool all_ok = true;
+    for (int n : {8, 32, 128, 512, 2048}) {
+        const layout::Layout l = layout::linearLayout(n);
+        const auto tree = clocktree::buildSpine(l);
+        std::vector<systolic::Word> taps(n, 1.0 / n);
+        systolic::SystolicArray fir = systolic::buildFir(taps);
+        const int cycles = n + 12;
+        const auto ideal = systolic::runIdeal(
+            fir, cycles, systolic::firInputs(xs));
+
+        Time worst_safe = 0.0, worst_skew = 0.0;
+        bool correct = true;
+        for (int chip = 0; chip < 5; ++chip) {
+            const auto inst =
+                core::sampleSkewInstance(l, tree, m, eps, rng);
+            std::vector<Time> offsets;
+            for (CellId c = 0; c < n; ++c)
+                offsets.push_back(inst.arrival[tree.nodeOfCell(c)]);
+            worst_safe = std::max(
+                worst_safe,
+                systolic::minSafePeriod(fir, offsets, timing));
+            worst_skew = std::max(worst_skew, inst.maxCommSkew);
+            const auto run = systolic::runClocked(
+                fir, cycles, systolic::firInputs(xs), offsets, period,
+                timing);
+            correct = correct && run.correct &&
+                      run.trace.matches(ideal);
+        }
+        std::printf("%8d %8d %11.3f ns %11.4f ns %10s\n", n, 5,
+                    worst_safe, worst_skew, correct ? "yes" : "NO");
+        all_ok = all_ok && correct;
+    }
+    std::printf("\nTheorem 3 in practice: min-safe periods are flat in "
+                "n and always below the fixed budget, so one clocked "
+                "cell design extends to any array length.\n");
+    return all_ok ? 0 : 1;
+}

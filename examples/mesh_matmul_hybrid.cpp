@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The 2-D story end to end: a mesh matmul array that global clocking
+ * cannot scale (Section V-B) and the hybrid scheme that can
+ * (Section VI).
+ *
+ * We grow an n x n systolic matrix-multiplication mesh, show the
+ * worst-case clock skew of the best global tree growing linearly, then
+ * run the same computation under hybrid synchronization at a constant
+ * cycle and verify the product against a plain reference
+ * multiplication.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "clocktree/builders.hh"
+#include "common/rng.hh"
+#include "core/advisor.hh"
+#include "core/lower_bound.hh"
+#include "core/skew_analysis.hh"
+#include "core/skew_model.hh"
+#include "hybrid/executor.hh"
+#include "layout/generators.hh"
+#include "systolic/matmul.hh"
+
+int
+main()
+{
+    using namespace vsync;
+    const double m = 0.05, eps = 0.005;
+    const core::SkewModel model = core::SkewModel::summation(m, eps);
+
+    // Ask the advisor first.
+    const auto advice = core::adviseScheme(
+        graph::TopologyKind::Mesh, core::TechnologyAssumptions{});
+    std::printf("advisor: %s -- %s\n\n",
+                core::syncSchemeName(advice.scheme).c_str(),
+                advice.justification.c_str());
+
+    hybrid::HybridParams hp;
+    hp.localClockPerLambda = m;
+    hp.delta = 2.0;
+    hp.handshakeWirePerLambda = m;
+    hp.handshakeLogic = 0.5;
+
+    std::printf("%6s %18s %18s %14s %10s\n", "n",
+                "global sigma (ns)", "thm6 bound (ns)",
+                "hybrid (ns)", "correct");
+
+    Rng rng(42);
+    bool all_ok = true;
+    for (int n : {4, 8, 16, 32}) {
+        const layout::Layout l = layout::meshLayout(n, n);
+        const auto tree = clocktree::buildHTreeGrid(l, n, n);
+        const auto report = core::analyzeSkew(l, tree, model);
+        const double bound = core::theorem6Bound(
+            l.size(), core::meshCutWidth(n), eps);
+
+        // Random matrices, hybrid run, reference check.
+        std::vector<std::vector<systolic::Word>> a(
+            n, std::vector<systolic::Word>(n));
+        auto b = a;
+        for (auto *mat : {&a, &b})
+            for (auto &row : *mat)
+                for (auto &v : row)
+                    v = rng.uniform(-1.0, 1.0);
+        systolic::SystolicArray arr = systolic::buildMatMul(n);
+        const auto exec = hybrid::runHybrid(
+            arr, l, 4.0, hp, systolic::matMulCycles(n),
+            systolic::matMulInputs(a, b));
+        const auto c = systolic::matMulReference(a, b);
+        bool correct = true;
+        for (int i = 0; i < n && correct; ++i)
+            for (int j = 0; j < n && correct; ++j)
+                correct =
+                    std::fabs(exec.trace.finalStates[i * n + j][0] -
+                              c[i][j]) < 1e-9;
+        all_ok = all_ok && correct;
+
+        std::printf("%6d %18.3f %18.3f %14.2f %10s\n", n,
+                    eps * report.maxS, bound, exec.cycleTime,
+                    correct ? "yes" : "NO");
+    }
+    std::printf(
+        "\nglobal sigma (the best tree's realisable worst case, "
+        "beta*maxS) grows ~linearly and always beats the Theorem 6 "
+        "floor; the hybrid cycle is flat and the matmul results are "
+        "exact -- Fig 8's promise delivered.\n");
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,153 @@
+#include "circuit/clocked_chain.hh"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "desim/clock_net.hh"
+#include "desim/register.hh"
+#include "desim/signal.hh"
+#include "desim/simulator.hh"
+
+namespace vsync::circuit
+{
+
+ShiftChainResult
+runClockedShiftChain(const layout::Layout &l,
+                     const clocktree::ClockTree &tree,
+                     const ProcessParams &process,
+                     const std::vector<bool> &pattern, Time period,
+                     Rng rng)
+{
+    const int n = static_cast<int>(l.size());
+    VSYNC_ASSERT(n >= 1, "empty chain");
+    VSYNC_ASSERT(period > 0.0, "bad period %g", period);
+    const int cycles = static_cast<int>(pattern.size()) + n + 2;
+
+    desim::Simulator sim;
+    const auto buffered = clocktree::BufferedClockTree::insertBuffers(
+        tree, process.bufferSpacing);
+
+    // Per-wire unit delays sampled once per site (the chip).
+    desim::ClockNet net(
+        sim, buffered,
+        [&process, &rng](const clocktree::BufferedSite &site,
+                         std::size_t) {
+            Time d =
+                process.sampleUnitWireDelay(rng) * site.wireFromParent;
+            if (site.isBuffer)
+                d += process.stageDelay;
+            return desim::EdgeDelays::same(d);
+        });
+
+    // Data path: source register at the host, one register per cell.
+    std::deque<desim::Signal> dsigs, qsigs;
+    for (int i = -1; i < n; ++i) {
+        dsigs.emplace_back(csprintf("d%d", i));
+        qsigs.emplace_back(csprintf("q%d", i));
+    }
+    std::deque<std::unique_ptr<desim::Register>> regs;
+    // Source register (index 0 in the deques) is clocked by the root.
+    regs.push_back(std::make_unique<desim::Register>(
+        sim, dsigs[0], net.rootSignal(), qsigs[0], process.setupTime,
+        process.holdTime, process.clkToQ));
+    for (int i = 0; i < n; ++i) {
+        const NodeId node = tree.nodeOfCell(static_cast<CellId>(i));
+        VSYNC_ASSERT(node != invalidId, "cell %d unclocked", i);
+        regs.push_back(std::make_unique<desim::Register>(
+            sim, dsigs[i + 1], net.nodeSignal(node), qsigs[i + 1],
+            process.setupTime, process.holdTime, process.clkToQ));
+    }
+
+    // Data wires: q_j -> d_{j+1} with length = distance between the
+    // stages (host one pitch left of cell 0).
+    std::deque<std::unique_ptr<desim::DelayElement>> wires;
+    geom::Point prev{l.position(0).x - 1.0, l.position(0).y};
+    for (int i = 0; i < n; ++i) {
+        const Length dist = geom::manhattan(prev, l.position(i));
+        const Time d = process.sampleUnitWireDelay(rng) * dist;
+        wires.push_back(std::make_unique<desim::DelayElement>(
+            sim, qsigs[i], dsigs[i + 1], desim::EdgeDelays::same(d)));
+        prev = l.position(i);
+    }
+
+    // Stage the pattern half a period before each root edge; the
+    // clock starts one full period in so the first bit is stable.
+    const Time start = period;
+    for (std::size_t k = 0; k <= pattern.size(); ++k) {
+        const Time at = start + static_cast<double>(k) * period -
+                        period / 2.0;
+        desim::Signal *src = &dsigs[0];
+        // Park the source at zero once the pattern is exhausted.
+        const bool bit = k < pattern.size() && pattern[k];
+        sim.scheduleAt(at, [src, at, bit]() { src->set(at, bit); });
+    }
+
+    net.drive(period, cycles, start);
+
+    ShiftChainResult result;
+    const desim::Register &last = *regs.back();
+    result.received.assign(last.capturedValues().begin(),
+                           last.capturedValues().end());
+    for (int k = 0; k < static_cast<int>(result.received.size()); ++k) {
+        const int idx = k - n;
+        result.expected.push_back(
+            idx >= 0 && static_cast<std::size_t>(idx) < pattern.size()
+                ? pattern[static_cast<std::size_t>(idx)]
+                : false);
+    }
+    for (const auto &reg : regs) {
+        for (const desim::TimingViolation &v : reg->violations()) {
+            if (v.setup)
+                ++result.setupViolations;
+            else
+                ++result.holdViolations;
+        }
+    }
+    result.correct = result.setupViolations == 0 &&
+                     result.holdViolations == 0 &&
+                     result.received == result.expected;
+    if (n >= 1) {
+        result.clockEventsInFlight = net.maxEventsInFlight(
+            tree.nodeOfCell(static_cast<CellId>(n - 1)));
+    }
+    return result;
+}
+
+Time
+minShiftChainPeriod(const layout::Layout &l,
+                    const clocktree::ClockTree &tree,
+                    const ProcessParams &process, Rng &rng,
+                    Time tolerance)
+{
+    VSYNC_ASSERT(tolerance > 0.0, "bad tolerance");
+    const Rng chip = rng.deriveStream(0x51f7);
+    const std::vector<bool> pattern{true, false, true,  true,
+                                    false, false, true, false};
+
+    Time lo = process.clkToQ;
+    Time hi = process.clkToQ + process.setupTime + process.holdTime +
+              (process.m + process.eps) *
+                  (tree.maxRootPathLength() + 2.0) +
+              10.0 * process.stageDelay;
+    for (int guard = 0;
+         !runClockedShiftChain(l, tree, process, pattern, hi, chip)
+              .correct;
+         ++guard) {
+        hi *= 2.0;
+        VSYNC_ASSERT(guard < 10, "no workable period up to %g ns", hi);
+    }
+    while (hi - lo > tolerance) {
+        const Time mid = (lo + hi) / 2.0;
+        if (runClockedShiftChain(l, tree, process, pattern, mid, chip)
+                .correct)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace vsync::circuit

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A register-level shift chain clocked by a simulated clock tree.
+ *
+ * This closes the loop between the analytic clocked executor
+ * (systolic::runClocked, which classifies links by skew arithmetic)
+ * and the circuit level: real desim registers, clocked by the actual
+ * buffered-tree arrival waveforms, shifting a bit pattern down the
+ * array. With the Section V-A spine clock the chain works at a
+ * size-independent period and the captured pattern matches; shrink the
+ * period below the skew-aware minimum and the registers log genuine
+ * setup violations and capture garbage.
+ *
+ * The chain is the paper's synchronization problem in miniature: cell
+ * i's output register launches data that cell i+1's register must
+ * capture one clock later, with both clocks delivered by CLK.
+ */
+
+#ifndef VSYNC_CIRCUIT_CLOCKED_CHAIN_HH
+#define VSYNC_CIRCUIT_CLOCKED_CHAIN_HH
+
+#include <vector>
+
+#include "clocktree/buffering.hh"
+#include "circuit/process.hh"
+#include "layout/layout.hh"
+
+namespace vsync
+{
+class Rng;
+} // namespace vsync
+
+namespace vsync::circuit
+{
+
+/** Result of driving a clocked shift chain. */
+struct ShiftChainResult
+{
+    /** Bits captured by the last register at each of its edges. */
+    std::vector<bool> received;
+    /** Expected bits (the pattern delayed by the chain depth). */
+    std::vector<bool> expected;
+    /** Setup violations summed over all registers. */
+    std::size_t setupViolations = 0;
+    /** Hold violations summed over all registers. */
+    std::size_t holdViolations = 0;
+    /** True when received == expected and no violations occurred. */
+    bool correct = false;
+    /** Max events concurrently in flight on the clock tree. */
+    int clockEventsInFlight = 0;
+};
+
+/**
+ * Build and run an n-stage shift chain over @p layout (a linear
+ * layout), clocked through @p tree buffered at the process's spacing.
+ *
+ * @param l        linear layout supplying cell positions (cell i =
+ *                 stage i).
+ * @param tree     clock tree binding every cell (e.g. buildSpine).
+ * @param process  stage/wire timing (registers use setup/hold/clkToQ;
+ *                 data wires use m per lambda).
+ * @param pattern  bits launched by the source register, one per cycle.
+ * @param period   clock period to drive (ns).
+ * @param rng      per-wire delay variation sampling; passed by value
+ *                 so the same generator state reproduces the same
+ *                 "chip" across runs (bisection probes one chip).
+ */
+ShiftChainResult runClockedShiftChain(const layout::Layout &l,
+                                      const clocktree::ClockTree &tree,
+                                      const ProcessParams &process,
+                                      const std::vector<bool> &pattern,
+                                      Time period, Rng rng);
+
+/**
+ * Smallest period (by bisection) at which the chain is correct, i.e.
+ * the circuit-level counterpart of systolic::minSafePeriod.
+ */
+Time minShiftChainPeriod(const layout::Layout &l,
+                         const clocktree::ClockTree &tree,
+                         const ProcessParams &process, Rng &rng,
+                         Time tolerance = 0.1);
+
+} // namespace vsync::circuit
+
+#endif // VSYNC_CIRCUIT_CLOCKED_CHAIN_HH

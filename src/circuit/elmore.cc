@@ -1,0 +1,78 @@
+#include "circuit/elmore.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vsync::circuit
+{
+
+ElmoreReport
+elmoreAnalysis(const clocktree::ClockTree &tree, const WireRC &rc,
+               const graph::Graph *comm)
+{
+    VSYNC_ASSERT(rc.rPerLambda >= 0.0 && rc.cPerLambda >= 0.0 &&
+                 rc.cLeaf >= 0.0 && rc.rDriver >= 0.0,
+                 "negative RC constants");
+    const std::size_t n = tree.size();
+    VSYNC_ASSERT(n >= 1, "empty tree");
+
+    // Downstream capacitance per node: own leaf load + children's
+    // wires and subtrees. Nodes are created parent-before-child, so a
+    // reverse pass sees children first.
+    std::vector<double> c_below(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        const NodeId v = static_cast<NodeId>(i);
+        if (tree.cellOfNode(v) != invalidId)
+            c_below[i] += rc.cLeaf;
+        for (NodeId child : tree.structure().children(v)) {
+            c_below[i] += rc.cPerLambda * tree.wireLength(child) +
+                          c_below[static_cast<std::size_t>(child)];
+        }
+    }
+
+    ElmoreReport report;
+    report.totalCapacitance = c_below[0];
+    report.arrival.assign(n, 0.0);
+    report.arrival[0] =
+        rc.rDriver * c_below[0] * rc.nsPerOhmFarad;
+    for (std::size_t i = 1; i < n; ++i) {
+        const NodeId v = static_cast<NodeId>(i);
+        const NodeId p = tree.structure().parent(v);
+        const Length len = tree.wireLength(v);
+        const double r_edge = rc.rPerLambda * len;
+        const double c_edge = rc.cPerLambda * len;
+        report.arrival[i] =
+            report.arrival[static_cast<std::size_t>(p)] +
+            r_edge * (c_edge / 2.0 + c_below[i]) * rc.nsPerOhmFarad;
+    }
+
+    report.minLeafArrival = infinity;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (tree.cellOfNode(static_cast<NodeId>(i)) == invalidId)
+            continue;
+        report.maxLeafArrival =
+            std::max(report.maxLeafArrival, report.arrival[i]);
+        report.minLeafArrival =
+            std::min(report.minLeafArrival, report.arrival[i]);
+    }
+    if (report.minLeafArrival == infinity)
+        report.minLeafArrival = 0.0;
+
+    if (comm) {
+        for (const graph::Edge &e : comm->undirectedEdges()) {
+            const NodeId a = tree.nodeOfCell(e.src);
+            const NodeId b = tree.nodeOfCell(e.dst);
+            VSYNC_ASSERT(a != invalidId && b != invalidId,
+                         "cells %d/%d not clocked", e.src, e.dst);
+            report.maxCommSkew = std::max(
+                report.maxCommSkew,
+                std::fabs(report.arrival[static_cast<std::size_t>(a)] -
+                          report.arrival[static_cast<std::size_t>(b)]));
+        }
+    }
+    return report;
+}
+
+} // namespace vsync::circuit

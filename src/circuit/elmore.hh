@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Elmore delay analysis of unbuffered (equipotential) clock trees.
+ *
+ * A6 gives only the speed-of-light floor tau >= alpha * P. A real
+ * unbuffered tree is a distributed RC network: the driver must charge
+ * every wire segment and leaf load through the resistance of the path,
+ * and the classic first-order estimate of the delay to node v is the
+ * Elmore sum
+ *
+ *   t(v) = sum over path edges e (root -> v) of R(e) * C_downstream(e)
+ *
+ * where C_downstream(e) counts half of e's own wire capacitance plus
+ * everything hanging below it. For a balanced H-tree over area A the
+ * Elmore delay grows like Theta(A) -- quadratically in the side length
+ * -- which is exactly why the paper turns to buffered, pipelined
+ * distribution as arrays grow. The per-node figures also expose the
+ * *skew* of unbalanced trees (e.g. a spine driven from one end), which
+ * the flat alpha*P model cannot.
+ */
+
+#ifndef VSYNC_CIRCUIT_ELMORE_HH
+#define VSYNC_CIRCUIT_ELMORE_HH
+
+#include <vector>
+
+#include "clocktree/clock_tree.hh"
+#include "graph/graph.hh"
+
+namespace vsync::circuit
+{
+
+/** Electrical constants of the distribution wiring. */
+struct WireRC
+{
+    /** Resistance per unit length (ohm / lambda). */
+    double rPerLambda = 1.0;
+    /** Capacitance per unit length (fF / lambda). */
+    double cPerLambda = 0.1;
+    /** Lumped load at every bound cell tap (fF). */
+    double cLeaf = 5.0;
+    /** Driver output resistance at the root (ohm). */
+    double rDriver = 10.0;
+    /**
+     * Conversion of R*C products to nanoseconds (an RC of
+     * ohm * fF = 1e-6 ns; the 0.69 ln2 factor for 50% swing is folded
+     * in here).
+     */
+    double nsPerOhmFarad = 0.69e-6;
+};
+
+/** Result of an Elmore analysis. */
+struct ElmoreReport
+{
+    /** 50%-swing delay from the driver to each tree node (ns). */
+    std::vector<Time> arrival;
+    /** Max arrival over nodes bound to cells (the settle time). */
+    Time maxLeafArrival = 0.0;
+    /** Min arrival over bound nodes. */
+    Time minLeafArrival = 0.0;
+    /** Max |arrival difference| over communicating-cell pairs, when a
+     *  comm graph was supplied (0 otherwise). */
+    Time maxCommSkew = 0.0;
+    /** Total capacitance the driver sees (fF). */
+    double totalCapacitance = 0.0;
+};
+
+/**
+ * Elmore delays of every node of @p tree under @p rc.
+ *
+ * @param comm optional communication graph (same cell ids as the
+ *             tree's bound cells) for skew-between-neighbours
+ *             reporting; pass nullptr to skip.
+ */
+ElmoreReport elmoreAnalysis(const clocktree::ClockTree &tree,
+                            const WireRC &rc,
+                            const graph::Graph *comm = nullptr);
+
+} // namespace vsync::circuit
+
+#endif // VSYNC_CIRCUIT_ELMORE_HH

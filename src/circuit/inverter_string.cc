@@ -1,0 +1,162 @@
+#include "circuit/inverter_string.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "common/logging.hh"
+#include "desim/clock_source.hh"
+#include "desim/signal.hh"
+#include "desim/simulator.hh"
+
+namespace vsync::circuit
+{
+
+InverterString::InverterString(int n, const ProcessParams &process,
+                               Rng rng)
+    : minPulse(process.minPulseWidth)
+{
+    VSYNC_ASSERT(n >= 1, "inverter string needs n >= 1, got %d", n);
+    stages.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        stages.push_back(process.sampleStageDelays(rng, i % 2 == 0));
+}
+
+Time
+InverterString::traversalDelayRiseIn() const
+{
+    // A rising edge into an inverter makes its output fall; the edge
+    // type alternates down the string.
+    Time total = 0.0;
+    bool rising = true;
+    for (const desim::EdgeDelays &st : stages) {
+        total += rising ? st.fall : st.rise;
+        rising = !rising;
+    }
+    return total;
+}
+
+Time
+InverterString::traversalDelayFallIn() const
+{
+    Time total = 0.0;
+    bool rising = false;
+    for (const desim::EdgeDelays &st : stages) {
+        total += rising ? st.fall : st.rise;
+        rising = !rising;
+    }
+    return total;
+}
+
+Time
+InverterString::prefixDiscrepancy(int k) const
+{
+    VSYNC_ASSERT(k >= 0 && k <= length(), "bad prefix %d", k);
+    Time fall_in = 0.0, rise_in = 0.0;
+    bool rising_for_rise_in = true;
+    for (int i = 0; i < k; ++i) {
+        const desim::EdgeDelays &st = stages[i];
+        rise_in += rising_for_rise_in ? st.fall : st.rise;
+        fall_in += rising_for_rise_in ? st.rise : st.fall;
+        rising_for_rise_in = !rising_for_rise_in;
+    }
+    return fall_in - rise_in;
+}
+
+Time
+InverterString::worstPrefixDiscrepancy() const
+{
+    // Incremental version of prefixDiscrepancy over all prefixes.
+    Time fall_in = 0.0, rise_in = 0.0, worst = 0.0;
+    bool rising = true;
+    for (const desim::EdgeDelays &st : stages) {
+        rise_in += rising ? st.fall : st.rise;
+        fall_in += rising ? st.rise : st.fall;
+        rising = !rising;
+        worst = std::max(worst, std::fabs(fall_in - rise_in));
+    }
+    return worst;
+}
+
+Time
+InverterString::equipotentialCycle() const
+{
+    return std::max(traversalDelayRiseIn(), traversalDelayFallIn());
+}
+
+Time
+InverterString::pipelinedCycleAnalytic() const
+{
+    return 2.0 * (minPulse + worstPrefixDiscrepancy());
+}
+
+bool
+InverterString::runsAtPeriod(Time period, int cycles) const
+{
+    VSYNC_ASSERT(period > 0.0 && cycles >= 2, "bad drive parameters");
+
+    desim::Simulator sim;
+    std::deque<desim::Signal> nets;
+    // Consistent DC initial conditions: each inverter's output is the
+    // complement of its input, so the idle string alternates 0/1.
+    nets.emplace_back("in", false);
+    for (int i = 0; i < length(); ++i)
+        nets.emplace_back(csprintf("n%d", i), i % 2 == 0);
+
+    std::deque<std::unique_ptr<desim::DelayElement>> inverters;
+    for (int i = 0; i < length(); ++i) {
+        inverters.push_back(std::make_unique<desim::DelayElement>(
+            sim, nets[i], nets[i + 1], stages[i], true));
+        // Restoring stages swallow pulses narrower than the process
+        // minimum -- this is what kills an over-clocked string at the
+        // first stage whose phase collapses (the analytic model's
+        // per-prefix policing).
+        inverters.back()->setMinPulse(minPulse);
+    }
+
+    // Record output transitions.
+    std::vector<std::pair<Time, bool>> out_events;
+    nets.back().onChange([&out_events](Time t, bool v) {
+        out_events.emplace_back(t, v);
+    });
+
+    desim::PeriodicClock clock(sim, nets.front(), period, cycles);
+    sim.run();
+
+    // Every input edge must arrive: 2 transitions per cycle.
+    if (out_events.size() != static_cast<std::size_t>(2 * cycles))
+        return false;
+    // Phases (gaps between consecutive output transitions) must stay
+    // at least the minimum pulse width; the final gap has no successor.
+    for (std::size_t i = 1; i < out_events.size(); ++i) {
+        if (out_events[i].first - out_events[i - 1].first <
+            minPulse - 1e-9) {
+            return false;
+        }
+        // Transition polarity must alternate (no swallowed edges).
+        if (out_events[i].second == out_events[i - 1].second)
+            return false;
+    }
+    return true;
+}
+
+Time
+InverterString::minPipelinedPeriod(int cycles, Time tolerance) const
+{
+    VSYNC_ASSERT(tolerance > 0.0, "bad tolerance %g", tolerance);
+    Time lo = 2.0 * minPulse;         // certainly too fast
+    Time hi = 2.0 * equipotentialCycle() + 4.0 * minPulse; // works
+    VSYNC_ASSERT(runsAtPeriod(hi, cycles),
+                 "upper bracket %g ns does not run", hi);
+    while (hi - lo > tolerance) {
+        const Time mid = (lo + hi) / 2.0;
+        if (runsAtPeriod(mid, cycles))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace vsync::circuit

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The Section VII experiment: a string of minimum inverters used as a
+ * clock distribution line.
+ *
+ * The paper fabricated a 2048-inverter nMOS string and measured
+ *  - equipotential single-phase clocking: ~34 us cycle (the whole
+ *    string settles per event),
+ *  - pipelined clocking: ~500 ns cycle, a 68x speedup, repeatable
+ *    across five chips because a systematic rise/fall bias dominated
+ *    the random per-stage discrepancies.
+ *
+ * The model: each stage has distinct rise/fall delays (systematic bias
+ * + random part). An edge entering the string alternates rise/fall
+ * delays stage by stage, so the high and low phases of a clock pulse
+ * change width as they travel; the pulse dies when a phase shrinks
+ * below the minimum usable width. The minimum pipelined period is set
+ * by the worst accumulated discrepancy over all prefixes of the string;
+ * with zero bias the discrepancy is a random walk, giving the paper's
+ * sqrt(n) fixed-yield growth law.
+ */
+
+#ifndef VSYNC_CIRCUIT_INVERTER_STRING_HH
+#define VSYNC_CIRCUIT_INVERTER_STRING_HH
+
+#include <vector>
+
+#include "circuit/process.hh"
+#include "common/rng.hh"
+#include "desim/elements.hh"
+
+namespace vsync::circuit
+{
+
+/** One fabricated instance ("chip") of an inverter string. */
+class InverterString
+{
+  public:
+    /**
+     * Fabricate a string of @p n inverters with per-stage delays drawn
+     * from @p process using @p rng (one chip = one rng stream).
+     */
+    InverterString(int n, const ProcessParams &process, Rng rng);
+
+    /** Number of stages. */
+    int length() const { return static_cast<int>(stages.size()); }
+
+    /** Per-stage rise/fall delays. */
+    const std::vector<desim::EdgeDelays> &stageDelays() const
+    {
+        return stages;
+    }
+
+    /**
+     * Propagation delay of a rising input edge through the whole
+     * string (alternating fall/rise stage delays).
+     */
+    Time traversalDelayRiseIn() const;
+
+    /** Propagation delay of a falling input edge. */
+    Time traversalDelayFallIn() const;
+
+    /**
+     * Accumulated edge discrepancy after @p k stages: (falling-input
+     * traversal) - (rising-input traversal) over the prefix. The pulse
+     * width change of a high phase after k stages.
+     */
+    Time prefixDiscrepancy(int k) const;
+
+    /** Largest |prefixDiscrepancy| over all prefixes. */
+    Time worstPrefixDiscrepancy() const;
+
+    /**
+     * Equipotential cycle time: the string must settle end to end per
+     * clock event (A6 applied to this line).
+     */
+    Time equipotentialCycle() const;
+
+    /**
+     * Minimum pipelined cycle time (analytic): both clock phases must
+     * stay at least minPulseWidth wide at every stage, so
+     * T = 2 * (minPulseWidth + worstPrefixDiscrepancy).
+     */
+    Time pipelinedCycleAnalytic() const;
+
+    /**
+     * Check by discrete-event simulation that the string transmits an
+     * intact pulse train at period @p period: drives @p cycles cycles
+     * into stage 0 and verifies the far end sees every edge with both
+     * phases no narrower than the process minimum.
+     */
+    bool runsAtPeriod(Time period, int cycles = 8) const;
+
+    /**
+     * Minimum workable pipelined period found by bisection over
+     * runsAtPeriod (desim-backed counterpart of
+     * pipelinedCycleAnalytic).
+     *
+     * @param cycles    pulse train length per trial.
+     * @param tolerance bisection stopping width (ns).
+     */
+    Time minPipelinedPeriod(int cycles = 8, Time tolerance = 1.0) const;
+
+  private:
+    std::vector<desim::EdgeDelays> stages;
+    Time minPulse;
+};
+
+} // namespace vsync::circuit
+
+#endif // VSYNC_CIRCUIT_INVERTER_STRING_HH

@@ -1,0 +1,113 @@
+#include "circuit/process.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace vsync::circuit
+{
+
+Time
+ProcessParams::settlingTime(Length l) const
+{
+    VSYNC_ASSERT(l >= 0.0, "negative wire length %g", l);
+    return alpha * l + rcQuadratic * l * l;
+}
+
+double
+ProcessParams::sampleUnitWireDelay(Rng &rng) const
+{
+    return rng.uniform(m - eps, m + eps);
+}
+
+desim::EdgeDelays
+ProcessParams::sampleStageDelays(Rng &rng, bool odd_stage) const
+{
+    const Time mean = rng.normal(stageDelay, stageDelaySigma);
+    // Per-stage rise/fall discrepancy, signed so that each consecutive
+    // odd/even stage pair contributes pairBias (systematic) plus a
+    // zero-mean normal term with std pairDiscrepancySigma to the
+    // string's accumulated edge discrepancy.
+    const double sign = odd_stage ? 1.0 : -1.0;
+    const Time disc =
+        sign * (pairBias / 2.0 +
+                rng.normal(0.0, pairDiscrepancySigma / std::sqrt(2.0)));
+    desim::EdgeDelays d;
+    d.fall = std::max(0.0, mean + disc / 2.0);
+    d.rise = std::max(0.0, mean - disc / 2.0);
+    return d;
+}
+
+ProcessParams
+ProcessParams::nmos1983()
+{
+    ProcessParams p;
+    p.name = "nmos-1983";
+    // Calibration (Section VII): 2048 minimum inverters traversed in
+    // ~34 us equipotentially -> 16.6 ns per stage; pipelined cycle
+    // 500 ns -> half period 250 ns = minPulse + 1024 * pairBias.
+    p.stageDelay = 16.6;
+    p.stageDelaySigma = 0.3;
+    p.minPulseWidth = 16.6;
+    p.pairBias = (250.0 - 16.6) / 1024.0; // ~0.228 ns per stage pair
+    p.pairDiscrepancySigma = 0.05;        // bias dominates randomness
+    p.m = 0.5;   // slow nMOS interconnect, ns per lambda
+    p.eps = 0.05;
+    p.alpha = 0.5;
+    p.rcQuadratic = 2e-3;
+    p.bufferSpacing = 8.0;
+    p.setupTime = 4.0;
+    p.holdTime = 2.0;
+    p.clkToQ = 8.0;
+    p.delta = 50.0;
+    return p;
+}
+
+ProcessParams
+ProcessParams::cmosGeneric()
+{
+    ProcessParams p;
+    p.name = "cmos-generic";
+    p.stageDelay = 0.2;
+    p.stageDelaySigma = 0.004;
+    p.minPulseWidth = 0.2;
+    p.pairBias = 0.002;
+    p.pairDiscrepancySigma = 0.001;
+    p.m = 0.02;  // low-resistance metal: fast wires
+    p.eps = 0.002;
+    p.alpha = 0.02;
+    p.rcQuadratic = 1e-5;
+    p.bufferSpacing = 32.0;
+    p.setupTime = 0.05;
+    p.holdTime = 0.03;
+    p.clkToQ = 0.1;
+    p.delta = 1.0;
+    return p;
+}
+
+ProcessParams
+ProcessParams::gaasFast()
+{
+    ProcessParams p;
+    p.name = "gaas-fast";
+    // Very fast switching over long, high-impedance interconnect: the
+    // regime where pipelined clocking shines (Section VII).
+    p.stageDelay = 0.02;
+    p.stageDelaySigma = 0.0005;
+    p.minPulseWidth = 0.02;
+    p.pairBias = 0.0002;
+    p.pairDiscrepancySigma = 0.0002;
+    p.m = 0.1;   // wire delay dwarfs stage delay
+    p.eps = 0.01;
+    p.alpha = 0.1;
+    p.rcQuadratic = 5e-4;
+    p.bufferSpacing = 2.0;
+    p.setupTime = 0.01;
+    p.holdTime = 0.005;
+    p.clkToQ = 0.02;
+    p.delta = 0.2;
+    return p;
+}
+
+} // namespace vsync::circuit

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Technology/process parameters for the circuit-level experiments.
+ *
+ * The paper's theory touches physics only through a handful of
+ * constants: per-unit wire delay m with variation eps (Section III),
+ * buffer delay (A7), equipotential settling (A6), and the rise/fall
+ * asymmetry of real stages (Section VII). ProcessParams bundles those
+ * with three presets:
+ *
+ *  - nmos1983: calibrated to the paper's 2048-inverter chip
+ *    (equipotential cycle ~34 us, pipelined ~500 ns, 68x);
+ *  - cmosGeneric: a low-resistance process where a well-designed
+ *    equipotential clock wins at small sizes (the Section VII caveat);
+ *  - gaasFast: fast switches over slow interconnect, the regime the
+ *    paper names as pipelined clocking's natural home.
+ */
+
+#ifndef VSYNC_CIRCUIT_PROCESS_HH
+#define VSYNC_CIRCUIT_PROCESS_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "desim/elements.hh"
+
+namespace vsync
+{
+class Rng;
+} // namespace vsync
+
+namespace vsync::circuit
+{
+
+/** Process/technology constants. */
+struct ProcessParams
+{
+    std::string name = "generic";
+
+    /** Mean signal delay per unit wire length (ns / lambda). */
+    double m = 0.05;
+
+    /** Per-wire delay variation amplitude (ns / lambda); the skew
+     *  models' eps. */
+    double eps = 0.005;
+
+    /** Mean propagation delay of one inverter/buffer stage (ns). */
+    Time stageDelay = 0.2;
+
+    /** Std deviation of a stage's mean delay across instances (ns). */
+    double stageDelaySigma = 0.01;
+
+    /**
+     * Systematic rise/fall discrepancy accumulated per *pair* of
+     * inverter stages (ns). A perfectly balanced string has 0; the
+     * paper's chip had a bias toward falling edges that dominated the
+     * random effects.
+     */
+    Time pairBias = 0.0;
+
+    /**
+     * Std deviation of the random rise/fall discrepancy contributed by
+     * one stage pair (the Section VII normal model, ns).
+     */
+    double pairDiscrepancySigma = 0.0;
+
+    /** Minimum usable pulse width at a stage output (ns). */
+    Time minPulseWidth = 1.0;
+
+    /**
+     * Equipotential settling: linear term alpha (ns / lambda, A6's
+     * lower-bound constant) ...
+     */
+    double alpha = 0.1;
+
+    /** ... plus a distributed-RC quadratic term (ns / lambda^2). */
+    double rcQuadratic = 0.0;
+
+    /** Buffer spacing for pipelined distribution (lambda). */
+    Length bufferSpacing = 4.0;
+
+    /** Register setup time (ns). */
+    Time setupTime = 0.5;
+
+    /** Register hold time (ns). */
+    Time holdTime = 0.25;
+
+    /** Register clock-to-Q delay (ns). */
+    Time clkToQ = 0.5;
+
+    /** Cell compute + propagate bound delta (ns, A5). */
+    Time delta = 2.0;
+
+    /** Equipotential settling time of an unbuffered run of length l. */
+    Time settlingTime(Length l) const;
+
+    /** Sample a per-wire unit delay in [m - eps, m + eps]. */
+    double sampleUnitWireDelay(Rng &rng) const;
+
+    /**
+     * Sample one stage's rise/fall delays: a normal perturbation of
+     * stageDelay plus half the pair bias/discrepancy split between the
+     * edges with the sign given by @p odd_stage (so consecutive stages
+     * realise the configured per-pair totals).
+     */
+    desim::EdgeDelays sampleStageDelays(Rng &rng, bool odd_stage) const;
+
+    /** The paper's 1983 nMOS chip (Section VII calibration). */
+    static ProcessParams nmos1983();
+
+    /** A generic low-resistance CMOS-like process. */
+    static ProcessParams cmosGeneric();
+
+    /** Fast switches, slow high-impedance interconnect (GaAs-like). */
+    static ProcessParams gaasFast();
+};
+
+} // namespace vsync::circuit
+
+#endif // VSYNC_CIRCUIT_PROCESS_HH

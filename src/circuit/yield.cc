@@ -1,0 +1,89 @@
+#include "circuit/yield.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "circuit/inverter_string.hh"
+
+namespace vsync::circuit
+{
+
+namespace
+{
+
+/** Mean and std of the end-to-end discrepancy of an n-stage string. */
+void
+discrepancyMoments(const ProcessParams &p, int n, double &mean,
+                   double &std_dev)
+{
+    const double pairs = static_cast<double>(n) / 2.0;
+    mean = pairs * p.pairBias;
+    std_dev = std::sqrt(pairs) * p.pairDiscrepancySigma;
+}
+
+} // namespace
+
+Time
+cycleTimeAtYield(const ProcessParams &process, int n, double yield)
+{
+    VSYNC_ASSERT(n >= 2, "need n >= 2, got %d", n);
+    VSYNC_ASSERT(yield > 0.0 && yield < 1.0, "yield %g out of (0,1)",
+                 yield);
+    double mean, sd;
+    discrepancyMoments(process, n, mean, sd);
+    // Find the smallest discrepancy budget b with
+    // P(-b <= disc <= b) >= yield, by bisection (the CDF difference is
+    // monotone in b). An upper bracket of |mean| + 40 sd always
+    // suffices.
+    double lo = 0.0;
+    double hi = std::fabs(mean) + std::max(sd, 1e-12) * 40.0;
+    for (int iter = 0; iter < 80; ++iter) {
+        const double b = (lo + hi) / 2.0;
+        double p;
+        if (sd <= 0.0) {
+            p = std::fabs(mean) <= b ? 1.0 : 0.0;
+        } else {
+            p = normalCdf((b - mean) / sd) - normalCdf((-b - mean) / sd);
+        }
+        if (p >= yield)
+            hi = b;
+        else
+            lo = b;
+    }
+    return 2.0 * (process.minPulseWidth + hi);
+}
+
+double
+yieldAtCycleTime(const ProcessParams &process, int n, Time period)
+{
+    VSYNC_ASSERT(n >= 2, "need n >= 2, got %d", n);
+    double mean, sd;
+    discrepancyMoments(process, n, mean, sd);
+    const double budget = period / 2.0 - process.minPulseWidth;
+    if (budget <= 0.0)
+        return 0.0;
+    if (sd <= 0.0)
+        return std::fabs(mean) <= budget ? 1.0 : 0.0;
+    // P(-budget <= disc <= budget), disc ~ N(mean, sd^2).
+    const double hi = (budget - mean) / sd;
+    const double lo = (-budget - mean) / sd;
+    return std::max(0.0, normalCdf(hi) - normalCdf(lo));
+}
+
+SampleSet
+sampleChipCycleTimes(const ProcessParams &process, int n, int chips,
+                     Rng &rng)
+{
+    VSYNC_ASSERT(chips >= 1, "need at least one chip");
+    SampleSet cycles;
+    for (int chip = 0; chip < chips; ++chip) {
+        InverterString s(n, process,
+                         rng.deriveStream(static_cast<std::uint64_t>(chip)));
+        cycles.add(s.pipelinedCycleAnalytic());
+    }
+    return cycles;
+}
+
+} // namespace vsync::circuit

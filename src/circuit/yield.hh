@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Yield analysis of pipelined inverter-string clocking (Section VII).
+ *
+ * With balanced stages the rise/fall discrepancy of an n-stage string
+ * is a zero-mean random walk over n/2 pairs, so the end-to-end
+ * discrepancy is ~ N(n/2 * pairBias, (n/2) * sigma^2). A chip runs at
+ * cycle time T iff its discrepancy fits inside the clock phase, so for
+ * a *fixed yield* the required cycle time grows like sqrt(n) when the
+ * bias is zero -- the paper's probabilistic growth law -- and linearly
+ * in n when a systematic bias dominates (the fabricated chips).
+ */
+
+#ifndef VSYNC_CIRCUIT_YIELD_HH
+#define VSYNC_CIRCUIT_YIELD_HH
+
+#include "circuit/process.hh"
+#include "common/stats.hh"
+
+namespace vsync
+{
+class Rng;
+} // namespace vsync
+
+namespace vsync::circuit
+{
+
+/**
+ * Analytic cycle time at which a fraction @p yield of fabricated
+ * n-stage strings run in pipelined mode: T = 2 (minPulse + b) where b
+ * is the smallest budget with P(|disc| <= b) >= yield under the
+ * normal end-to-end discrepancy model (solved by bisection; exact
+ * inverse of yieldAtCycleTime).
+ */
+Time cycleTimeAtYield(const ProcessParams &process, int n, double yield);
+
+/**
+ * Analytic yield at cycle time @p period for n-stage strings: the
+ * probability that |discrepancy| <= period/2 - minPulse under the
+ * normal model.
+ */
+double yieldAtCycleTime(const ProcessParams &process, int n, Time period);
+
+/**
+ * Monte-Carlo counterpart: fabricate @p chips strings and collect each
+ * chip's analytic minimum pipelined cycle (worst prefix discrepancy).
+ */
+SampleSet sampleChipCycleTimes(const ProcessParams &process, int n,
+                               int chips, Rng &rng);
+
+} // namespace vsync::circuit
+
+#endif // VSYNC_CIRCUIT_YIELD_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Buffer insertion for pipelined clock distribution (assumption A7).
+ *
+ * Long clock wires cannot carry several clock events at once as plain
+ * metal (damping, reflections); the paper's remedy is to break them into
+ * bounded-length segments separated by signal-restoring buffers. With
+ * buffers every constant distance, the time to move a clock event across
+ * one segment -- and hence the sustainable clock period -- is a constant
+ * independent of array size.
+ */
+
+#ifndef VSYNC_CLOCKTREE_BUFFERING_HH
+#define VSYNC_CLOCKTREE_BUFFERING_HH
+
+#include <vector>
+
+#include "clocktree/clock_tree.hh"
+
+namespace vsync::clocktree
+{
+
+/** One site (root, buffer, or original tree node) of a buffered tree. */
+struct BufferedSite
+{
+    /** Parent site (invalidId for the root site). */
+    NodeId parent = invalidId;
+    /** Wire length from the parent site to this site. */
+    Length wireFromParent = 0.0;
+    /** Position in the plane. */
+    geom::Point pos;
+    /** True when this site is an inserted buffer. */
+    bool isBuffer = false;
+    /** Original ClockTree node ending here, or invalidId for buffers. */
+    NodeId treeNode = invalidId;
+};
+
+/**
+ * A clock tree with buffers inserted every @c spacing along its wires.
+ * Site 0 is the root (which also carries the root clock driver).
+ */
+class BufferedClockTree
+{
+  public:
+    /** All sites in parent-before-child order. */
+    const std::vector<BufferedSite> &sites() const { return siteList; }
+
+    /** Site corresponding to original tree node @p v. */
+    NodeId siteOfNode(NodeId v) const { return nodeSite.at(v); }
+
+    /** Number of inserted buffers. */
+    std::size_t bufferCount() const;
+
+    /** Longest buffer-free wire segment (bounds per-segment delay). */
+    Length maxSegmentLength() const;
+
+    /** Largest number of buffers on any root-to-site path. */
+    int maxBufferDepth() const;
+
+    /** Buffer spacing used at construction. */
+    Length spacing() const { return spacingUsed; }
+
+    /**
+     * Insert buffers every @p spacing along each wire of @p tree.
+     * Padding added by ClockTree::padWire is treated as wire length and
+     * buffered accordingly (positions of those buffers sit at the wire's
+     * drawn end).
+     */
+    static BufferedClockTree insertBuffers(const ClockTree &tree,
+                                           Length spacing);
+
+  private:
+    std::vector<BufferedSite> siteList;
+    std::vector<NodeId> nodeSite;
+    Length spacingUsed = 0.0;
+};
+
+} // namespace vsync::clocktree
+
+#endif // VSYNC_CLOCKTREE_BUFFERING_HH

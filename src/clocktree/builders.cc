@@ -1,0 +1,334 @@
+#include "clocktree/builders.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace vsync::clocktree
+{
+
+ClockTree
+buildChain(const layout::Layout &l, const std::vector<CellId> &order,
+           const geom::Point &root_pos)
+{
+    VSYNC_ASSERT(!order.empty(), "chain over empty cell order");
+    ClockTree t;
+    t.name = "chain/" + l.layoutName();
+    NodeId prev = t.addRoot(root_pos);
+    for (CellId cell : order) {
+        const NodeId node = t.addChild(prev, l.position(cell));
+        t.bindCell(node, cell);
+        prev = node;
+    }
+    return t;
+}
+
+ClockTree
+buildSpine(const layout::Layout &l)
+{
+    std::vector<CellId> order(l.size());
+    std::iota(order.begin(), order.end(), 0);
+    const geom::Point start = l.position(0);
+    ClockTree t = buildChain(l, order, {start.x - 1.0, start.y});
+    t.name = "spine/" + l.layoutName();
+    return t;
+}
+
+namespace
+{
+
+/** Index rectangle [r0, r1) x [c0, c1) over a logical grid. */
+struct Region
+{
+    int r0, r1, c0, c1;
+
+    int rows() const { return r1 - r0; }
+    int cols() const { return c1 - c0; }
+    int count() const { return rows() * cols(); }
+};
+
+/** Recursive H-tree construction state. */
+struct HBuild
+{
+    const layout::Layout &l;
+    const std::function<CellId(int, int)> &cellAt;
+    ClockTree &t;
+
+    /** Centroid of a region's cell positions. */
+    geom::Point
+    center(const Region &reg) const
+    {
+        double sx = 0.0, sy = 0.0;
+        int n = 0;
+        for (int r = reg.r0; r < reg.r1; ++r) {
+            for (int c = reg.c0; c < reg.c1; ++c) {
+                const CellId cell = cellAt(r, c);
+                VSYNC_ASSERT(cell != invalidId,
+                             "H-tree grid hole at (%d, %d)", r, c);
+                const geom::Point p = l.position(cell);
+                sx += p.x;
+                sy += p.y;
+                ++n;
+            }
+        }
+        return {sx / n, sy / n};
+    }
+
+    /** Build the subtree for @p reg under @p parent. */
+    void
+    build(NodeId parent, const Region &reg)
+    {
+        if (reg.count() == 1) {
+            const CellId cell = cellAt(reg.r0, reg.c0);
+            // The parent may already sit exactly on the cell; add the
+            // leaf node regardless so each cell has a dedicated tap.
+            const NodeId leaf = t.addChild(parent, l.position(cell));
+            t.bindCell(leaf, cell);
+            return;
+        }
+        Region a = reg, b = reg;
+        if (reg.cols() >= reg.rows()) {
+            const int mid = reg.c0 + reg.cols() / 2;
+            a.c1 = mid;
+            b.c0 = mid;
+        } else {
+            const int mid = reg.r0 + reg.rows() / 2;
+            a.r1 = mid;
+            b.r0 = mid;
+        }
+        for (const Region &sub : {a, b}) {
+            const NodeId child = t.addChild(parent, center(sub));
+            build(child, sub);
+        }
+    }
+};
+
+/** Pad leaf wires so all bound cells are equidistant from the root. */
+void
+equalizeBoundDepths(ClockTree &t)
+{
+    Length max_h = 0.0;
+    for (NodeId v = 0; static_cast<std::size_t>(v) < t.size(); ++v)
+        if (t.cellOfNode(v) != invalidId)
+            max_h = std::max(max_h, t.rootPathLength(v));
+    for (NodeId v = 0; static_cast<std::size_t>(v) < t.size(); ++v) {
+        if (t.cellOfNode(v) == invalidId)
+            continue;
+        const Length deficit = max_h - t.rootPathLength(v);
+        if (deficit > 1e-12)
+            t.padWire(v, deficit);
+    }
+}
+
+} // namespace
+
+ClockTree
+buildHTree(const layout::Layout &l, int rows, int cols,
+           const std::function<CellId(int, int)> &cell_at, bool equalize)
+{
+    VSYNC_ASSERT(rows >= 1 && cols >= 1, "bad H-tree grid %dx%d",
+                 rows, cols);
+    ClockTree t;
+    t.name = "htree/" + l.layoutName();
+    HBuild hb{l, cell_at, t};
+    const Region all{0, rows, 0, cols};
+    const NodeId root = t.addRoot(hb.center(all));
+    if (all.count() == 1) {
+        const CellId cell = cell_at(0, 0);
+        const NodeId leaf = t.addChild(root, l.position(cell));
+        t.bindCell(leaf, cell);
+    } else {
+        hb.build(root, all);
+    }
+    if (equalize)
+        equalizeBoundDepths(t);
+    return t;
+}
+
+ClockTree
+buildHTreeGrid(const layout::Layout &l, int rows, int cols, bool equalize)
+{
+    return buildHTree(
+        l, rows, cols,
+        [cols](int r, int c) {
+            return static_cast<CellId>(r * cols + c);
+        },
+        equalize);
+}
+
+ClockTree
+buildHTreeLinear(const layout::Layout &l, bool equalize)
+{
+    return buildHTree(
+        l, 1, static_cast<int>(l.size()),
+        [](int, int c) { return static_cast<CellId>(c); }, equalize);
+}
+
+namespace
+{
+
+/** Centroid of an explicit cell subset. */
+geom::Point
+subsetCentroid(const layout::Layout &l, const std::vector<CellId> &cells)
+{
+    double sx = 0.0, sy = 0.0;
+    for (CellId c : cells) {
+        sx += l.position(c).x;
+        sy += l.position(c).y;
+    }
+    const double n = static_cast<double>(cells.size());
+    return {sx / n, sy / n};
+}
+
+/** Recursive median split used by buildRecursiveBisection. */
+void
+bisect(const layout::Layout &l, ClockTree &t, NodeId parent,
+       std::vector<CellId> cells)
+{
+    if (cells.size() == 1) {
+        const NodeId leaf = t.addChild(parent, l.position(cells[0]));
+        t.bindCell(leaf, cells[0]);
+        return;
+    }
+    // Split at the median of the wider axis.
+    geom::Rect bb{infinity, infinity, -infinity, -infinity};
+    for (CellId c : cells)
+        bb.include(l.position(c));
+    const bool by_x = bb.width() >= bb.height();
+    std::sort(cells.begin(), cells.end(), [&](CellId a, CellId b) {
+        const geom::Point &pa = l.position(a);
+        const geom::Point &pb = l.position(b);
+        return by_x ? (pa.x != pb.x ? pa.x < pb.x : pa.y < pb.y)
+                    : (pa.y != pb.y ? pa.y < pb.y : pa.x < pb.x);
+    });
+    const std::size_t mid = cells.size() / 2;
+    std::vector<CellId> left(cells.begin(), cells.begin() + mid);
+    std::vector<CellId> right(cells.begin() + mid, cells.end());
+    for (auto &half : {left, right}) {
+        const NodeId child = t.addChild(parent, subsetCentroid(l, half));
+        bisect(l, t, child, half);
+    }
+}
+
+/** Recursive random split used by buildRandomTree. */
+void
+randomSplit(const layout::Layout &l, ClockTree &t, NodeId parent,
+            std::vector<CellId> cells, Rng &rng)
+{
+    if (cells.size() == 1) {
+        const NodeId leaf = t.addChild(parent, l.position(cells[0]));
+        t.bindCell(leaf, cells[0]);
+        return;
+    }
+    // Shuffle, then cut at a random interior point.
+    for (std::size_t i = cells.size(); i > 1; --i)
+        std::swap(cells[i - 1], cells[rng.uniformInt(i)]);
+    const std::size_t cut =
+        1 + static_cast<std::size_t>(rng.uniformInt(cells.size() - 1));
+    std::vector<CellId> left(cells.begin(), cells.begin() + cut);
+    std::vector<CellId> right(cells.begin() + cut, cells.end());
+    for (auto &half : {left, right}) {
+        const NodeId child = t.addChild(parent, subsetCentroid(l, half));
+        randomSplit(l, t, child, half, rng);
+    }
+}
+
+} // namespace
+
+ClockTree
+buildRecursiveBisection(const layout::Layout &l)
+{
+    VSYNC_ASSERT(l.size() >= 1, "empty layout");
+    std::vector<CellId> cells(l.size());
+    std::iota(cells.begin(), cells.end(), 0);
+    ClockTree t;
+    t.name = "rbisect/" + l.layoutName();
+    const NodeId root = t.addRoot(subsetCentroid(l, cells));
+    if (cells.size() == 1) {
+        const NodeId leaf = t.addChild(root, l.position(cells[0]));
+        t.bindCell(leaf, cells[0]);
+    } else {
+        bisect(l, t, root, std::move(cells));
+    }
+    return t;
+}
+
+ClockTree
+buildDoubleComb(const layout::Layout &l)
+{
+    VSYNC_ASSERT(l.size() >= 2, "double comb needs >= 2 cells");
+    // Identify the two rows and bucket cells by x coordinate.
+    Length y_lo = infinity, y_hi = -infinity;
+    for (CellId c = 0; static_cast<std::size_t>(c) < l.size(); ++c) {
+        y_lo = std::min(y_lo, l.position(c).y);
+        y_hi = std::max(y_hi, l.position(c).y);
+    }
+    const Length y_mid = (y_lo + y_hi) / 2.0;
+
+    struct Column
+    {
+        Length x;
+        std::vector<CellId> cells; // 1 or 2
+    };
+    std::vector<Column> columns;
+    for (CellId c = 0; static_cast<std::size_t>(c) < l.size(); ++c) {
+        const Length x = l.position(c).x;
+        auto it = std::find_if(columns.begin(), columns.end(),
+                               [x](const Column &col) {
+                                   return std::fabs(col.x - x) < 1e-9;
+                               });
+        if (it == columns.end()) {
+            columns.push_back({x, {c}});
+        } else {
+            VSYNC_ASSERT(it->cells.size() < 2,
+                         "more than two cells share column x=%g", x);
+            it->cells.push_back(c);
+        }
+    }
+    std::sort(columns.begin(), columns.end(),
+              [](const Column &a, const Column &b) { return a.x < b.x; });
+
+    ClockTree t;
+    t.name = "double-comb/" + l.layoutName();
+    // Spine enters one pitch left of the first column, between rows.
+    NodeId spine = t.addRoot({columns.front().x - 1.0, y_mid});
+    for (const Column &col : columns) {
+        // Spine node A at this column, then a helper B at the same
+        // point so each tree node keeps at most two children.
+        const NodeId a = t.addChild(spine, {col.x, y_mid});
+        const NodeId b = t.addChild(a, {col.x, y_mid});
+        // Rung(s) to the cells of this column.
+        const NodeId rung0 = t.addChild(a, l.position(col.cells[0]));
+        t.bindCell(rung0, col.cells[0]);
+        if (col.cells.size() == 2) {
+            const NodeId rung1 =
+                t.addChild(b, l.position(col.cells[1]));
+            t.bindCell(rung1, col.cells[1]);
+        }
+        spine = b;
+    }
+    return t;
+}
+
+ClockTree
+buildRandomTree(const layout::Layout &l, Rng &rng)
+{
+    VSYNC_ASSERT(l.size() >= 1, "empty layout");
+    std::vector<CellId> cells(l.size());
+    std::iota(cells.begin(), cells.end(), 0);
+    ClockTree t;
+    t.name = "random/" + l.layoutName();
+    const NodeId root = t.addRoot(subsetCentroid(l, cells));
+    if (cells.size() == 1) {
+        const NodeId leaf = t.addChild(root, l.position(cells[0]));
+        t.bindCell(leaf, cells[0]);
+    } else {
+        randomSplit(l, t, root, std::move(cells), rng);
+    }
+    return t;
+}
+
+} // namespace vsync::clocktree

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Clock tree construction schemes from the paper.
+ *
+ * - buildSpine / buildChain: the Section V-A scheme (Fig 4b, Fig 5,
+ *   Fig 6): the clock wire runs along the 1-D array, so communicating
+ *   neighbours are a constant tree distance apart (summation model).
+ * - buildHTree*: the Section IV scheme (Fig 3): all cells equidistant
+ *   from the root (difference model, Lemma 1). Non-power-of-two grids
+ *   are equalised by padding leaf wires.
+ * - buildRecursiveBisection: a generic top-down geometric tree for
+ *   arbitrary layouts.
+ * - buildRandomTree: random top-down partitions; used to search the
+ *   space of trees in the lower-bound experiments.
+ */
+
+#ifndef VSYNC_CLOCKTREE_BUILDERS_HH
+#define VSYNC_CLOCKTREE_BUILDERS_HH
+
+#include <functional>
+#include <vector>
+
+#include "clocktree/clock_tree.hh"
+#include "layout/layout.hh"
+
+namespace vsync
+{
+class Rng;
+} // namespace vsync
+
+namespace vsync::clocktree
+{
+
+/**
+ * A degenerate binary tree (a chain) visiting cells in @p order,
+ * rooted at @p root_pos. Every chain wire is routed L-shaped between
+ * consecutive cell positions.
+ */
+ClockTree buildChain(const layout::Layout &l,
+                     const std::vector<CellId> &order,
+                     const geom::Point &root_pos);
+
+/**
+ * The Fig 4b spine: a chain in cell-id order rooted one pitch to the
+ * left of cell 0. Suits linear, folded and serpentine layouts whose
+ * cell ids follow the array order.
+ */
+ClockTree buildSpine(const layout::Layout &l);
+
+/**
+ * An H-tree over a grid-indexed layout (Fig 3).
+ *
+ * @param l        the layout supplying cell positions.
+ * @param rows     grid rows.
+ * @param cols     grid columns.
+ * @param cell_at  maps (row, col) to the cell id.
+ * @param equalize pad leaf wires so every cell is exactly equidistant
+ *                 from the root (Lemma 1); exact H-trees on power-of-two
+ *                 grids need no padding.
+ */
+ClockTree buildHTree(const layout::Layout &l, int rows, int cols,
+                     const std::function<CellId(int, int)> &cell_at,
+                     bool equalize = true);
+
+/** H-tree for a row-major rows x cols mesh or hex layout. */
+ClockTree buildHTreeGrid(const layout::Layout &l, int rows, int cols,
+                         bool equalize = true);
+
+/** H-tree for a linear array (Fig 3a): rows = 1. */
+ClockTree buildHTreeLinear(const layout::Layout &l, bool equalize = true);
+
+/**
+ * Top-down recursive geometric bisection: split the cell set at the
+ * median of its wider axis, place each internal node at its subset's
+ * centroid.
+ */
+ClockTree buildRecursiveBisection(const layout::Layout &l);
+
+/**
+ * Random top-down binary partitions of the cell set; internal nodes at
+ * subset centroids. Used to sample the tree space when searching for
+ * low-skew trees empirically.
+ */
+ClockTree buildRandomTree(const layout::Layout &l, Rng &rng);
+
+/**
+ * A double comb for two-row racetrack layouts (rings, folded arrays):
+ * a spine runs between the rows, dropping a short rung to each cell
+ * above and below it. Every pair of cells in the same column is two
+ * rungs apart on CLK and horizontally adjacent cells are one spine
+ * step plus two rungs apart -- so *all* ring edges, including the
+ * wrap, have O(1) tree distance under the summation model; the
+ * Theorem 3 guarantee extends to rings.
+ *
+ * @pre the layout has exactly two distinct y rows.
+ */
+ClockTree buildDoubleComb(const layout::Layout &l);
+
+} // namespace vsync::clocktree
+
+#endif // VSYNC_CLOCKTREE_BUILDERS_HH

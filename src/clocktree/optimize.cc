@@ -1,0 +1,302 @@
+#include "clocktree/optimize.hh"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace vsync::clocktree
+{
+
+namespace
+{
+
+/**
+ * A mutable strictly-binary merge tree over the layout's cells: every
+ * internal node has exactly two children; leaves carry cell ids.
+ */
+struct MergeTree
+{
+    struct Node
+    {
+        int parent = -1;
+        int left = -1;
+        int right = -1;
+        CellId cell = invalidId; // leaves only
+    };
+
+    std::vector<Node> nodes;
+    int root = -1;
+
+    bool isLeaf(int v) const { return nodes[v].left < 0; }
+
+    /** Collect all node indices in the subtree of @p v. */
+    void
+    collect(int v, std::vector<int> &out) const
+    {
+        out.push_back(v);
+        if (!isLeaf(v)) {
+            collect(nodes[v].left, out);
+            collect(nodes[v].right, out);
+        }
+    }
+
+    /** Replace child @p old_child of @p parent with @p new_child. */
+    void
+    replaceChild(int parent, int old_child, int new_child)
+    {
+        if (nodes[parent].left == old_child)
+            nodes[parent].left = new_child;
+        else if (nodes[parent].right == old_child)
+            nodes[parent].right = new_child;
+        else
+            panic("replaceChild: %d is not a child of %d", old_child,
+                  parent);
+        nodes[new_child].parent = parent;
+    }
+};
+
+/** Centroid of the cells under each node (bottom-up DFS). */
+void
+centroids(const MergeTree &mt, const layout::Layout &l, int v,
+          std::vector<geom::Point> &pos, std::vector<int> &count)
+{
+    if (mt.isLeaf(v)) {
+        pos[v] = l.position(mt.nodes[v].cell);
+        count[v] = 1;
+        return;
+    }
+    centroids(mt, l, mt.nodes[v].left, pos, count);
+    centroids(mt, l, mt.nodes[v].right, pos, count);
+    const int a = mt.nodes[v].left, b = mt.nodes[v].right;
+    count[v] = count[a] + count[b];
+    pos[v] = {(pos[a].x * count[a] + pos[b].x * count[b]) / count[v],
+              (pos[a].y * count[a] + pos[b].y * count[b]) / count[v]};
+}
+
+/** Emit a ClockTree from the merge tree (top-down, centroid nodes). */
+ClockTree
+emit(const MergeTree &mt, const layout::Layout &l)
+{
+    std::vector<geom::Point> pos(mt.nodes.size());
+    std::vector<int> count(mt.nodes.size(), 0);
+    centroids(mt, l, mt.root, pos, count);
+
+    ClockTree t;
+    t.name = "optimized/" + l.layoutName();
+    struct Item
+    {
+        int mnode;
+        NodeId parent;
+    };
+    std::vector<Item> stack;
+    const NodeId root = t.addRoot(pos[mt.root]);
+    if (mt.isLeaf(mt.root)) {
+        t.bindCell(root, mt.nodes[mt.root].cell);
+        return t;
+    }
+    stack.push_back({mt.nodes[mt.root].left, root});
+    stack.push_back({mt.nodes[mt.root].right, root});
+    while (!stack.empty()) {
+        const Item item = stack.back();
+        stack.pop_back();
+        const NodeId node = t.addChild(item.parent, pos[item.mnode]);
+        if (mt.isLeaf(item.mnode)) {
+            t.bindCell(node, mt.nodes[item.mnode].cell);
+        } else {
+            stack.push_back({mt.nodes[item.mnode].left, node});
+            stack.push_back({mt.nodes[item.mnode].right, node});
+        }
+    }
+    return t;
+}
+
+/** Greedy nearest-pair agglomeration into a MergeTree. */
+MergeTree
+greedyMerge(const layout::Layout &l)
+{
+    MergeTree mt;
+    struct Cluster
+    {
+        int node;
+        geom::Point centroid;
+        int size;
+    };
+    std::vector<Cluster> active;
+    for (CellId c = 0; static_cast<std::size_t>(c) < l.size(); ++c) {
+        MergeTree::Node leaf;
+        leaf.cell = c;
+        mt.nodes.push_back(leaf);
+        active.push_back({static_cast<int>(c), l.position(c), 1});
+    }
+    while (active.size() > 1) {
+        std::size_t best_i = 0, best_j = 1;
+        Length best_d = std::numeric_limits<Length>::infinity();
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            for (std::size_t j = i + 1; j < active.size(); ++j) {
+                const Length d = geom::manhattan(active[i].centroid,
+                                                 active[j].centroid);
+                if (d < best_d) {
+                    best_d = d;
+                    best_i = i;
+                    best_j = j;
+                }
+            }
+        }
+        MergeTree::Node parent;
+        parent.left = active[best_i].node;
+        parent.right = active[best_j].node;
+        const int pid = static_cast<int>(mt.nodes.size());
+        mt.nodes.push_back(parent);
+        mt.nodes[parent.left].parent = pid;
+        mt.nodes[parent.right].parent = pid;
+
+        const auto &a = active[best_i];
+        const auto &b = active[best_j];
+        Cluster merged{
+            pid,
+            {(a.centroid.x * a.size + b.centroid.x * b.size) /
+                 (a.size + b.size),
+             (a.centroid.y * a.size + b.centroid.y * b.size) /
+                 (a.size + b.size)},
+            a.size + b.size};
+        // Erase j first (larger index), then i.
+        active.erase(active.begin() + static_cast<long>(best_j));
+        active.erase(active.begin() + static_cast<long>(best_i));
+        active.push_back(merged);
+    }
+    mt.root = active.front().node;
+    return mt;
+}
+
+/**
+ * Random regraft: detach a non-root subtree S, splice its parent out,
+ * then re-insert S beside a random surviving node. Returns false when
+ * no legal move exists (fewer than two leaves).
+ */
+bool
+regraft(MergeTree &mt, Rng &rng)
+{
+    const int n = static_cast<int>(mt.nodes.size());
+    if (n < 4)
+        return false;
+
+    // Pick S: any node that is not the root and whose parent is not
+    // needed... any non-root node works.
+    int s;
+    do {
+        s = static_cast<int>(rng.uniformInt(n));
+    } while (s == mt.root);
+    const int p = mt.nodes[s].parent;
+    const int sibling =
+        mt.nodes[p].left == s ? mt.nodes[p].right : mt.nodes[p].left;
+
+    // Splice p out.
+    const int gp = mt.nodes[p].parent;
+    if (gp < 0) {
+        // p was the root: the sibling becomes the root.
+        mt.root = sibling;
+        mt.nodes[sibling].parent = -1;
+    } else {
+        mt.replaceChild(gp, p, sibling);
+    }
+
+    // Choose the attach point x outside S (and distinct from p).
+    std::vector<int> in_s;
+    mt.collect(s, in_s);
+    std::vector<bool> banned(mt.nodes.size(), false);
+    for (int v : in_s)
+        banned[v] = true;
+    banned[p] = true;
+    std::vector<int> candidates;
+    for (int v = 0; v < n; ++v)
+        if (!banned[v])
+            candidates.push_back(v);
+    if (candidates.empty()) {
+        // Undo is complicated; with n >= 4 there is always a candidate
+        // (the sibling at minimum), so this cannot happen.
+        panic("regraft: no attach candidates");
+    }
+    const int x = candidates[rng.uniformInt(candidates.size())];
+
+    // Reuse p as the new internal node joining x and S.
+    const int xp = mt.nodes[x].parent;
+    mt.nodes[p].left = x;
+    mt.nodes[p].right = s;
+    mt.nodes[x].parent = p;
+    mt.nodes[s].parent = p;
+    if (xp < 0) {
+        mt.root = p;
+        mt.nodes[p].parent = -1;
+    } else {
+        mt.replaceChild(xp, x, p);
+    }
+    return true;
+}
+
+} // namespace
+
+ClockTree
+buildGreedyMatching(const layout::Layout &l)
+{
+    VSYNC_ASSERT(l.size() >= 1, "empty layout");
+    if (l.size() == 1) {
+        ClockTree t;
+        t.name = "greedy/" + l.layoutName();
+        const NodeId root = t.addRoot(l.position(0));
+        t.bindCell(t.addChild(root, l.position(0)), 0);
+        return t;
+    }
+    MergeTree mt = greedyMerge(l);
+    ClockTree t = emit(mt, l);
+    t.name = "greedy/" + l.layoutName();
+    return t;
+}
+
+double
+maxCommTreeDistance(const layout::Layout &l, const ClockTree &t)
+{
+    double worst = 0.0;
+    for (const graph::Edge &e : l.comm().undirectedEdges()) {
+        const NodeId a = t.nodeOfCell(e.src);
+        const NodeId b = t.nodeOfCell(e.dst);
+        VSYNC_ASSERT(a != invalidId && b != invalidId,
+                     "cells %d/%d unclocked", e.src, e.dst);
+        worst = std::max(worst, t.treeDistance(a, b));
+    }
+    return worst;
+}
+
+OptimizeResult
+optimizeTree(const layout::Layout &l, Rng &rng, int iterations)
+{
+    VSYNC_ASSERT(l.size() >= 2, "optimizer needs at least two cells");
+    MergeTree current = greedyMerge(l);
+
+    OptimizeResult result;
+    result.tree = emit(current, l);
+    result.initialObjective = maxCommTreeDistance(l, result.tree);
+    double best = result.initialObjective;
+
+    for (int it = 0; it < iterations; ++it) {
+        MergeTree trial = current;
+        if (!regraft(trial, rng))
+            break;
+        const ClockTree t = emit(trial, l);
+        const double objective = maxCommTreeDistance(l, t);
+        if (objective < best) {
+            best = objective;
+            current = std::move(trial);
+            result.tree = t;
+            ++result.improvements;
+        }
+    }
+    result.finalObjective = best;
+    result.tree.name = "optimized/" + l.layoutName();
+    return result;
+}
+
+} // namespace vsync::clocktree

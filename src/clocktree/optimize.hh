@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Skew-driven clock tree search.
+ *
+ * The Section V-B theorem says *no* clock tree achieves bounded
+ * communicating-cell skew on a mesh under the summation model. The
+ * builders in builders.hh are fixed constructions; this optimizer
+ * actively searches the tree space for the given objective (max s over
+ * communicating pairs), so the lower-bound experiments can show that
+ * even an adversarially good tree cannot beat Omega(n):
+ *
+ *  - buildGreedyMatching: agglomerative bottom-up clustering (the
+ *    classic clock-tree-synthesis shape): repeatedly pair the two
+ *    nearest clusters. Because ClockTree construction is top-down, the
+ *    merge tree is recorded first and then emitted root-first.
+ *  - optimizeTree: stochastic local search: repeatedly picks a random
+ *    topology perturbation (re-rooting a subtree under a different
+ *    parent arm) and keeps it when the objective improves.
+ */
+
+#ifndef VSYNC_CLOCKTREE_OPTIMIZE_HH
+#define VSYNC_CLOCKTREE_OPTIMIZE_HH
+
+#include "clocktree/clock_tree.hh"
+#include "layout/layout.hh"
+
+namespace vsync
+{
+class Rng;
+} // namespace vsync
+
+namespace vsync::clocktree
+{
+
+/**
+ * Bottom-up greedy matching tree: merge the two clusters whose
+ * centroids are nearest until one remains; internal nodes sit at the
+ * merged subtree's centroid.
+ */
+ClockTree buildGreedyMatching(const layout::Layout &l);
+
+/** Objective value: max tree distance s over communicating pairs. */
+double maxCommTreeDistance(const layout::Layout &l, const ClockTree &t);
+
+/** Result of the stochastic search. */
+struct OptimizeResult
+{
+    ClockTree tree;
+    /** Objective of the initial tree. */
+    double initialObjective = 0.0;
+    /** Objective after optimisation. */
+    double finalObjective = 0.0;
+    /** Accepted moves. */
+    int improvements = 0;
+};
+
+/**
+ * Local search over binary tree topologies minimising
+ * maxCommTreeDistance. Starts from the greedy matching tree and
+ * applies @p iterations random subtree-regraft moves, keeping
+ * improvements.
+ */
+OptimizeResult optimizeTree(const layout::Layout &l, Rng &rng,
+                            int iterations = 400);
+
+} // namespace vsync::clocktree
+
+#endif // VSYNC_CLOCKTREE_OPTIMIZE_HH

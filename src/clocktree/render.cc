@@ -1,0 +1,153 @@
+#include "clocktree/render.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "clocktree/clock_tree.hh"
+#include "common/logging.hh"
+#include "geom/rect.hh"
+
+namespace vsync::clocktree
+{
+
+namespace
+{
+
+/** A character canvas addressed in layout coordinates. */
+class Canvas
+{
+  public:
+    Canvas(const geom::Rect &bb, double scale, int max_chars)
+        : x0(bb.x0), y0(bb.y0), scale(scale)
+    {
+        cols = static_cast<int>(std::floor(bb.width() / scale)) + 1;
+        rows = static_cast<int>(std::floor(bb.height() / scale)) + 1;
+        cols = std::clamp(cols, 1, max_chars);
+        rows = std::clamp(rows, 1, max_chars);
+        grid.assign(static_cast<std::size_t>(rows),
+                    std::string(static_cast<std::size_t>(cols), '.'));
+    }
+
+    /**
+     * Put @p ch at point @p p. Layering: '.' is always overwritten;
+     * wires never overwrite nodes/cells; 'o' + '#' merge into '*'.
+     */
+    void
+    put(const geom::Point &p, char ch)
+    {
+        const int c = std::clamp(
+            static_cast<int>(std::lround((p.x - x0) / scale)), 0,
+            cols - 1);
+        const int r = std::clamp(
+            static_cast<int>(std::lround((p.y - y0) / scale)), 0,
+            rows - 1);
+        char &cur = grid[static_cast<std::size_t>(r)]
+                        [static_cast<std::size_t>(c)];
+        auto rank = [](char k) {
+            switch (k) {
+              case '.':
+                return 0;
+              case '-':
+              case '|':
+              case '+':
+                return 1;
+              case 'o':
+              case '#':
+                return 2;
+              case '*':
+                return 3;
+              default: // 'R'
+                return 4;
+            }
+        };
+        if ((cur == 'o' && ch == '#') || (cur == '#' && ch == 'o')) {
+            cur = '*';
+        } else if (rank(ch) > rank(cur)) {
+            cur = ch;
+        } else if (rank(ch) == 1 && rank(cur) == 1 && cur != ch) {
+            cur = '+';
+        }
+    }
+
+    /** Draw a polyline with wire characters. */
+    void
+    wire(const geom::Path &path)
+    {
+        for (std::size_t i = 1; i < path.size(); ++i) {
+            const geom::Point &a = path[i - 1];
+            const geom::Point &b = path[i];
+            const Length len = geom::manhattan(a, b);
+            const int steps =
+                std::max(1, static_cast<int>(len / scale * 2.0));
+            const bool horizontal =
+                std::fabs(b.x - a.x) >= std::fabs(b.y - a.y);
+            for (int s = 0; s <= steps; ++s) {
+                const double t =
+                    static_cast<double>(s) / static_cast<double>(steps);
+                put({a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t},
+                    horizontal ? '-' : '|');
+            }
+        }
+    }
+
+    std::string
+    str() const
+    {
+        std::string out;
+        // Render top row last so +y points up on screen.
+        for (int r = rows - 1; r >= 0; --r) {
+            out += grid[static_cast<std::size_t>(r)];
+            out += '\n';
+        }
+        return out;
+    }
+
+  private:
+    double x0, y0, scale;
+    int cols = 0, rows = 0;
+    std::vector<std::string> grid;
+};
+
+geom::Rect
+combinedBox(const layout::Layout &l, const ClockTree *t)
+{
+    geom::Rect bb = l.boundingBox();
+    if (t) {
+        for (NodeId v = 0; static_cast<std::size_t>(v) < t->size(); ++v)
+            bb.include(t->position(v));
+    }
+    return bb;
+}
+
+} // namespace
+
+std::string
+renderLayout(const layout::Layout &l, const RenderOptions &opts)
+{
+    VSYNC_ASSERT(opts.scale > 0.0, "bad render scale %g", opts.scale);
+    Canvas canvas(combinedBox(l, nullptr), opts.scale, opts.maxChars);
+    for (CellId c = 0; static_cast<std::size_t>(c) < l.size(); ++c)
+        canvas.put(l.position(c), 'o');
+    return canvas.str();
+}
+
+std::string
+renderWithClock(const layout::Layout &l, const ClockTree &t,
+                const RenderOptions &opts)
+{
+    VSYNC_ASSERT(opts.scale > 0.0, "bad render scale %g", opts.scale);
+    Canvas canvas(combinedBox(l, &t), opts.scale, opts.maxChars);
+    if (opts.drawClockWires) {
+        for (NodeId v = 1; static_cast<std::size_t>(v) < t.size(); ++v)
+            canvas.wire(t.wire(v));
+    }
+    for (NodeId v = 0; static_cast<std::size_t>(v) < t.size(); ++v)
+        canvas.put(t.position(v), '#');
+    for (CellId c = 0; static_cast<std::size_t>(c) < l.size(); ++c)
+        canvas.put(l.position(c), 'o');
+    canvas.put(t.position(t.root()), 'R');
+    return canvas.str();
+}
+
+} // namespace vsync::clocktree

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ASCII rendering of layouts and clock trees.
+ *
+ * Renders cells, communication wiring and (optionally) a clock tree
+ * onto a character grid -- the quickest way to eyeball a layout or a
+ * builder's output, and what the examples print when asked to show
+ * their arrays. One character cell covers `scale` lambda.
+ *
+ * Legend: 'o' cell, '#' clock tree node, 'R' clock root, '*' cell and
+ * clock tap coincide, '-', '|' clock tree wiring, '.' empty.
+ */
+
+#ifndef VSYNC_CLOCKTREE_RENDER_HH
+#define VSYNC_CLOCKTREE_RENDER_HH
+
+#include <string>
+
+#include "clocktree/clock_tree.hh"
+#include "layout/layout.hh"
+
+namespace vsync::clocktree
+{
+
+/** Rendering options. */
+struct RenderOptions
+{
+    /** Lambda per character cell. */
+    double scale = 1.0;
+    /** Draw the clock tree's wires. */
+    bool drawClockWires = true;
+    /** Cap on the rendered grid's width/height in characters. */
+    int maxChars = 160;
+};
+
+/** Render just the cells of @p l. */
+std::string renderLayout(const layout::Layout &l,
+                         const RenderOptions &opts = {});
+
+/** Render cells plus the clock tree @p t overlaid. */
+std::string renderWithClock(const layout::Layout &l,
+                            const ClockTree &t,
+                            const RenderOptions &opts = {});
+
+} // namespace vsync::clocktree
+
+#endif // VSYNC_CLOCKTREE_RENDER_HH

@@ -1,0 +1,120 @@
+#include "common/fit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vsync
+{
+
+LinearFit
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    VSYNC_ASSERT(xs.size() == ys.size(), "fitLinear size mismatch");
+    VSYNC_ASSERT(xs.size() >= 2, "fitLinear needs >= 2 points");
+
+    const double n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    LinearFit fit;
+    if (std::fabs(denom) < 1e-30) {
+        fit.slope = 0.0;
+        fit.intercept = sy / n;
+        fit.r2 = 0.0;
+        return fit;
+    }
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    const double mean_y = sy / n;
+    double ss_res = 0, ss_tot = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double pred = fit.intercept + fit.slope * xs[i];
+        ss_res += (ys[i] - pred) * (ys[i] - pred);
+        ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+    }
+    fit.r2 = ss_tot > 1e-30 ? std::max(0.0, 1.0 - ss_res / ss_tot) : 1.0;
+    return fit;
+}
+
+PowerFit
+fitPower(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    VSYNC_ASSERT(xs.size() == ys.size(), "fitPower size mismatch");
+    VSYNC_ASSERT(xs.size() >= 2, "fitPower needs >= 2 points");
+
+    std::vector<double> lx(xs.size()), ly(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        VSYNC_ASSERT(xs[i] > 0 && ys[i] > 0,
+                     "fitPower needs positive data (x=%g, y=%g)",
+                     xs[i], ys[i]);
+        lx[i] = std::log(xs[i]);
+        ly[i] = std::log(ys[i]);
+    }
+    const LinearFit lin = fitLinear(lx, ly);
+    PowerFit fit;
+    fit.exponent = lin.slope;
+    fit.coefficient = std::exp(lin.intercept);
+    fit.r2 = lin.r2;
+    return fit;
+}
+
+std::string
+growthLawName(GrowthLaw law)
+{
+    switch (law) {
+      case GrowthLaw::Constant:
+        return "O(1)";
+      case GrowthLaw::Logarithmic:
+        return "O(log n)";
+      case GrowthLaw::SquareRoot:
+        return "O(sqrt n)";
+      case GrowthLaw::Linear:
+        return "O(n)";
+      case GrowthLaw::Quadratic:
+        return "O(n^2)";
+    }
+    return "?";
+}
+
+GrowthLaw
+classifyGrowth(const std::vector<double> &ns, const std::vector<double> &ys,
+               double flatRatio)
+{
+    VSYNC_ASSERT(ns.size() == ys.size() && ns.size() >= 2,
+                 "classifyGrowth needs matched series of >= 2 points");
+
+    double lo = ys[0], hi = ys[0];
+    for (double y : ys) {
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+    }
+    VSYNC_ASSERT(lo > 0, "classifyGrowth needs positive values");
+    if (hi / lo < flatRatio)
+        return GrowthLaw::Constant;
+
+    const PowerFit pf = fitPower(ns, ys);
+    if (pf.exponent < 0.25) {
+        // Growing but sublinearly in every polynomial sense: check whether
+        // a log model explains the data better than a flat one.
+        std::vector<double> logs(ns.size());
+        for (std::size_t i = 0; i < ns.size(); ++i)
+            logs[i] = std::log(ns[i]);
+        const LinearFit lf = fitLinear(logs, ys);
+        return lf.r2 > 0.5 ? GrowthLaw::Logarithmic : GrowthLaw::Constant;
+    }
+    if (pf.exponent < 0.75)
+        return GrowthLaw::SquareRoot;
+    if (pf.exponent < 1.5)
+        return GrowthLaw::Linear;
+    return GrowthLaw::Quadratic;
+}
+
+} // namespace vsync

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Least-squares fitting and asymptotic growth-law classification.
+ *
+ * The benches reproduce the paper's *shapes* rather than absolute numbers:
+ * Theorem 3 predicts a clock period that is O(1) in array size while the
+ * Section V-B lower bound predicts Omega(n) skew growth. These helpers
+ * turn a measured series (n_i, y_i) into a named growth class so tests
+ * and tables can assert those shapes mechanically.
+ */
+
+#ifndef VSYNC_COMMON_FIT_HH
+#define VSYNC_COMMON_FIT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vsync
+{
+
+/** Result of an ordinary least-squares line fit y = intercept + slope*x. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination in [0, 1]. */
+    double r2 = 0.0;
+};
+
+/**
+ * Fit y = intercept + slope * x by ordinary least squares.
+ *
+ * @pre xs.size() == ys.size() and xs.size() >= 2.
+ */
+LinearFit fitLinear(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/** Result of a power-law fit y = c * x^exponent (log-log regression). */
+struct PowerFit
+{
+    double exponent = 0.0;
+    double coefficient = 0.0;
+    double r2 = 0.0;
+};
+
+/**
+ * Fit y = c * x^p via linear regression in log-log space.
+ *
+ * @pre all xs and ys strictly positive; sizes equal and >= 2.
+ */
+PowerFit fitPower(const std::vector<double> &xs,
+                  const std::vector<double> &ys);
+
+/** Named asymptotic growth classes used by the experiment harness. */
+enum class GrowthLaw
+{
+    Constant,    ///< y = Theta(1)
+    Logarithmic, ///< y = Theta(log n)
+    SquareRoot,  ///< y = Theta(sqrt(n))
+    Linear,      ///< y = Theta(n)
+    Quadratic,   ///< y = Theta(n^2)
+};
+
+/** Human-readable name of a growth law ("O(1)", "O(n)", ...). */
+std::string growthLawName(GrowthLaw law);
+
+/**
+ * Classify the growth of y as a function of n.
+ *
+ * A series whose relative spread (max/min) stays below @p flatRatio is
+ * declared Constant; otherwise the power-law exponent decides between
+ * Logarithmic (p < 0.25 but clearly growing), SquareRoot
+ * (0.25 <= p < 0.75), Linear (0.75 <= p < 1.5) and Quadratic (p >= 1.5).
+ *
+ * @param ns problem sizes (strictly positive, increasing).
+ * @param ys measured values (strictly positive).
+ * @param flatRatio spread threshold under which the series is flat.
+ */
+GrowthLaw classifyGrowth(const std::vector<double> &ns,
+                         const std::vector<double> &ys,
+                         double flatRatio = 2.0);
+
+} // namespace vsync
+
+#endif // VSYNC_COMMON_FIT_HH

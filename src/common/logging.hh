@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated (a vlsisync bug); aborts.
+ * fatal()  - the caller supplied an unusable configuration; exits(1).
+ * warn()   - something is suspicious but the computation continues.
+ * inform() - a status message with no negative connotation.
+ */
+
+#ifndef VSYNC_COMMON_LOGGING_HH
+#define VSYNC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace vsync
+{
+
+/** Print "panic: <msg>" to stderr and abort. Use for internal bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print "fatal: <msg>" to stderr and exit(1). Use for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print "warn: <msg>" to stderr and continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print "info: <msg>" to stderr and continue. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Format a printf-style message into a std::string.
+ *
+ * @param fmt printf format string.
+ * @return the formatted message.
+ */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Abort with a message if @p cond is false. Active in all build types. */
+#define VSYNC_ASSERT(cond, ...)                                           \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::vsync::panic("assertion '%s' failed at %s:%d: %s", #cond,   \
+                           __FILE__, __LINE__,                            \
+                           ::vsync::csprintf(__VA_ARGS__).c_str());       \
+        }                                                                 \
+    } while (0)
+
+} // namespace vsync
+
+#endif // VSYNC_COMMON_LOGGING_HH

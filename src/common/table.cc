@@ -1,0 +1,134 @@
+#include "common/table.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace vsync
+{
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title(std::move(title)), columns(std::move(columns))
+{
+    VSYNC_ASSERT(!this->columns.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(columns.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v)
+{
+    return csprintf("%.4g", v);
+}
+
+std::string
+Table::fixed(double v, int decimals)
+{
+    return csprintf("%.*f", decimals, v);
+}
+
+std::string
+Table::integer(long long v)
+{
+    return csprintf("%lld", v);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        width[c] = columns[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < columns.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            os << " " << cells[c];
+            for (std::size_t k = cells[c].size(); k < width[c]; ++k)
+                os << ' ';
+            os << " |";
+        }
+        os << "\n";
+    };
+
+    os << "\n== " << title << " ==\n";
+    emit_row(columns);
+    os << "|";
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        for (std::size_t k = 0; k < width[c] + 2; ++k)
+            os << '-';
+        os << "|";
+    }
+    os << "\n";
+    for (const auto &row : rows)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            // Quote cells containing commas or quotes.
+            if (cells[c].find_first_of(",\"") != std::string::npos) {
+                os << '"';
+                for (char ch : cells[c]) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << cells[c];
+            }
+        }
+        os << "\n";
+    };
+    emit(columns);
+    for (const auto &row : rows)
+        emit(row);
+}
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--csv") == 0) {
+            opts.csv = true;
+        } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+            opts.seed = std::strtoull(arg + 7, nullptr, 0);
+            opts.seedSet = true;
+        } else {
+            fatal("unknown bench flag '%s' (supported: --csv --seed=N)",
+                  arg);
+        }
+    }
+    return opts;
+}
+
+void
+emitTable(const Table &t, const BenchOptions &opts)
+{
+    if (opts.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+}
+
+} // namespace vsync

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Plain-text table emission for the benchmark harness.
+ *
+ * Every bench binary reproduces one of the paper's figures or tables by
+ * printing a series of rows; Table handles alignment, an optional title,
+ * and CSV output so results can be replotted.
+ */
+
+#ifndef VSYNC_COMMON_TABLE_HH
+#define VSYNC_COMMON_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vsync
+{
+
+/** A simple column-aligned text table. */
+class Table
+{
+  public:
+    /**
+     * @param title table title printed above the header.
+     * @param columns column header names.
+     */
+    Table(std::string title, std::vector<std::string> columns);
+
+    /** Append a row; missing cells are blank, extras are dropped. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with %.4g (benches' default numeric format). */
+    static std::string num(double v);
+
+    /** Format a double with fixed decimals. */
+    static std::string fixed(double v, int decimals);
+
+    /** Format an integer. */
+    static std::string integer(long long v);
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header row then data rows). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+    /** Title supplied at construction. */
+    const std::string &tableTitle() const { return title; }
+
+  private:
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Parse bench-harness command line flags.
+ *
+ * Supported flags: "--csv" (emit CSV instead of aligned text) and
+ * "--seed=<u64>" (override the experiment's default seed).
+ */
+struct BenchOptions
+{
+    bool csv = false;
+    std::uint64_t seed = 0;
+    bool seedSet = false;
+
+    /** Parse argv; unknown flags are fatal(). */
+    static BenchOptions parse(int argc, char **argv);
+};
+
+/** Print @p t to stdout honouring @p opts (CSV vs aligned). */
+void emitTable(const Table &t, const BenchOptions &opts);
+
+} // namespace vsync
+
+#endif // VSYNC_COMMON_TABLE_HH

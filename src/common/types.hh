@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental scalar types and unit conventions used across vlsisync.
+ *
+ * Lengths are measured in lambda (the cell pitch): by assumption A2 of the
+ * paper a cell occupies a unit (1x1 lambda^2) area, and by A3 a wire has
+ * unit width. Times are measured in nanoseconds. Both are plain doubles;
+ * the typedefs exist to make interfaces self-documenting.
+ */
+
+#ifndef VSYNC_COMMON_TYPES_HH
+#define VSYNC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace vsync
+{
+
+/** Physical length in lambda units (1 lambda = one cell pitch). */
+using Length = double;
+
+/** Time in nanoseconds. */
+using Time = double;
+
+/** Identifier of a cell in a communication graph or layout. */
+using CellId = std::int32_t;
+
+/** Identifier of a node in a clock tree. */
+using NodeId = std::int32_t;
+
+/** Sentinel for "no cell / no node". */
+inline constexpr std::int32_t invalidId = -1;
+
+/** One microsecond expressed in the Time unit (ns). */
+inline constexpr Time oneMicrosecond = 1e3;
+
+/** One millisecond expressed in the Time unit (ns). */
+inline constexpr Time oneMillisecond = 1e6;
+
+/** One second expressed in the Time unit (ns). */
+inline constexpr Time oneSecond = 1e9;
+
+/** Positive infinity for times/lengths. */
+inline constexpr double infinity = std::numeric_limits<double>::infinity();
+
+} // namespace vsync
+
+#endif // VSYNC_COMMON_TYPES_HH

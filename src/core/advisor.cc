@@ -1,0 +1,100 @@
+#include "core/advisor.hh"
+
+namespace vsync::core
+{
+
+std::string
+syncSchemeName(SyncScheme scheme)
+{
+    switch (scheme) {
+      case SyncScheme::GlobalEquipotential:
+        return "global-equipotential";
+      case SyncScheme::PipelinedHTree:
+        return "pipelined-htree";
+      case SyncScheme::PipelinedSpine:
+        return "pipelined-spine";
+      case SyncScheme::ClockAlongDataPaths:
+        return "clock-along-data-paths";
+      case SyncScheme::Hybrid:
+        return "hybrid";
+      case SyncScheme::FullySelfTimed:
+        return "fully-self-timed";
+    }
+    return "?";
+}
+
+Advice
+adviseScheme(graph::TopologyKind kind, const TechnologyAssumptions &tech)
+{
+    Advice advice;
+
+    if (tech.smallSystem) {
+        advice.scheme = SyncScheme::GlobalEquipotential;
+        advice.periodGrowth = GrowthLaw::Linear;
+        advice.justification =
+            "Section VII: on a small system a well-designed equipotential "
+            "clock already meets the cycle target; its period grows with "
+            "the layout diameter but the constant dominates at this size.";
+        return advice;
+    }
+
+    if (!tech.temporalInvariance) {
+        advice.scheme = SyncScheme::Hybrid;
+        advice.periodGrowth = GrowthLaw::Constant;
+        advice.justification =
+            "Section VI: without A8 (time-invariant clock paths) "
+            "successive pipelined clock events cannot stay correctly "
+            "spaced, so local clocks synchronized by a self-timed "
+            "handshake network are required.";
+        return advice;
+    }
+
+    if (tech.skewModel == SkewModelKind::Difference) {
+        advice.scheme = SyncScheme::PipelinedHTree;
+        advice.periodGrowth = GrowthLaw::Constant;
+        advice.justification =
+            "Theorem 2: under the difference model an equidistant "
+            "(H-tree) distribution keeps skew bounded for any array of "
+            "bounded aspect ratio, so the pipelined period is "
+            "independent of size.";
+        return advice;
+    }
+
+    switch (kind) {
+      case graph::TopologyKind::Linear:
+      case graph::TopologyKind::Ring:
+        advice.scheme = SyncScheme::PipelinedSpine;
+        advice.periodGrowth = GrowthLaw::Constant;
+        advice.justification =
+            "Theorem 3: running the clock along a one-dimensional array "
+            "keeps communicating cells a constant tree distance apart, "
+            "so the summation-model skew and hence the period are "
+            "independent of size.";
+        break;
+      case graph::TopologyKind::BinaryTree:
+        advice.scheme = SyncScheme::ClockAlongDataPaths;
+        advice.periodGrowth = GrowthLaw::Constant;
+        advice.justification =
+            "Section VIII: when COMM is a tree, distributing clock "
+            "events along the data paths makes clock skew track "
+            "communication delay, giving a constant pipeline interval "
+            "after registering long edges.";
+        break;
+      case graph::TopologyKind::Mesh:
+      case graph::TopologyKind::Torus:
+      case graph::TopologyKind::Hex:
+      case graph::TopologyKind::ShuffleExchange:
+      case graph::TopologyKind::Hypercube:
+        advice.scheme = SyncScheme::Hybrid;
+        advice.periodGrowth = GrowthLaw::Constant;
+        advice.justification =
+            "Theorem 6: bisection width growing with N forces skew "
+            "growing with N under the summation model for every clock "
+            "tree, so global clocking degrades; the Section VI hybrid "
+            "scheme keeps all synchronization local instead.";
+        break;
+    }
+    return advice;
+}
+
+} // namespace vsync::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The "spectrum of synchronization models": given what is known about
+ * the technology (which skew model applies, whether clock transmission
+ * is time-invariant, system size) and the communication topology, pick
+ * the synchronization scheme the paper recommends and predict how the
+ * clock period scales.
+ */
+
+#ifndef VSYNC_CORE_ADVISOR_HH
+#define VSYNC_CORE_ADVISOR_HH
+
+#include <string>
+
+#include "common/fit.hh"
+#include "core/skew_model.hh"
+#include "graph/topology.hh"
+
+namespace vsync::core
+{
+
+/** The synchronization schemes the paper proposes or analyses. */
+enum class SyncScheme
+{
+    /** One global clock, whole tree settles per event (A6). */
+    GlobalEquipotential,
+    /** Pipelined clock on an equidistant H-tree (Section IV). */
+    PipelinedHTree,
+    /** Pipelined clock along the array (Section V-A, Fig 4-6). */
+    PipelinedSpine,
+    /** Clock distributed along the data paths of a tree (Section VIII). */
+    ClockAlongDataPaths,
+    /** Local clocks + self-timed handshake network (Section VI). */
+    Hybrid,
+    /** Fully self-timed cells (Seitz-style; the paper's costly last
+     *  resort). */
+    FullySelfTimed,
+};
+
+/** Human-readable scheme name. */
+std::string syncSchemeName(SyncScheme scheme);
+
+/** What the advisor knows about the implementation technology. */
+struct TechnologyAssumptions
+{
+    /** Which skew model the clock distribution obeys (Section III). */
+    SkewModelKind skewModel = SkewModelKind::Summation;
+
+    /**
+     * A8: signal travel time along a fixed path is invariant over
+     * time. Pipelined clocking is impossible without it (Section VI).
+     */
+    bool temporalInvariance = true;
+
+    /**
+     * True when the system is small enough that a well-designed
+     * equipotential clock meets the target period anyway (the Section
+     * VII caveat: the 2048-inverter chip could be clocked at 50 ns
+     * equipotentially with low-resistance distribution).
+     */
+    bool smallSystem = false;
+};
+
+/** The advisor's verdict. */
+struct Advice
+{
+    SyncScheme scheme = SyncScheme::Hybrid;
+    /** Predicted clock-period growth with cell count under the pick. */
+    GrowthLaw periodGrowth = GrowthLaw::Constant;
+    /** Which theorem or section justifies the pick. */
+    std::string justification;
+};
+
+/**
+ * Recommend a synchronization scheme for a topology under the given
+ * technology assumptions, following the paper's results:
+ *
+ * - no A8: pipelined clocking fails -> Hybrid (Section VI);
+ * - small system: global equipotential clocking is simplest and fine;
+ * - difference model: H-tree, period O(1) for any array (Theorem 2);
+ * - summation model: spine for 1-D arrays, period O(1) (Theorem 3);
+ *   clock-along-data-paths for trees (Section VIII); Hybrid for meshes
+ *   and other graphs with bisection width growing with N (Theorem 6
+ *   rules out bounded-skew global clocking).
+ */
+Advice adviseScheme(graph::TopologyKind kind,
+                    const TechnologyAssumptions &tech);
+
+} // namespace vsync::core
+
+#endif // VSYNC_CORE_ADVISOR_HH

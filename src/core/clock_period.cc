@@ -1,0 +1,59 @@
+#include "core/clock_period.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vsync::core
+{
+
+std::string
+clockingModeName(ClockingMode mode)
+{
+    return mode == ClockingMode::Equipotential ? "equipotential"
+                                               : "pipelined";
+}
+
+PeriodBreakdown
+clockPeriod(const SkewReport &skew, const clocktree::ClockTree &tree,
+            const ClockParams &params, ClockingMode mode)
+{
+    VSYNC_ASSERT(params.alpha > 0.0 && params.m > 0.0,
+                 "bad clock parameters alpha=%g m=%g",
+                 params.alpha, params.m);
+    PeriodBreakdown pb;
+    pb.mode = mode;
+    pb.sigma = skew.maxSkewUpper;
+    pb.delta = params.delta;
+    if (mode == ClockingMode::Equipotential) {
+        // A6: the tree is brought to an equipotential state per event.
+        pb.tau = params.alpha * tree.maxRootPathLength();
+    } else {
+        // A7: one buffer plus one bounded segment per event.
+        pb.tau = params.bufferDelay +
+                 (params.m + params.eps) * params.bufferSpacing;
+    }
+    pb.period = pb.sigma + pb.delta + pb.tau;
+    pb.altPeriod = std::max(pb.tau, 2.0 * pb.sigma + pb.delta);
+    return pb;
+}
+
+Time
+pipelinedTau(const clocktree::BufferedClockTree &buffered,
+             const ClockParams &params)
+{
+    return params.bufferDelay +
+           (params.m + params.eps) * buffered.maxSegmentLength();
+}
+
+Time
+twoPhasePeriod(const SkewReport &skew, const TwoPhaseParams &params)
+{
+    VSYNC_ASSERT(params.phi1Min > 0.0 && params.phi2Min > 0.0 &&
+                 params.nonoverlapMin >= 0.0,
+                 "bad two-phase parameters");
+    return params.phi1Min + params.phi2Min +
+           2.0 * (params.nonoverlapMin + skew.maxSkewUpper);
+}
+
+} // namespace vsync::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Clock period accounting (assumptions A5-A7).
+ *
+ * A clocked system runs with period sigma + delta + tau (A5):
+ *   sigma - max skew between communicating cells (from SkewAnalysis),
+ *   delta - max cell compute + output propagation time,
+ *   tau   - time to distribute one clocking event on CLK:
+ *           equipotential (A6): tau = alpha * P, P = longest root-leaf
+ *           path, because the whole tree must settle per event;
+ *           pipelined (A7):     tau = max delay through one buffer and
+ *           its output segment -- constant in array size.
+ *
+ * The paper notes the exact formula depends on the clocking discipline
+ * (e.g. max(tau, 2 sigma + delta)) but shares its growth; we expose both.
+ */
+
+#ifndef VSYNC_CORE_CLOCK_PERIOD_HH
+#define VSYNC_CORE_CLOCK_PERIOD_HH
+
+#include <string>
+
+#include "clocktree/buffering.hh"
+#include "clocktree/clock_tree.hh"
+#include "core/skew_analysis.hh"
+
+namespace vsync::core
+{
+
+/** How clock events travel down CLK. */
+enum class ClockingMode
+{
+    Equipotential, ///< whole tree settles per event (A6)
+    Pipelined,     ///< several events in flight, buffered tree (A7)
+};
+
+/** Name of a clocking mode. */
+std::string clockingModeName(ClockingMode mode);
+
+/** Timing parameters of the clocking technology. */
+struct ClockParams
+{
+    /**
+     * Equipotential settling cost per unit of longest root-leaf path
+     * (A6's alpha, ns per lambda). Physically this reflects the RC per
+     * unit length of an undriven distribution wire.
+     */
+    double alpha = 0.1;
+
+    /** Mean signal propagation delay per unit wire length (ns/lambda). */
+    double m = 0.05;
+
+    /** Per-unit delay variation amplitude (the models' eps, ns/lambda). */
+    double eps = 0.005;
+
+    /** Propagation delay through one clock buffer (ns). */
+    Time bufferDelay = 0.2;
+
+    /** Buffer spacing used for pipelined distribution (lambda). */
+    Length bufferSpacing = 4.0;
+
+    /** Max cell compute + output propagation time delta (ns, A5). */
+    Time delta = 2.0;
+};
+
+/** The components of an achievable clock period. */
+struct PeriodBreakdown
+{
+    Time sigma = 0.0;
+    Time delta = 0.0;
+    Time tau = 0.0;
+    /** sigma + delta + tau (A5's simple sum). */
+    Time period = 0.0;
+    /** max(tau, 2 sigma + delta): the alternative exact form. */
+    Time altPeriod = 0.0;
+    ClockingMode mode = ClockingMode::Equipotential;
+};
+
+/**
+ * Compute the period for clocking @p tree under @p params.
+ *
+ * @param skew  result of analyzeSkew for the same tree.
+ * @param tree  the (unbuffered) clock tree; supplies P for A6.
+ * @param params technology timing.
+ * @param mode  equipotential or pipelined distribution.
+ */
+PeriodBreakdown clockPeriod(const SkewReport &skew,
+                            const clocktree::ClockTree &tree,
+                            const ClockParams &params, ClockingMode mode);
+
+/**
+ * Pipelined tau for an explicitly buffered tree: buffer delay plus the
+ * longest buffer-free segment's wire delay (A7).
+ */
+Time pipelinedTau(const clocktree::BufferedClockTree &buffered,
+                  const ClockParams &params);
+
+/**
+ * Parameters of a two-phase non-overlapping clock (the standard nMOS
+ * discipline of the paper's era; see Mead & Conway [7] ch. 7).
+ */
+struct TwoPhaseParams
+{
+    /** Minimum phi-1 high time: evaluation through the logic (ns). */
+    Time phi1Min = 2.0;
+    /** Minimum phi-2 high time: transfer/precharge (ns). */
+    Time phi2Min = 1.0;
+    /** Nominal dead time between phases at the generator (ns). */
+    Time nonoverlapMin = 0.25;
+};
+
+/**
+ * Achievable two-phase period under skew sigma: the phases must stay
+ * non-overlapping at *every* cell, so each of the two gaps must absorb
+ * the worst-case skew between communicating cells:
+ *
+ *   period = phi1 + phi2 + 2 * (nonoverlap + sigma).
+ *
+ * Another exact formula with the same A5 growth (sigma enters
+ * linearly); used by the period-formula ablation.
+ */
+Time twoPhasePeriod(const SkewReport &skew, const TwoPhaseParams &params);
+
+} // namespace vsync::core
+
+#endif // VSYNC_CORE_CLOCK_PERIOD_HH

@@ -1,0 +1,163 @@
+#include "core/lower_bound.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/skew_analysis.hh"
+#include "graph/tree.hh"
+
+namespace vsync::core
+{
+
+double
+theorem6Bound(std::size_t n_cells, double cut_width, double beta)
+{
+    VSYNC_ASSERT(beta >= 0.0, "beta must be non-negative");
+    const double n = static_cast<double>(n_cells);
+    const double area_case = std::sqrt(n / (10.0 * M_PI));
+    const double cut_case = cut_width / (2.0 * M_PI);
+    return beta * std::min(area_case, cut_case);
+}
+
+double
+meshCutWidth(int n)
+{
+    VSYNC_ASSERT(n >= 1, "bad mesh side %d", n);
+    // Grid isoperimetry: separating k <= N/2 cells from an n x n grid
+    // cuts at least min(2 sqrt(k), n) edges. The circle argument leaves
+    // the small side with at least 7/30 of the cells.
+    const double cells = static_cast<double>(n) * n;
+    const double k = std::ceil(cells * 7.0 / 30.0);
+    return std::min(2.0 * std::sqrt(k), static_cast<double>(n));
+}
+
+double
+instanceSkewLowerBound(const layout::Layout &l,
+                       const clocktree::ClockTree &t, double beta)
+{
+    const SkewModel model = SkewModel::summation(
+        [](Length) { return infinity; }, beta);
+    const SkewReport report = analyzeSkew(l, t, model);
+    return beta * report.maxS;
+}
+
+CircleArgumentTrace
+runCircleArgument(const layout::Layout &l, const clocktree::ClockTree &t,
+                  double beta, double sigma)
+{
+    VSYNC_ASSERT(beta > 0.0, "circle argument needs beta > 0");
+    VSYNC_ASSERT(sigma > 0.0, "circle argument needs sigma > 0");
+
+    CircleArgumentTrace trace;
+    const std::size_t n_cells = l.size();
+
+    // Step 1 (Lemma 5): separate the cells 1/3-2/3 by one tree edge.
+    std::vector<bool> marked(t.size(), false);
+    for (CellId c = 0; static_cast<std::size_t>(c) < n_cells; ++c) {
+        const NodeId node = t.nodeOfCell(c);
+        VSYNC_ASSERT(node != invalidId, "cell %d not clocked (A4)", c);
+        marked[node] = true;
+    }
+    const graph::SeparatorEdge sep =
+        graph::findSeparatorEdge(t.structure(), marked);
+    trace.separatorChild = sep.child;
+    trace.cellsInA = static_cast<std::size_t>(sep.insideCount);
+    trace.cellsInB = static_cast<std::size_t>(sep.outsideCount);
+
+    // Which cells lie in the separated subtree (set A)?
+    std::vector<bool> in_a(n_cells, false);
+    for (NodeId v : t.structure().subtreeNodes(sep.child)) {
+        const CellId c = t.cellOfNode(v);
+        if (c != invalidId)
+            in_a[c] = true;
+    }
+
+    // Step 2: the circle of radius sigma/beta centred at the subtree
+    // root u. Any cell of A physically outside this circle is further
+    // than sigma/beta from u along CLK (wire length >= displacement),
+    // so under A11 it cannot communicate with any cell of B if the max
+    // skew is really <= sigma.
+    trace.center = t.position(sep.child);
+    trace.radius = sigma / beta;
+    std::vector<bool> in_circle(n_cells, false);
+    for (CellId c = 0; static_cast<std::size_t>(c) < n_cells; ++c) {
+        if (geom::euclidean(l.position(c), trace.center) < trace.radius) {
+            in_circle[c] = true;
+            ++trace.cellsInCircle;
+        }
+    }
+
+    // Step 3a (area case): many cells inside the circle force the
+    // circle -- hence sigma -- to be large, since cells occupy unit
+    // area (A2).
+    if (10 * trace.cellsInCircle >= n_cells) {
+        trace.areaCase = true;
+        trace.certifiedSigma =
+            beta * std::sqrt(static_cast<double>(n_cells) / (10.0 * M_PI));
+        return trace;
+    }
+
+    // Step 3b (cut case): adjust the partition (A-bar = A + circle
+    // cells, B-bar = B - circle cells) and count communication edges
+    // between the halves. Each must cross the circle boundary, whose
+    // length 2 pi sigma / beta bounds their number via unit wire width
+    // (A3). More crossings than the boundary admits contradict the
+    // assumed sigma.
+    std::size_t a_bar = 0;
+    for (CellId c = 0; static_cast<std::size_t>(c) < n_cells; ++c)
+        if (in_a[c] || in_circle[c])
+            ++a_bar;
+    const std::size_t b_bar = n_cells - a_bar;
+    trace.largerAdjustedHalf = std::max(a_bar, b_bar);
+
+    for (const graph::Edge &e : l.comm().undirectedEdges()) {
+        const bool sa = in_a[e.src] || in_circle[e.src];
+        const bool sb = in_a[e.dst] || in_circle[e.dst];
+        if (sa != sb)
+            ++trace.crossingEdges;
+    }
+
+    const double boundary_capacity = 2.0 * M_PI * sigma / beta;
+    if (static_cast<double>(trace.crossingEdges) > boundary_capacity) {
+        trace.certifiedSigma =
+            beta * static_cast<double>(trace.crossingEdges) /
+            (2.0 * M_PI);
+    } else {
+        trace.certifiedSigma = 0.0; // no contradiction at this sigma
+    }
+    return trace;
+}
+
+double
+circleArgumentLowerBound(const layout::Layout &l,
+                         const clocktree::ClockTree &t, double beta,
+                         int grid_steps)
+{
+    VSYNC_ASSERT(grid_steps >= 2, "need at least two grid steps");
+    // Candidate sigmas span from one cell pitch of skew up to the
+    // trivial maximum beta * (diameter of the tree).
+    const double lo = beta * 0.5;
+    const double hi = beta * (2.0 * t.maxRootPathLength() + 1.0);
+    double best = 0.0;
+    for (int i = 0; i < grid_steps; ++i) {
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(grid_steps - 1);
+        const double sigma = lo * std::pow(hi / lo, frac);
+        const CircleArgumentTrace trace =
+            runCircleArgument(l, t, beta, sigma);
+        if (trace.areaCase) {
+            // The area case never contradicts a candidate (unit cells
+            // can always pack into a circle that big); larger sigmas
+            // keep the area case firing, so stop scanning.
+            break;
+        }
+        if (trace.certifiedSigma > 0.0) {
+            // Contradiction: the true skew exceeds this candidate.
+            best = std::max(best, sigma);
+        }
+    }
+    return best;
+}
+
+} // namespace vsync::core

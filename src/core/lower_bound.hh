@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The Section V-B / Theorem 6 lower-bound machinery.
+ *
+ * Under the summation model (A11: skew >= beta * s), the paper shows
+ * that no clock tree can keep the max communicating-cell skew of an
+ * n x n array bounded: sigma = Omega(n). The proof combines
+ *
+ *  - Lemma 5: a binary-tree edge separator splitting the cells 1/3-2/3,
+ *  - the area argument: >= N/10 cells inside a circle of radius
+ *    sigma/beta implies pi (sigma/beta)^2 >= N/10 (unit-area cells, A2),
+ *  - the cut argument: otherwise the circle boundary, length
+ *    2 pi sigma / beta, is crossed by every edge between the adjusted
+ *    partition halves, and a balanced partition of a mesh needs
+ *    Omega(n) edges (Lemma 4); unit-width wires (A3) bound the number
+ *    of edges through the boundary by its length.
+ *
+ * Theorem 6 generalises to any COMM with minimum bisection width W(N) =
+ * O(sqrt N): sigma = Omega(W(N)).
+ */
+
+#ifndef VSYNC_CORE_LOWER_BOUND_HH
+#define VSYNC_CORE_LOWER_BOUND_HH
+
+#include <cstddef>
+
+#include "clocktree/clock_tree.hh"
+#include "layout/layout.hh"
+
+namespace vsync::core
+{
+
+/**
+ * Theorem 6 numeric bound: any clock tree over an N-cell layout whose
+ * COMM graph needs at least @p cut_width edge cuts for every partition
+ * with both sides <= 23/30 N has
+ *
+ *   sigma >= beta * min( sqrt(N / (10 pi)), cut_width / (2 pi) ).
+ *
+ * @param n_cells   N.
+ * @param cut_width lower bound on the edges cut by any 23/30-balanced
+ *                  partition (c*n for an n x n mesh).
+ * @param beta      the summation model's A11 constant.
+ */
+double theorem6Bound(std::size_t n_cells, double cut_width, double beta);
+
+/**
+ * Lemma 4 style cut bound for an n x n mesh: any partition with both
+ * sides at most 23/30 N (so the small side has at least 7/30 N cells)
+ * cuts at least min(2 sqrt(k), n) edges where k = ceil(7 N / 30)
+ * (grid isoperimetry).
+ */
+double meshCutWidth(int n);
+
+/**
+ * Exact per-instance lower bound on the worst-case skew of a concrete
+ * (layout, tree) pair under A11: beta * max over communicating pairs of
+ * s(a, b). Any realisable chip obeying A11 has max skew at least this.
+ */
+double instanceSkewLowerBound(const layout::Layout &l,
+                              const clocktree::ClockTree &t, double beta);
+
+/** A machine-checkable trace of the Fig 7 circle argument. */
+struct CircleArgumentTrace
+{
+    /** Child endpoint of the Lemma 5 separator edge on CLK. */
+    NodeId separatorChild = invalidId;
+    /** Cells inside the separated subtree (the set A). */
+    std::size_t cellsInA = 0;
+    /** Cells outside (the set B). */
+    std::size_t cellsInB = 0;
+    /** Centre of the circle: position of the subtree root u. */
+    geom::Point center;
+    /** Radius sigma / beta. */
+    double radius = 0.0;
+    /** Cells strictly inside the circle. */
+    std::size_t cellsInCircle = 0;
+    /** True when the area case (>= N/10 cells inside) fired. */
+    bool areaCase = false;
+    /** Communication edges between the adjusted halves (cut case). */
+    std::size_t crossingEdges = 0;
+    /** Size of the larger adjusted half (must be <= 23/30 N). */
+    std::size_t largerAdjustedHalf = 0;
+    /**
+     * Cut case: the lower bound on the true skew implied by a
+     * contradiction (0 when the candidate sigma is consistent).
+     * Area case: the bound the proof's case 1 concludes when the
+     * candidate is the true max skew (not a contradiction).
+     */
+    double certifiedSigma = 0.0;
+};
+
+/**
+ * Run the circle argument for a hypothetical max skew @p sigma on a
+ * concrete instance, returning the measured quantities at each proof
+ * step. Tests replay the proof with this: for sigma below the
+ * theorem6Bound the argument derives a contradiction (i.e. certifies
+ * sigma cannot be the true max skew).
+ *
+ * @param beta the summation model's A11 constant.
+ */
+CircleArgumentTrace runCircleArgument(const layout::Layout &l,
+                                      const clocktree::ClockTree &t,
+                                      double beta, double sigma);
+
+/**
+ * The largest sigma the circle argument rules out for this concrete
+ * instance: a certified lower bound on the worst-case skew of (l, t)
+ * under A11, found by scanning candidate sigmas on a geometric grid.
+ *
+ * @param grid_steps number of candidate sigmas tried.
+ */
+double circleArgumentLowerBound(const layout::Layout &l,
+                                const clocktree::ClockTree &t, double beta,
+                                int grid_steps = 64);
+
+} // namespace vsync::core
+
+#endif // VSYNC_CORE_LOWER_BOUND_HH

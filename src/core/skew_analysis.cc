@@ -1,0 +1,137 @@
+#include "core/skew_analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace vsync::core
+{
+
+SkewReport
+analyzeSkew(const layout::Layout &l, const clocktree::ClockTree &t,
+            const SkewModel &model)
+{
+    SkewReport report;
+    const auto pairs = l.comm().undirectedEdges();
+    report.edges.reserve(pairs.size());
+
+    for (const graph::Edge &pair : pairs) {
+        const NodeId na = t.nodeOfCell(pair.src);
+        const NodeId nb = t.nodeOfCell(pair.dst);
+        VSYNC_ASSERT(na != invalidId && nb != invalidId,
+                     "cells %d/%d not clocked by the tree (A4)",
+                     pair.src, pair.dst);
+        EdgeSkew es;
+        es.a = pair.src;
+        es.b = pair.dst;
+        es.d = t.pathDifference(na, nb);
+        es.s = t.treeDistance(na, nb);
+        es.upper = model.upperBound(es.d, es.s);
+        es.lower = model.lowerBound(es.s);
+        report.edges.push_back(es);
+
+        if (es.upper > report.maxSkewUpper) {
+            report.maxSkewUpper = es.upper;
+            report.worstIndex = report.edges.size() - 1;
+        }
+        report.maxSkewLower = std::max(report.maxSkewLower, es.lower);
+        report.maxD = std::max(report.maxD, es.d);
+        report.maxS = std::max(report.maxS, es.s);
+    }
+    return report;
+}
+
+SkewInstance
+sampleSkewInstance(const layout::Layout &l, const clocktree::ClockTree &t,
+                   double m, double eps, Rng &rng)
+{
+    VSYNC_ASSERT(m > 0.0 && eps >= 0.0 && eps <= m,
+                 "bad delay parameters m=%g eps=%g", m, eps);
+    SkewInstance inst;
+    inst.arrival.assign(t.size(), 0.0);
+
+    // Wires were created parent-before-child; accumulate forward.
+    for (NodeId v = 1; static_cast<std::size_t>(v) < t.size(); ++v) {
+        const NodeId p = t.structure().parent(v);
+        const double unit_delay = rng.uniform(m - eps, m + eps);
+        inst.arrival[v] = inst.arrival[p] + unit_delay * t.wireLength(v);
+    }
+
+    for (const graph::Edge &pair : l.comm().undirectedEdges()) {
+        const NodeId na = t.nodeOfCell(pair.src);
+        const NodeId nb = t.nodeOfCell(pair.dst);
+        VSYNC_ASSERT(na != invalidId && nb != invalidId,
+                     "cells %d/%d not clocked by the tree (A4)",
+                     pair.src, pair.dst);
+        const Time skew = std::fabs(inst.arrival[na] - inst.arrival[nb]);
+        inst.edgeSkew.push_back(skew);
+        inst.maxCommSkew = std::max(inst.maxCommSkew, skew);
+    }
+    return inst;
+}
+
+SkewInstance
+adversarialSkewInstance(const layout::Layout &l,
+                        const clocktree::ClockTree &t, double m,
+                        double eps)
+{
+    VSYNC_ASSERT(m > 0.0 && eps >= 0.0 && eps <= m,
+                 "bad delay parameters m=%g eps=%g", m, eps);
+
+    // Find the communicating pair with the largest tree distance.
+    NodeId worst_a = invalidId, worst_b = invalidId;
+    Length worst_s = -1.0;
+    for (const graph::Edge &pair : l.comm().undirectedEdges()) {
+        const NodeId na = t.nodeOfCell(pair.src);
+        const NodeId nb = t.nodeOfCell(pair.dst);
+        VSYNC_ASSERT(na != invalidId && nb != invalidId,
+                     "cells %d/%d not clocked by the tree (A4)",
+                     pair.src, pair.dst);
+        const Length s = t.treeDistance(na, nb);
+        if (s > worst_s) {
+            worst_s = s;
+            worst_a = na;
+            worst_b = nb;
+        }
+    }
+    VSYNC_ASSERT(worst_a != invalidId, "no communicating pairs");
+
+    // Mark the slow side (m + eps) and the fast side (m - eps). The
+    // skew of the pair is (m+eps) h_slow - (m-eps) h_fast =
+    // m (h_slow - h_fast) + eps s, maximised by slowing the *longer*
+    // branch.
+    const NodeId anc = t.structure().nca(worst_a, worst_b);
+    const Length h_a =
+        t.rootPathLength(worst_a) - t.rootPathLength(anc);
+    const Length h_b =
+        t.rootPathLength(worst_b) - t.rootPathLength(anc);
+    if (h_b > h_a)
+        std::swap(worst_a, worst_b); // worst_a is the longer branch
+    std::vector<int> side(t.size(), 0); // +1 slow, -1 fast
+    for (NodeId v = worst_a; v != anc; v = t.structure().parent(v))
+        side[v] = 1;
+    for (NodeId v = worst_b; v != anc; v = t.structure().parent(v))
+        side[v] = -1;
+
+    SkewInstance inst;
+    inst.arrival.assign(t.size(), 0.0);
+    for (NodeId v = 1; static_cast<std::size_t>(v) < t.size(); ++v) {
+        const NodeId p = t.structure().parent(v);
+        const double unit =
+            side[v] > 0 ? m + eps : (side[v] < 0 ? m - eps : m);
+        inst.arrival[v] = inst.arrival[p] + unit * t.wireLength(v);
+    }
+
+    for (const graph::Edge &pair : l.comm().undirectedEdges()) {
+        const NodeId na = t.nodeOfCell(pair.src);
+        const NodeId nb = t.nodeOfCell(pair.dst);
+        const Time skew = std::fabs(inst.arrival[na] - inst.arrival[nb]);
+        inst.edgeSkew.push_back(skew);
+        inst.maxCommSkew = std::max(inst.maxCommSkew, skew);
+    }
+    return inst;
+}
+
+} // namespace vsync::core

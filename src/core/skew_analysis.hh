@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Skew analysis of a (layout, clock tree) pair under a skew model.
+ *
+ * For every pair of communicating cells the analysis computes the
+ * geometric quantities d and s on CLK and evaluates the model's bounds;
+ * the maximum upper bound over all pairs is the sigma that enters the
+ * clock period (A5). A Monte-Carlo companion draws concrete per-wire
+ * delays in [m - eps, m + eps] and measures realised skews, which tests
+ * use to confirm the model's sandwich eps*s <= sigma <= (m+eps)*s.
+ */
+
+#ifndef VSYNC_CORE_SKEW_ANALYSIS_HH
+#define VSYNC_CORE_SKEW_ANALYSIS_HH
+
+#include <vector>
+
+#include "clocktree/clock_tree.hh"
+#include "core/skew_model.hh"
+#include "layout/layout.hh"
+
+namespace vsync
+{
+class Rng;
+} // namespace vsync
+
+namespace vsync::core
+{
+
+/** Skew bounds for one communicating cell pair. */
+struct EdgeSkew
+{
+    CellId a = invalidId;
+    CellId b = invalidId;
+    /** |h(a) - h(b)| on CLK. */
+    Length d = 0.0;
+    /** Tree path length between a and b on CLK. */
+    Length s = 0.0;
+    /** Model upper bound on skew for this pair. */
+    double upper = 0.0;
+    /** Model lower bound on worst-case skew for this pair. */
+    double lower = 0.0;
+};
+
+/** Result of analysing all communicating pairs. */
+struct SkewReport
+{
+    std::vector<EdgeSkew> edges;
+    /** sigma: max upper bound over communicating pairs (enters A5). */
+    double maxSkewUpper = 0.0;
+    /** Max lower bound over pairs (certifies Omega growth). */
+    double maxSkewLower = 0.0;
+    /** Largest d over pairs. */
+    Length maxD = 0.0;
+    /** Largest s over pairs. */
+    Length maxS = 0.0;
+    /** Index into edges of the pair attaining maxSkewUpper. */
+    std::size_t worstIndex = 0;
+};
+
+/**
+ * Evaluate @p model over every communicating pair of @p l under clock
+ * tree @p t.
+ *
+ * @pre every cell of the layout is bound to a node of the tree (A4).
+ */
+SkewReport analyzeSkew(const layout::Layout &l,
+                       const clocktree::ClockTree &t,
+                       const SkewModel &model);
+
+/** A sampled concrete realisation of per-wire delays. */
+struct SkewInstance
+{
+    /** Clock arrival time per tree node. */
+    std::vector<Time> arrival;
+    /** Realised |arrival(a) - arrival(b)| per communicating pair,
+     *  in the same order as SkewReport::edges. */
+    std::vector<Time> edgeSkew;
+    /** Maximum realised skew between communicating cells. */
+    Time maxCommSkew = 0.0;
+};
+
+/**
+ * Draw one concrete chip: each tree wire gets a per-unit delay sampled
+ * uniformly from [m - eps, m + eps] (the Section III derivation), and
+ * arrival times accumulate down the tree.
+ */
+SkewInstance sampleSkewInstance(const layout::Layout &l,
+                                const clocktree::ClockTree &t,
+                                double m, double eps, Rng &rng);
+
+/**
+ * The worst-case chip permitted by the Section III wire-delay model:
+ * per-wire unit delays are chosen adversarially (m + eps on one side
+ * of the critical pair's tree path, m - eps on the other, m elsewhere)
+ * so the communicating pair with the largest tree distance realises
+ * its full skew m*d + eps*s. This is the instance whose existence
+ * A11's lower bound asserts.
+ */
+SkewInstance adversarialSkewInstance(const layout::Layout &l,
+                                     const clocktree::ClockTree &t,
+                                     double m, double eps);
+
+} // namespace vsync::core
+
+#endif // VSYNC_CORE_SKEW_ANALYSIS_HH

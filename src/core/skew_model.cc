@@ -1,0 +1,77 @@
+#include "core/skew_model.hh"
+
+#include "common/logging.hh"
+
+namespace vsync::core
+{
+
+std::string
+skewModelKindName(SkewModelKind kind)
+{
+    return kind == SkewModelKind::Difference ? "difference" : "summation";
+}
+
+SkewModel
+SkewModel::difference(double m)
+{
+    VSYNC_ASSERT(m > 0.0, "unit delay must be positive, got %g", m);
+    SkewModel sm;
+    sm.modelKind = SkewModelKind::Difference;
+    sm.bound = [m](Length d) { return m * d; };
+    sm.mValue = m;
+    return sm;
+}
+
+SkewModel
+SkewModel::difference(BoundFn f)
+{
+    VSYNC_ASSERT(static_cast<bool>(f), "null bound function");
+    SkewModel sm;
+    sm.modelKind = SkewModelKind::Difference;
+    sm.bound = std::move(f);
+    return sm;
+}
+
+SkewModel
+SkewModel::summation(double m, double eps)
+{
+    VSYNC_ASSERT(m > 0.0, "unit delay must be positive, got %g", m);
+    VSYNC_ASSERT(eps >= 0.0 && eps <= m,
+                 "variation eps must lie in [0, m], got %g (m = %g)",
+                 eps, m);
+    SkewModel sm;
+    sm.modelKind = SkewModelKind::Summation;
+    sm.bound = [m, eps](Length s) { return (m + eps) * s; };
+    sm.betaValue = eps;
+    sm.mValue = m;
+    sm.epsValue = eps;
+    return sm;
+}
+
+SkewModel
+SkewModel::summation(BoundFn g, double beta)
+{
+    VSYNC_ASSERT(static_cast<bool>(g), "null bound function");
+    VSYNC_ASSERT(beta >= 0.0, "beta must be non-negative, got %g", beta);
+    SkewModel sm;
+    sm.modelKind = SkewModelKind::Summation;
+    sm.bound = std::move(g);
+    sm.betaValue = beta;
+    return sm;
+}
+
+double
+SkewModel::upperBound(Length d, Length s) const
+{
+    VSYNC_ASSERT(d >= -1e-12 && s >= -1e-12 && d <= s + 1e-9,
+                 "invalid path geometry d=%g s=%g", d, s);
+    return modelKind == SkewModelKind::Difference ? bound(d) : bound(s);
+}
+
+double
+SkewModel::lowerBound(Length s) const
+{
+    return modelKind == SkewModelKind::Difference ? 0.0 : betaValue * s;
+}
+
+} // namespace vsync::core

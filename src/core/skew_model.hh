@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The paper's two clock-skew models (Section III).
+ *
+ * Both models bound the skew between two nodes of CLK in terms of the
+ * geometry of the tree paths connecting them to their nearest common
+ * ancestor, with per-unit-length wire delay m +/- eps:
+ *
+ *   sigma = h1 (m + eps) - h2 (m - eps) = m d + eps s,
+ *   where d = h1 - h2 and s = h1 + h2,
+ *
+ * so eps s <= sigma <= (m + eps) s.
+ *
+ * - Difference model (A9): variations eps are negligible (tunable
+ *   discrete wiring); skew <= f(d), f monotone increasing. Linear form:
+ *   f(d) = m d.
+ * - Summation model (A10/A11): variations accumulate along the whole
+ *   connecting path; beta s <= skew <= g(s). Linear forms: g(s) =
+ *   (m + eps) s and beta = eps.
+ */
+
+#ifndef VSYNC_CORE_SKEW_MODEL_HH
+#define VSYNC_CORE_SKEW_MODEL_HH
+
+#include <functional>
+#include <string>
+
+#include "common/types.hh"
+
+namespace vsync::core
+{
+
+/** Which of the paper's two skew models applies. */
+enum class SkewModelKind
+{
+    Difference, ///< A9: skew bounded by f(d).
+    Summation,  ///< A10/A11: beta*s <= skew <= g(s).
+};
+
+/** Name of a skew model kind ("difference" / "summation"). */
+std::string skewModelKindName(SkewModelKind kind);
+
+/**
+ * A clock skew model: an upper bound on skew as a function of the tree
+ * geometry, and (for the summation model) a matching lower bound.
+ */
+class SkewModel
+{
+  public:
+    /** Monotone bound function of a path length. */
+    using BoundFn = std::function<double(Length)>;
+
+    /**
+     * Linear difference model with per-unit delay @p m: skew <= m * d.
+     */
+    static SkewModel difference(double m);
+
+    /** Difference model with a custom monotone f. */
+    static SkewModel difference(BoundFn f);
+
+    /**
+     * Linear summation model from per-unit delay m +/- eps:
+     * eps * s <= skew <= (m + eps) * s.
+     */
+    static SkewModel summation(double m, double eps);
+
+    /** Summation model with custom g and beta. */
+    static SkewModel summation(BoundFn g, double beta);
+
+    /** Model kind. */
+    SkewModelKind kind() const { return modelKind; }
+
+    /**
+     * Upper bound on the skew between two nodes with path difference
+     * @p d and path sum @p s.
+     */
+    double upperBound(Length d, Length s) const;
+
+    /**
+     * Lower bound on the worst-case skew between two nodes with path
+     * sum @p s (0 under the difference model, beta * s under the
+     * summation model, A11).
+     */
+    double lowerBound(Length s) const;
+
+    /** The summation model's beta (0 for the difference model). */
+    double beta() const { return betaValue; }
+
+    /** Mean per-unit wire delay m used by the linear factories. */
+    double meanUnitDelay() const { return mValue; }
+
+    /** Variation amplitude eps used by the linear factories. */
+    double unitDelayVariation() const { return epsValue; }
+
+  private:
+    SkewModel() = default;
+
+    SkewModelKind modelKind = SkewModelKind::Difference;
+    BoundFn bound;
+    double betaValue = 0.0;
+    double mValue = 0.0;
+    double epsValue = 0.0;
+};
+
+} // namespace vsync::core
+
+#endif // VSYNC_CORE_SKEW_MODEL_HH

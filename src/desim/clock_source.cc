@@ -1,0 +1,32 @@
+#include "desim/clock_source.hh"
+
+#include "common/logging.hh"
+
+namespace vsync::desim
+{
+
+PeriodicClock::PeriodicClock(Simulator &sim, Signal &out, Time period,
+                             int cycles, Time pulse_width, Time start)
+    : clockPeriod(period)
+{
+    VSYNC_ASSERT(period > 0.0, "clock period must be positive, got %g",
+                 period);
+    VSYNC_ASSERT(cycles >= 0, "negative cycle count %d", cycles);
+    if (pulse_width < 0.0)
+        pulse_width = period / 2.0;
+    VSYNC_ASSERT(pulse_width > 0.0 && pulse_width < period,
+                 "pulse width %g outside (0, period)", pulse_width);
+
+    Signal *target = &out;
+    for (int k = 0; k < cycles; ++k) {
+        const Time rise = start + k * period;
+        const Time fall = rise + pulse_width;
+        rises.push_back(rise);
+        sim.scheduleAt(rise, [target, rise]() { target->set(rise, true); });
+        sim.scheduleAt(fall, [target, fall]() {
+            target->set(fall, false);
+        });
+    }
+}
+
+} // namespace vsync::desim

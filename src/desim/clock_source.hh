@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Periodic clock generation.
+ *
+ * In pipelined mode the source simply emits edges at the target period
+ * regardless of whether earlier events have reached the leaves -- that
+ * is what puts several events in flight on the tree (A7). Equipotential
+ * operation corresponds to choosing a period no smaller than the full
+ * tree settling time (A6), so that at most one event is in flight.
+ */
+
+#ifndef VSYNC_DESIM_CLOCK_SOURCE_HH
+#define VSYNC_DESIM_CLOCK_SOURCE_HH
+
+#include <vector>
+
+#include "desim/signal.hh"
+#include "desim/simulator.hh"
+
+namespace vsync::desim
+{
+
+/** Drives a signal with a periodic pulse train. */
+class PeriodicClock
+{
+  public:
+    /**
+     * Schedule @p cycles full clock cycles on @p out.
+     *
+     * @param sim    simulator.
+     * @param out    signal to drive (must start low).
+     * @param period clock period (ns).
+     * @param cycles number of rising edges to emit.
+     * @param pulse_width high time per cycle; defaults to period / 2.
+     * @param start  time of the first rising edge.
+     */
+    PeriodicClock(Simulator &sim, Signal &out, Time period, int cycles,
+                  Time pulse_width = -1.0, Time start = 0.0);
+
+    PeriodicClock(const PeriodicClock &) = delete;
+    PeriodicClock &operator=(const PeriodicClock &) = delete;
+
+    /** Times of the emitted rising edges. */
+    const std::vector<Time> &risingEdgeTimes() const { return rises; }
+
+    /** The configured period. */
+    Time period() const { return clockPeriod; }
+
+  private:
+    Time clockPeriod;
+    std::vector<Time> rises;
+};
+
+} // namespace vsync::desim
+
+#endif // VSYNC_DESIM_CLOCK_SOURCE_HH

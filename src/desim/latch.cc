@@ -1,0 +1,100 @@
+#include "desim/latch.hh"
+
+#include "common/logging.hh"
+
+namespace vsync::desim
+{
+
+Latch::Latch(Simulator &sim, Signal &d, Signal &enable, Signal &q,
+             Time delay, Time setup)
+    : sim(sim), d(d), q(q), delay(delay), setup(setup),
+      open(enable.value())
+{
+    VSYNC_ASSERT(delay >= 0.0 && setup >= 0.0, "bad latch timing");
+    d.onChange([this](Time t, bool v) { onData(t, v); });
+    enable.onChange([this](Time t, bool v) { onEnable(t, v); });
+}
+
+void
+Latch::drive(Time t, bool v)
+{
+    Signal *out = &q;
+    const Time at = t + delay;
+    sim.scheduleAt(at, [out, at, v]() { out->set(at, v); });
+}
+
+void
+Latch::onData(Time t, bool v)
+{
+    lastDataChange = t;
+    if (open)
+        drive(t, v); // transparent
+}
+
+void
+Latch::onEnable(Time t, bool v)
+{
+    if (v && !open) {
+        open = true;
+        // Opening passes the current data through.
+        drive(t, d.value());
+    } else if (!v && open) {
+        open = false;
+        ++closeCount;
+        if (t - lastDataChange < setup)
+            violations.push_back(t);
+    }
+}
+
+TwoPhaseClock::TwoPhaseClock(Simulator &sim, Signal &phi1, Signal &phi2,
+                             Time period, Time width, Time gap,
+                             int cycles)
+{
+    VSYNC_ASSERT(period > 0.0 && width > 0.0 && gap >= 0.0,
+                 "bad two-phase timing");
+    VSYNC_ASSERT(2.0 * width + 2.0 * gap <= period + 1e-12,
+                 "phases (2*%g) + gaps (2*%g) exceed the period %g",
+                 width, gap, period);
+    VSYNC_ASSERT(cycles >= 0, "negative cycle count");
+
+    Signal *p1 = &phi1;
+    Signal *p2 = &phi2;
+    for (int k = 0; k < cycles; ++k) {
+        const Time base = k * period;
+        const Time p1_rise = base;
+        const Time p1_fall = base + width;
+        const Time p2_rise = p1_fall + gap;
+        const Time p2_fall = p2_rise + width;
+        sim.scheduleAt(p1_rise,
+                       [p1, p1_rise]() { p1->set(p1_rise, true); });
+        sim.scheduleAt(p1_fall,
+                       [p1, p1_fall]() { p1->set(p1_fall, false); });
+        sim.scheduleAt(p2_rise,
+                       [p2, p2_rise]() { p2->set(p2_rise, true); });
+        sim.scheduleAt(p2_fall,
+                       [p2, p2_fall]() { p2->set(p2_fall, false); });
+    }
+}
+
+PhaseOverlapDetector::PhaseOverlapDetector(Signal &phi1, Signal &phi2)
+    : phi1(phi1), phi2(phi2)
+{
+    phi1.onChange([this](Time t, bool) { update(t); });
+    phi2.onChange([this](Time t, bool) { update(t); });
+}
+
+void
+PhaseOverlapDetector::update(Time t)
+{
+    const bool now_both = phi1.value() && phi2.value();
+    if (now_both && !both) {
+        both = true;
+        bothSince = t;
+        ++count;
+    } else if (!now_both && both) {
+        both = false;
+        total += t - bothSince;
+    }
+}
+
+} // namespace vsync::desim

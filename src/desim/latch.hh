@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Level-sensitive latches and two-phase non-overlapping clock
+ * generation -- the nMOS design discipline of the paper's era (Mead &
+ * Conway [7]; the 1983 chips the paper discusses were built this way).
+ *
+ * A latch is transparent while its enable is high and holds while it
+ * is low. Two latches on alternating non-overlapping phases form the
+ * classic phi1/phi2 pipeline stage. Clock skew attacks this scheme by
+ * eroding the non-overlap gap: when the phases as *seen by one cell*
+ * overlap, data races through two stages in one cycle. The
+ * PhaseOverlapDetector reports exactly that condition, tying the
+ * paper's skew budget sigma to the discipline's gap requirement
+ * (period formula: see core::twoPhasePeriod).
+ */
+
+#ifndef VSYNC_DESIM_LATCH_HH
+#define VSYNC_DESIM_LATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "desim/signal.hh"
+#include "desim/simulator.hh"
+
+namespace vsync::desim
+{
+
+/** A level-sensitive (transparent-high) latch. */
+class Latch
+{
+  public:
+    /**
+     * @param sim    simulator.
+     * @param d      data input.
+     * @param enable transparency control (active high).
+     * @param q      output.
+     * @param delay  D-to-Q (and enable-to-Q) propagation delay (ns).
+     * @param setup  data stability required before enable falls (ns).
+     */
+    Latch(Simulator &sim, Signal &d, Signal &enable, Signal &q,
+          Time delay, Time setup);
+
+    Latch(const Latch &) = delete;
+    Latch &operator=(const Latch &) = delete;
+
+    /** Times at which data changed inside the setup window of a
+     *  closing edge (latched value undefined). */
+    const std::vector<Time> &setupViolations() const
+    {
+        return violations;
+    }
+
+    /** Number of closing (enable falling) edges seen. */
+    std::uint64_t closures() const { return closeCount; }
+
+  private:
+    Simulator &sim;
+    Signal &d;
+    Signal &q;
+    Time delay;
+    Time setup;
+    Time lastDataChange = -infinity;
+    bool open = false;
+    std::uint64_t closeCount = 0;
+    std::vector<Time> violations;
+
+    void onData(Time t, bool v);
+    void onEnable(Time t, bool v);
+    void drive(Time t, bool v);
+};
+
+/**
+ * A generator for two non-overlapping clock phases:
+ * phi1 high during [k*T, k*T + width), phi2 high during
+ * [k*T + width + gap, k*T + 2*width + gap); the remaining time to the
+ * period is the second gap.
+ */
+class TwoPhaseClock
+{
+  public:
+    /**
+     * @param sim    simulator.
+     * @param phi1   first phase output.
+     * @param phi2   second phase output.
+     * @param period full cycle time (ns).
+     * @param width  high time of each phase (ns).
+     * @param gap    nominal dead time between phases (ns).
+     * @param cycles cycles to emit.
+     * @pre 2 * width + 2 * gap <= period.
+     */
+    TwoPhaseClock(Simulator &sim, Signal &phi1, Signal &phi2,
+                  Time period, Time width, Time gap, int cycles);
+
+    TwoPhaseClock(const TwoPhaseClock &) = delete;
+    TwoPhaseClock &operator=(const TwoPhaseClock &) = delete;
+};
+
+/**
+ * Watches two phase signals (as delivered at one cell) and records
+ * every interval during which both are simultaneously high -- the
+ * race condition skew causes in two-phase systems.
+ */
+class PhaseOverlapDetector
+{
+  public:
+    PhaseOverlapDetector(Signal &phi1, Signal &phi2);
+
+    PhaseOverlapDetector(const PhaseOverlapDetector &) = delete;
+    PhaseOverlapDetector &operator=(const PhaseOverlapDetector &) =
+        delete;
+
+    /** Number of distinct overlap episodes observed. */
+    std::uint64_t overlaps() const { return count; }
+
+    /** Total simultaneous-high time (ns). */
+    Time overlapTime() const { return total; }
+
+  private:
+    Signal &phi1;
+    Signal &phi2;
+    bool both = false;
+    Time bothSince = 0.0;
+    std::uint64_t count = 0;
+    Time total = 0.0;
+
+    void update(Time t);
+};
+
+} // namespace vsync::desim
+
+#endif // VSYNC_DESIM_LATCH_HH

@@ -1,0 +1,51 @@
+#include "desim/register.hh"
+
+#include "common/logging.hh"
+
+namespace vsync::desim
+{
+
+Register::Register(Simulator &sim, Signal &d, Signal &clk, Signal &q,
+                   Time setup, Time hold, Time clk_to_q)
+    : sim(sim), d(d), q(q), setup(setup), hold(hold), clkToQ(clk_to_q)
+{
+    VSYNC_ASSERT(setup >= 0.0 && hold >= 0.0 && clk_to_q >= 0.0,
+                 "negative register timing");
+    clk.onChange([this](Time t, bool v) { onClock(t, v); });
+    d.onChange([this](Time t, bool v) { onData(t, v); });
+}
+
+void
+Register::onClock(Time t, bool v)
+{
+    if (!v)
+        return; // only rising edges capture
+    ++edges;
+    edgeTimeList.push_back(t);
+    lastEdge = t;
+
+    const Time since_data = t - lastDataChange;
+    if (since_data < setup) {
+        violationList.push_back({t, true, since_data});
+    }
+
+    // Capture and propagate to Q.
+    const bool value = d.value();
+    captured.push_back(value);
+    Signal *out = &q;
+    const Time at = t + clkToQ;
+    sim.scheduleAt(at, [out, value, at]() { out->set(at, value); });
+}
+
+void
+Register::onData(Time t, bool v)
+{
+    (void)v;
+    lastDataChange = t;
+    const Time since_edge = t - lastEdge;
+    if (since_edge >= 0.0 && since_edge < hold) {
+        violationList.push_back({t, false, since_edge});
+    }
+}
+
+} // namespace vsync::desim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Edge-triggered registers with setup/hold violation detection.
+ *
+ * Clock skew causes synchronization failure exactly here: a register
+ * samples its data input on the clock's rising edge, and if the data
+ * changes within the setup window before or the hold window after the
+ * edge, the captured value is undefined. The detector records every
+ * violation so experiments can count failures as a function of skew and
+ * period.
+ */
+
+#ifndef VSYNC_DESIM_REGISTER_HH
+#define VSYNC_DESIM_REGISTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "desim/signal.hh"
+#include "desim/simulator.hh"
+
+namespace vsync::desim
+{
+
+/** A recorded setup or hold violation. */
+struct TimingViolation
+{
+    Time at = 0.0;
+    /** True for a setup violation, false for hold. */
+    bool setup = true;
+    /** Data-change-to-edge (setup) or edge-to-data-change (hold)
+     *  separation that violated the window. */
+    Time separation = 0.0;
+};
+
+/** A rising-edge D flip-flop. */
+class Register
+{
+  public:
+    /**
+     * @param sim   simulator.
+     * @param d     data input.
+     * @param clk   clock input (rising edge captures).
+     * @param q     output, driven clkToQ after each capturing edge.
+     * @param setup minimum data stability before the edge (ns).
+     * @param hold  minimum data stability after the edge (ns).
+     * @param clkToQ clock-to-output delay (ns).
+     */
+    Register(Simulator &sim, Signal &d, Signal &clk, Signal &q,
+             Time setup, Time hold, Time clk_to_q);
+
+    Register(const Register &) = delete;
+    Register &operator=(const Register &) = delete;
+
+    /** Violations recorded so far. */
+    const std::vector<TimingViolation> &violations() const
+    {
+        return violationList;
+    }
+
+    /** Number of capturing (rising) clock edges seen. */
+    std::uint64_t edgesSeen() const { return edges; }
+
+    /** Times at which rising clock edges arrived. */
+    const std::vector<Time> &edgeTimes() const { return edgeTimeList; }
+
+    /** Value captured at each rising edge (same order as
+     *  edgeTimes()). */
+    const std::vector<bool> &capturedValues() const { return captured; }
+
+  private:
+    Simulator &sim;
+    Signal &d;
+    Signal &q;
+    Time setup;
+    Time hold;
+    Time clkToQ;
+
+    Time lastDataChange = -infinity;
+    Time lastEdge = -infinity;
+    std::uint64_t edges = 0;
+    std::vector<TimingViolation> violationList;
+    std::vector<Time> edgeTimeList;
+    std::vector<bool> captured;
+
+    void onClock(Time t, bool v);
+    void onData(Time t, bool v);
+};
+
+} // namespace vsync::desim
+
+#endif // VSYNC_DESIM_REGISTER_HH

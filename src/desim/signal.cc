@@ -1,0 +1,18 @@
+#include "desim/signal.hh"
+
+namespace vsync::desim
+{
+
+void
+Signal::set(Time t, bool v)
+{
+    if (v == current)
+        return;
+    current = v;
+    lastChangeTime = t;
+    ++transitionCount;
+    for (const Listener &fn : listeners)
+        fn(t, v);
+}
+
+} // namespace vsync::desim

@@ -1,0 +1,41 @@
+#include "desim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace vsync::desim
+{
+
+void
+Simulator::schedule(Time delay, Callback fn)
+{
+    VSYNC_ASSERT(delay >= 0.0, "negative event delay %g", delay);
+    scheduleAt(currentTime + delay, std::move(fn));
+}
+
+void
+Simulator::scheduleAt(Time t, Callback fn)
+{
+    VSYNC_ASSERT(t >= currentTime, "event in the past (%g < %g)",
+                 t, currentTime);
+    queue.push({t, nextSeq++, std::move(fn)});
+}
+
+std::uint64_t
+Simulator::run(Time until)
+{
+    std::uint64_t count = 0;
+    while (!queue.empty() && queue.top().time <= until) {
+        // Move the callback out before popping so it may schedule more.
+        Event ev = queue.top();
+        queue.pop();
+        currentTime = ev.time;
+        ev.fn();
+        ++count;
+        ++processed;
+    }
+    if (queue.empty() && until != infinity && currentTime < until)
+        currentTime = until;
+    return count;
+}
+
+} // namespace vsync::desim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A minimal discrete-event simulation kernel.
+ *
+ * Events are (time, callback) pairs processed in time order; ties are
+ * broken by insertion order so runs are fully deterministic. The kernel
+ * underlies the circuit-level experiments: pipelined clock propagation
+ * (several events in flight on a buffered tree, A7/A8), the Section VII
+ * inverter-string chip, register setup/hold failure detection, and the
+ * Section VI handshake network.
+ */
+
+#ifndef VSYNC_DESIM_SIMULATOR_HH
+#define VSYNC_DESIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace vsync::desim
+{
+
+/** Discrete-event simulator with a deterministic event order. */
+class Simulator
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Simulator() = default;
+
+    /** Current simulation time (ns). */
+    Time now() const { return currentTime; }
+
+    /** Schedule @p fn to run @p delay after now. @pre delay >= 0. */
+    void schedule(Time delay, Callback fn);
+
+    /** Schedule @p fn at absolute time @p t. @pre t >= now. */
+    void scheduleAt(Time t, Callback fn);
+
+    /**
+     * Run until the event queue drains or @p until is reached.
+     *
+     * @param until stop time (events after it stay queued); infinity
+     *              runs to completion.
+     * @return number of events processed by this call.
+     */
+    std::uint64_t run(Time until = infinity);
+
+    /** True when no events are pending. */
+    bool idle() const { return queue.empty(); }
+
+    /** Total events processed since construction. */
+    std::uint64_t eventsProcessed() const { return processed; }
+
+  private:
+    struct Event
+    {
+        Time time;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue;
+    Time currentTime = 0.0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t processed = 0;
+};
+
+} // namespace vsync::desim
+
+#endif // VSYNC_DESIM_SIMULATOR_HH

@@ -1,0 +1,73 @@
+#include "geom/path.hh"
+
+#include "common/logging.hh"
+
+namespace vsync::geom
+{
+
+Length
+Path::length() const
+{
+    Length total = 0.0;
+    for (std::size_t i = 1; i < points.size(); ++i)
+        total += manhattan(points[i - 1], points[i]);
+    return total;
+}
+
+Point
+Path::pointAt(Length dist) const
+{
+    VSYNC_ASSERT(!points.empty(), "pointAt on empty path");
+    if (dist <= 0.0)
+        return points.front();
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        const Length seg = manhattan(points[i - 1], points[i]);
+        if (dist <= seg && seg > 0.0) {
+            const double t = dist / seg;
+            const Point &a = points[i - 1];
+            const Point &b = points[i];
+            return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+        }
+        dist -= seg;
+    }
+    return points.back();
+}
+
+void
+Path::extend(const Path &tail)
+{
+    if (tail.points.empty())
+        return;
+    std::size_t start = 0;
+    if (!points.empty() && points.back() == tail.points.front())
+        start = 1; // avoid duplicating the shared joint
+    for (std::size_t i = start; i < tail.points.size(); ++i)
+        points.push_back(tail.points[i]);
+}
+
+Path
+lRoute(const Point &a, const Point &b)
+{
+    Path p;
+    p.append(a);
+    if (a.x != b.x && a.y != b.y)
+        p.append({b.x, a.y});
+    p.append(b);
+    return p;
+}
+
+Path
+zRoute(const Point &a, const Point &b)
+{
+    Path p;
+    p.append(a);
+    if (a.x != b.x && a.y != b.y) {
+        const Length mid_x = (a.x + b.x) / 2.0;
+        p.append({mid_x, a.y});
+        p.append({mid_x, b.y});
+    }
+    p.append(b);
+    return p;
+}
+
+} // namespace vsync::geom

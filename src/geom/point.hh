@@ -1,0 +1,73 @@
+/**
+ * @file
+ * 2-D points and distance metrics.
+ *
+ * Layouts live in the plane (assumption A1); all coordinates are in
+ * lambda units. Wire lengths use the Manhattan (rectilinear) metric, the
+ * natural one for VLSI routing; the Euclidean metric is available for the
+ * circle argument in the Section V-B lower bound.
+ */
+
+#ifndef VSYNC_GEOM_POINT_HH
+#define VSYNC_GEOM_POINT_HH
+
+#include <cmath>
+
+#include "common/types.hh"
+
+namespace vsync::geom
+{
+
+/** A point in the layout plane (lambda units). */
+struct Point
+{
+    Length x = 0.0;
+    Length y = 0.0;
+
+    constexpr Point() = default;
+    constexpr Point(Length x, Length y) : x(x), y(y) {}
+
+    constexpr bool
+    operator==(const Point &o) const
+    {
+        return x == o.x && y == o.y;
+    }
+
+    constexpr Point
+    operator+(const Point &o) const
+    {
+        return {x + o.x, y + o.y};
+    }
+
+    constexpr Point
+    operator-(const Point &o) const
+    {
+        return {x - o.x, y - o.y};
+    }
+
+    constexpr Point
+    operator*(double k) const
+    {
+        return {x * k, y * k};
+    }
+};
+
+/** Manhattan (L1) distance between two points. */
+inline Length
+manhattan(const Point &a, const Point &b)
+{
+    return std::fabs(a.x - b.x) + std::fabs(a.y - b.y);
+}
+
+/** Euclidean (L2) distance between two points. */
+inline Length
+euclidean(const Point &a, const Point &b)
+{
+    const Length dx = a.x - b.x;
+    const Length dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+} // namespace vsync::geom
+
+#endif // VSYNC_GEOM_POINT_HH

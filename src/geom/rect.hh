@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Axis-aligned rectangles: bounding boxes, area and aspect ratio.
+ */
+
+#ifndef VSYNC_GEOM_RECT_HH
+#define VSYNC_GEOM_RECT_HH
+
+#include <algorithm>
+
+#include "geom/point.hh"
+
+namespace vsync::geom
+{
+
+/** An axis-aligned rectangle described by two corners. */
+struct Rect
+{
+    Length x0 = 0.0;
+    Length y0 = 0.0;
+    Length x1 = 0.0;
+    Length y1 = 0.0;
+
+    /** Width along x. */
+    Length width() const { return x1 - x0; }
+
+    /** Height along y. */
+    Length height() const { return y1 - y0; }
+
+    /** Area (width * height). */
+    double area() const { return width() * height(); }
+
+    /**
+     * Aspect ratio >= 1 (long side over short side); infinity for a
+     * degenerate rectangle.
+     */
+    double
+    aspectRatio() const
+    {
+        const Length w = width(), h = height();
+        const Length lo = std::min(w, h), hi = std::max(w, h);
+        return lo > 0.0 ? hi / lo : infinity;
+    }
+
+    /** Grow to include @p p. */
+    void
+    include(const Point &p)
+    {
+        x0 = std::min(x0, p.x);
+        y0 = std::min(y0, p.y);
+        x1 = std::max(x1, p.x);
+        y1 = std::max(y1, p.y);
+    }
+
+    /** True when @p p lies inside (inclusive). */
+    bool
+    contains(const Point &p) const
+    {
+        return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+    }
+
+    /** The smallest rectangle containing a point set. */
+    template <typename It>
+    static Rect
+    boundingBox(It first, It last)
+    {
+        Rect r{infinity, infinity, -infinity, -infinity};
+        for (It it = first; it != last; ++it)
+            r.include(*it);
+        return r;
+    }
+};
+
+} // namespace vsync::geom
+
+#endif // VSYNC_GEOM_RECT_HH

@@ -1,0 +1,198 @@
+#include "graph/bisection.hh"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace vsync::graph
+{
+
+std::size_t
+cutSize(const Graph &g, const std::vector<int> &side)
+{
+    VSYNC_ASSERT(side.size() == g.size(), "partition size mismatch");
+    std::size_t cut = 0;
+    for (const Edge &e : g.undirectedEdges())
+        if (side[e.src] != side[e.dst])
+            ++cut;
+    return cut;
+}
+
+Bisection
+exactBisection(const Graph &g)
+{
+    const std::size_t n = g.size();
+    VSYNC_ASSERT(n >= 2, "bisection of graph with < 2 nodes");
+    // C(24,12) ~ 2.7M subsets is the practical ceiling for exhaustive
+    // enumeration; larger graphs must use the Kernighan-Lin heuristic.
+    VSYNC_ASSERT(n <= 24, "exactBisection limited to n <= 24, got %zu", n);
+
+    const std::size_t half = n / 2;
+    const auto undirected = g.undirectedEdges();
+
+    Bisection best;
+    best.cutWidth = std::numeric_limits<std::size_t>::max();
+    best.exact = true;
+
+    // Enumerate subsets of size `half` via the classic combination walk.
+    std::vector<int> pick(half);
+    std::iota(pick.begin(), pick.end(), 0);
+    std::vector<int> side(n);
+    while (true) {
+        std::fill(side.begin(), side.end(), 0);
+        for (int v : pick)
+            side[v] = 1;
+        std::size_t cut = 0;
+        for (const Edge &e : undirected)
+            if (side[e.src] != side[e.dst])
+                ++cut;
+        if (cut < best.cutWidth) {
+            best.cutWidth = cut;
+            best.side = side;
+        }
+        // Advance to the next combination.
+        int i = static_cast<int>(half) - 1;
+        while (i >= 0 &&
+               pick[i] == static_cast<int>(n - half) + i) {
+            --i;
+        }
+        if (i < 0)
+            break;
+        ++pick[i];
+        for (std::size_t j = i + 1; j < half; ++j)
+            pick[j] = pick[j - 1] + 1;
+    }
+    return best;
+}
+
+namespace
+{
+
+/**
+ * One Kernighan-Lin refinement pass: repeatedly swap the best
+ * (gain-maximal) unlocked pair across the partition, then keep the best
+ * prefix of swaps. Returns true when the pass improved the cut.
+ */
+bool
+klPass(const Graph &g, std::vector<int> &side)
+{
+    const std::size_t n = g.size();
+    // D[v] = external cost - internal cost of v under `side`.
+    auto compute_d = [&](std::vector<double> &d) {
+        std::fill(d.begin(), d.end(), 0.0);
+        for (const Edge &e : g.undirectedEdges()) {
+            const double w = 1.0;
+            if (side[e.src] != side[e.dst]) {
+                d[e.src] += w;
+                d[e.dst] += w;
+            } else {
+                d[e.src] -= w;
+                d[e.dst] -= w;
+            }
+        }
+    };
+
+    std::vector<double> d(n);
+    compute_d(d);
+    std::vector<bool> locked(n, false);
+    std::vector<std::pair<CellId, CellId>> swaps;
+    std::vector<double> gains;
+
+    const std::size_t pairs = n / 2;
+    for (std::size_t step = 0; step < pairs; ++step) {
+        // Pick the best unlocked pair (a in side 0, b in side 1).
+        double best_gain = -std::numeric_limits<double>::infinity();
+        CellId best_a = invalidId, best_b = invalidId;
+        for (CellId a = 0; static_cast<std::size_t>(a) < n; ++a) {
+            if (locked[a] || side[a] != 0)
+                continue;
+            for (CellId b = 0; static_cast<std::size_t>(b) < n; ++b) {
+                if (locked[b] || side[b] != 1)
+                    continue;
+                double gain = d[a] + d[b];
+                if (g.connected(a, b))
+                    gain -= 2.0;
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_a = a;
+                    best_b = b;
+                }
+            }
+        }
+        if (best_a == invalidId)
+            break;
+        locked[best_a] = locked[best_b] = true;
+        swaps.emplace_back(best_a, best_b);
+        gains.push_back(best_gain);
+        // Tentatively apply the swap and refresh D for unlocked nodes.
+        side[best_a] = 1;
+        side[best_b] = 0;
+        compute_d(d);
+    }
+
+    // Find the prefix of swaps with the maximum cumulative gain.
+    double best_total = 0.0, run = 0.0;
+    std::size_t best_k = 0;
+    for (std::size_t k = 0; k < gains.size(); ++k) {
+        run += gains[k];
+        if (run > best_total) {
+            best_total = run;
+            best_k = k + 1;
+        }
+    }
+    // Undo the swaps beyond the best prefix.
+    for (std::size_t k = gains.size(); k > best_k; --k) {
+        const auto &[a, b] = swaps[k - 1];
+        side[a] = 0;
+        side[b] = 1;
+    }
+    return best_total > 0.0;
+}
+
+} // namespace
+
+Bisection
+klBisection(const Graph &g, Rng &rng, int restarts)
+{
+    const std::size_t n = g.size();
+    VSYNC_ASSERT(n >= 2, "bisection of graph with < 2 nodes");
+
+    Bisection best;
+    best.cutWidth = std::numeric_limits<std::size_t>::max();
+    best.exact = false;
+
+    for (int attempt = 0; attempt < restarts; ++attempt) {
+        // Random balanced initial partition.
+        std::vector<CellId> order(n);
+        std::iota(order.begin(), order.end(), 0);
+        for (std::size_t i = n; i > 1; --i)
+            std::swap(order[i - 1], order[rng.uniformInt(i)]);
+        std::vector<int> side(n, 0);
+        for (std::size_t i = 0; i < n / 2; ++i)
+            side[order[i]] = 1;
+
+        // Refine until a pass stops improving (bounded for safety).
+        for (int pass = 0; pass < 16 && klPass(g, side); ++pass) {
+        }
+
+        const std::size_t cut = cutSize(g, side);
+        if (cut < best.cutWidth) {
+            best.cutWidth = cut;
+            best.side = side;
+        }
+    }
+    return best;
+}
+
+Bisection
+minimumBisection(const Graph &g, Rng &rng)
+{
+    if (g.size() <= 20)
+        return exactBisection(g);
+    return klBisection(g, rng);
+}
+
+} // namespace vsync::graph

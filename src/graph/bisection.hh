@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimum bisection width computation (Lemma 4 / Theorem 6 substrate).
+ *
+ * The Section V-B lower bound says sigma = Omega(W(N)) where W(N) is the
+ * minimum bisection width of COMM. We compute W exactly for small graphs
+ * (subset enumeration) and approximately for larger ones (randomized
+ * Kernighan-Lin with refinement passes), which upper-bounds W; for meshes
+ * the known Theta(n) value lets tests check the heuristic's quality.
+ */
+
+#ifndef VSYNC_GRAPH_BISECTION_HH
+#define VSYNC_GRAPH_BISECTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace vsync
+{
+class Rng;
+} // namespace vsync
+
+namespace vsync::graph
+{
+
+/** Result of a bisection computation. */
+struct Bisection
+{
+    /** Number of undirected edges crossing the partition. */
+    std::size_t cutWidth = 0;
+    /** side[v] is 0 or 1. */
+    std::vector<int> side;
+    /** True when produced by exact enumeration. */
+    bool exact = false;
+};
+
+/**
+ * Count undirected edges of @p g crossing the given partition.
+ *
+ * @param side per-node side assignment (0/1).
+ */
+std::size_t cutSize(const Graph &g, const std::vector<int> &side);
+
+/**
+ * Exact minimum balanced bisection by enumerating all subsets of size
+ * floor(n/2). Exponential; intended for n <= ~24.
+ */
+Bisection exactBisection(const Graph &g);
+
+/**
+ * Randomized Kernighan-Lin bisection heuristic.
+ *
+ * @param g graph to bisect.
+ * @param rng randomness source for initial partitions.
+ * @param restarts number of random restarts; the best result wins.
+ */
+Bisection klBisection(const Graph &g, Rng &rng, int restarts = 8);
+
+/**
+ * Minimum bisection width: exact when the graph is small enough,
+ * otherwise the Kernighan-Lin heuristic (an upper bound on the true
+ * width).
+ */
+Bisection minimumBisection(const Graph &g, Rng &rng);
+
+} // namespace vsync::graph
+
+#endif // VSYNC_GRAPH_BISECTION_HH

@@ -1,0 +1,150 @@
+#include "graph/graph.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace vsync::graph
+{
+
+Graph::Graph(std::size_t n) : out(n), in(n)
+{
+}
+
+CellId
+Graph::addNode()
+{
+    out.emplace_back();
+    in.emplace_back();
+    return static_cast<CellId>(out.size() - 1);
+}
+
+CellId
+Graph::addNodes(std::size_t count)
+{
+    const CellId first = static_cast<CellId>(out.size());
+    out.resize(out.size() + count);
+    in.resize(in.size() + count);
+    return first;
+}
+
+EdgeId
+Graph::addEdge(CellId src, CellId dst)
+{
+    VSYNC_ASSERT(src >= 0 && static_cast<std::size_t>(src) < out.size(),
+                 "bad edge source %d", src);
+    VSYNC_ASSERT(dst >= 0 && static_cast<std::size_t>(dst) < out.size(),
+                 "bad edge target %d", dst);
+    VSYNC_ASSERT(src != dst, "self loop on node %d", src);
+    const EdgeId id = static_cast<EdgeId>(edges.size());
+    edges.push_back({src, dst});
+    out[src].push_back({dst, id});
+    in[dst].push_back({src, id});
+    return id;
+}
+
+void
+Graph::addBidirectional(CellId a, CellId b)
+{
+    addEdge(a, b);
+    addEdge(b, a);
+}
+
+std::vector<CellId>
+Graph::neighbors(CellId v) const
+{
+    std::vector<CellId> result;
+    for (const Adj &a : out.at(v))
+        result.push_back(a.node);
+    for (const Adj &a : in.at(v))
+        result.push_back(a.node);
+    std::sort(result.begin(), result.end());
+    result.erase(std::unique(result.begin(), result.end()), result.end());
+    return result;
+}
+
+bool
+Graph::connected(CellId a, CellId b) const
+{
+    for (const Adj &adj : out.at(a))
+        if (adj.node == b)
+            return true;
+    for (const Adj &adj : in.at(a))
+        if (adj.node == b)
+            return true;
+    return false;
+}
+
+std::vector<Edge>
+Graph::undirectedEdges() const
+{
+    std::vector<Edge> pairs;
+    pairs.reserve(edges.size());
+    for (const Edge &e : edges)
+        pairs.push_back({std::min(e.src, e.dst), std::max(e.src, e.dst)});
+    std::sort(pairs.begin(), pairs.end(), [](const Edge &a, const Edge &b) {
+        return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+    });
+    pairs.erase(std::unique(pairs.begin(), pairs.end(),
+                            [](const Edge &a, const Edge &b) {
+                                return a.src == b.src && a.dst == b.dst;
+                            }),
+                pairs.end());
+    return pairs;
+}
+
+std::size_t
+Graph::componentCount() const
+{
+    std::vector<bool> seen(size(), false);
+    std::size_t components = 0;
+    for (CellId start = 0; static_cast<std::size_t>(start) < size();
+         ++start) {
+        if (seen[start])
+            continue;
+        ++components;
+        std::deque<CellId> queue{start};
+        seen[start] = true;
+        while (!queue.empty()) {
+            const CellId v = queue.front();
+            queue.pop_front();
+            for (CellId w : neighbors(v)) {
+                if (!seen[w]) {
+                    seen[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    return components;
+}
+
+bool
+Graph::isConnected() const
+{
+    return size() > 0 && componentCount() == 1;
+}
+
+std::vector<int>
+Graph::bfsDistances(CellId src) const
+{
+    VSYNC_ASSERT(src >= 0 && static_cast<std::size_t>(src) < size(),
+                 "bfs from bad node %d", src);
+    std::vector<int> dist(size(), -1);
+    std::deque<CellId> queue{src};
+    dist[src] = 0;
+    while (!queue.empty()) {
+        const CellId v = queue.front();
+        queue.pop_front();
+        for (CellId w : neighbors(v)) {
+            if (dist[w] < 0) {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace vsync::graph

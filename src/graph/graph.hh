@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Directed communication graphs (the paper's COMM, assumption A1).
+ *
+ * Nodes are dense integer ids 0..size()-1; each directed edge represents
+ * a wire able to move one data item per cycle from its source cell to its
+ * target cell. Undirected queries (neighbour sets, bisection) treat an
+ * edge and its reverse as a single connection.
+ */
+
+#ifndef VSYNC_GRAPH_GRAPH_HH
+#define VSYNC_GRAPH_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace vsync::graph
+{
+
+/** Identifier of an edge within a Graph. */
+using EdgeId = std::int32_t;
+
+/** A directed edge between two cells. */
+struct Edge
+{
+    CellId src = invalidId;
+    CellId dst = invalidId;
+};
+
+/** An adjacency entry: neighbour node plus the edge that reaches it. */
+struct Adj
+{
+    CellId node;
+    EdgeId edge;
+};
+
+/**
+ * A directed graph with dense node ids.
+ *
+ * The structure is append-only: nodes and edges can be added but not
+ * removed, which keeps ids stable across the layout and clock-tree
+ * machinery built on top.
+ */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /** Construct with @p n isolated nodes. */
+    explicit Graph(std::size_t n);
+
+    /** Add one node; returns its id. */
+    CellId addNode();
+
+    /** Add @p count nodes; returns the id of the first. */
+    CellId addNodes(std::size_t count);
+
+    /**
+     * Add a directed edge.
+     *
+     * @pre both endpoints exist and src != dst.
+     * @return the new edge's id.
+     */
+    EdgeId addEdge(CellId src, CellId dst);
+
+    /** Add edges in both directions between @p a and @p b. */
+    void addBidirectional(CellId a, CellId b);
+
+    /** Number of nodes. */
+    std::size_t size() const { return out.size(); }
+
+    /** Number of directed edges. */
+    std::size_t edgeCount() const { return edges.size(); }
+
+    /** The edge with id @p e. */
+    const Edge &edge(EdgeId e) const { return edges.at(e); }
+
+    /** All directed edges. */
+    const std::vector<Edge> &allEdges() const { return edges; }
+
+    /** Outgoing adjacency of node @p v. */
+    const std::vector<Adj> &outEdges(CellId v) const { return out.at(v); }
+
+    /** Incoming adjacency of node @p v. */
+    const std::vector<Adj> &inEdges(CellId v) const { return in.at(v); }
+
+    /**
+     * Undirected neighbour set of @p v (each neighbour once, even if
+     * connected by edges in both directions).
+     */
+    std::vector<CellId> neighbors(CellId v) const;
+
+    /** True if an edge a->b or b->a exists. */
+    bool connected(CellId a, CellId b) const;
+
+    /**
+     * Unique undirected connections as (min, max) pairs. This is the
+     * edge set the skew analysis iterates over: skew between two
+     * communicating cells does not depend on data direction.
+     */
+    std::vector<Edge> undirectedEdges() const;
+
+    /** Number of connected components (ignoring edge direction). */
+    std::size_t componentCount() const;
+
+    /** True when the graph is connected (and non-empty). */
+    bool isConnected() const;
+
+    /**
+     * BFS hop distances from @p src over undirected edges;
+     * unreachable nodes get -1.
+     */
+    std::vector<int> bfsDistances(CellId src) const;
+
+  private:
+    std::vector<Edge> edges;
+    std::vector<std::vector<Adj>> out;
+    std::vector<std::vector<Adj>> in;
+};
+
+} // namespace vsync::graph
+
+#endif // VSYNC_GRAPH_GRAPH_HH

@@ -1,0 +1,231 @@
+#include "graph/topology.hh"
+
+#include "common/logging.hh"
+
+namespace vsync::graph
+{
+
+CellId
+Topology::at(int c, int r) const
+{
+    for (std::size_t i = 0; i < coords.size(); ++i)
+        if (coords[i][0] == c && coords[i][1] == r)
+            return static_cast<CellId>(i);
+    return invalidId;
+}
+
+Topology
+linearArray(int n)
+{
+    VSYNC_ASSERT(n >= 1, "linear array needs n >= 1, got %d", n);
+    Topology t;
+    t.kind = TopologyKind::Linear;
+    t.name = csprintf("linear-%d", n);
+    t.rows = 1;
+    t.cols = n;
+    t.graph = Graph(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        t.coords.push_back({i, 0});
+    for (int i = 0; i + 1 < n; ++i)
+        t.graph.addBidirectional(i, i + 1);
+    return t;
+}
+
+Topology
+ring(int n)
+{
+    VSYNC_ASSERT(n >= 3, "ring needs n >= 3, got %d", n);
+    Topology t = linearArray(n);
+    t.kind = TopologyKind::Ring;
+    t.name = csprintf("ring-%d", n);
+    t.graph.addBidirectional(n - 1, 0);
+    return t;
+}
+
+namespace
+{
+
+/** Shared mesh/torus generator. */
+Topology
+gridTopology(int rows, int cols, bool wrap)
+{
+    VSYNC_ASSERT(rows >= 1 && cols >= 1, "grid needs positive dims");
+    Topology t;
+    t.kind = wrap ? TopologyKind::Torus : TopologyKind::Mesh;
+    t.name = csprintf("%s-%dx%d", wrap ? "torus" : "mesh", rows, cols);
+    t.rows = rows;
+    t.cols = cols;
+    t.graph = Graph(static_cast<std::size_t>(rows) * cols);
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            t.coords.push_back({c, r});
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                t.graph.addBidirectional(id(r, c), id(r, c + 1));
+            else if (wrap && cols > 2)
+                t.graph.addBidirectional(id(r, c), id(r, 0));
+            if (r + 1 < rows)
+                t.graph.addBidirectional(id(r, c), id(r + 1, c));
+            else if (wrap && rows > 2)
+                t.graph.addBidirectional(id(r, c), id(0, c));
+        }
+    }
+    return t;
+}
+
+} // namespace
+
+Topology
+mesh(int rows, int cols)
+{
+    return gridTopology(rows, cols, false);
+}
+
+Topology
+torus(int rows, int cols)
+{
+    return gridTopology(rows, cols, true);
+}
+
+Topology
+hexArray(int rows, int cols)
+{
+    VSYNC_ASSERT(rows >= 1 && cols >= 1, "hex array needs positive dims");
+    Topology t;
+    t.kind = TopologyKind::Hex;
+    t.name = csprintf("hex-%dx%d", rows, cols);
+    t.rows = rows;
+    t.cols = cols;
+    t.graph = Graph(static_cast<std::size_t>(rows) * cols);
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            t.coords.push_back({c, r});
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                t.graph.addBidirectional(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                t.graph.addBidirectional(id(r, c), id(r + 1, c));
+            // Axial diagonal: (c, r) <-> (c + 1, r - 1).
+            if (c + 1 < cols && r > 0)
+                t.graph.addBidirectional(id(r, c), id(r - 1, c + 1));
+        }
+    }
+    return t;
+}
+
+Topology
+completeBinaryTree(int levels)
+{
+    VSYNC_ASSERT(levels >= 1 && levels < 31, "bad tree levels %d", levels);
+    const int n = (1 << levels) - 1;
+    Topology t;
+    t.kind = TopologyKind::BinaryTree;
+    t.name = csprintf("btree-%d", levels);
+    t.rows = levels;
+    t.cols = 1 << (levels - 1);
+    t.graph = Graph(static_cast<std::size_t>(n));
+    // Logical coordinates: column = in-order index, row = depth.
+    t.coords.assign(static_cast<std::size_t>(n), {0, 0});
+    int next_column = 0;
+    // Iterative in-order traversal to assign columns.
+    std::vector<std::pair<int, int>> stack; // (node, state)
+    stack.emplace_back(0, 0);
+    while (!stack.empty()) {
+        auto &[node, state] = stack.back();
+        const int left = 2 * node + 1;
+        const int right = 2 * node + 2;
+        if (state == 0) {
+            state = 1;
+            if (left < n)
+                stack.emplace_back(left, 0);
+        } else if (state == 1) {
+            state = 2;
+            int depth = 0;
+            for (int v = node; v > 0; v = (v - 1) / 2)
+                ++depth;
+            t.coords[node] = {next_column++, depth};
+            if (right < n)
+                stack.emplace_back(right, 0);
+        } else {
+            stack.pop_back();
+        }
+    }
+    for (int i = 0; i < n; ++i) {
+        const int left = 2 * i + 1;
+        const int right = 2 * i + 2;
+        if (left < n)
+            t.graph.addBidirectional(i, left);
+        if (right < n)
+            t.graph.addBidirectional(i, right);
+    }
+    return t;
+}
+
+namespace
+{
+
+/** Near-square grid coordinates for index-addressed graphs. */
+void
+gridPlaceByIndex(Topology &t, int n)
+{
+    int cols = 1;
+    while (cols * cols < n)
+        ++cols;
+    t.cols = cols;
+    t.rows = (n + cols - 1) / cols;
+    for (int v = 0; v < n; ++v)
+        t.coords.push_back({v % cols, v / cols});
+}
+
+} // namespace
+
+Topology
+shuffleExchange(int k)
+{
+    VSYNC_ASSERT(k >= 2 && k < 20, "bad shuffle-exchange order %d", k);
+    const int n = 1 << k;
+    Topology t;
+    t.kind = TopologyKind::ShuffleExchange;
+    t.name = csprintf("shuffle-exchange-%d", k);
+    t.graph = Graph(static_cast<std::size_t>(n));
+    gridPlaceByIndex(t, n);
+    for (int v = 0; v < n; ++v) {
+        // Exchange: flip the low bit (add each pair once).
+        if ((v & 1) == 0)
+            t.graph.addBidirectional(v, v ^ 1);
+        // Shuffle: left-rotate the k-bit address.
+        const int shuffled =
+            ((v << 1) | (v >> (k - 1))) & (n - 1);
+        if (shuffled != v)
+            t.graph.addEdge(v, shuffled);
+    }
+    return t;
+}
+
+Topology
+hypercube(int k)
+{
+    VSYNC_ASSERT(k >= 1 && k < 20, "bad hypercube order %d", k);
+    const int n = 1 << k;
+    Topology t;
+    t.kind = TopologyKind::Hypercube;
+    t.name = csprintf("hypercube-%d", k);
+    t.graph = Graph(static_cast<std::size_t>(n));
+    const int half = k / 2;
+    const int cols = 1 << (k - half);
+    t.cols = cols;
+    t.rows = 1 << half;
+    for (int v = 0; v < n; ++v)
+        t.coords.push_back({v & (cols - 1), v >> (k - half)});
+    for (int v = 0; v < n; ++v)
+        for (int bit = 0; bit < k; ++bit)
+            if ((v & (1 << bit)) == 0)
+                t.graph.addBidirectional(v, v | (1 << bit));
+    return t;
+}
+
+} // namespace vsync::graph

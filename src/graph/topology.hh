@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Generators for the communication topologies studied in the paper:
+ * linear arrays (Section V-A), rings, rectangular meshes (Section V-B),
+ * tori, hexagonal arrays (Fig 3c; the Kung-Leiserson matmul array) and
+ * complete binary trees (Section VIII).
+ */
+
+#ifndef VSYNC_GRAPH_TOPOLOGY_HH
+#define VSYNC_GRAPH_TOPOLOGY_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace vsync::graph
+{
+
+/** Which generator produced a Topology. */
+enum class TopologyKind
+{
+    Linear,
+    Ring,
+    Mesh,
+    Torus,
+    Hex,
+    BinaryTree,
+    ShuffleExchange,
+    Hypercube,
+};
+
+/**
+ * A generated communication graph plus the logical coordinates each
+ * generator assigns its cells. Logical coordinates are integer grid
+ * positions; the layout library maps them to physical placements.
+ */
+struct Topology
+{
+    Graph graph;
+    /** Logical (column, row) coordinate per cell. */
+    std::vector<std::array<int, 2>> coords;
+    std::string name;
+    TopologyKind kind = TopologyKind::Linear;
+    int rows = 0;
+    int cols = 0;
+
+    /** Cell id at logical coordinate (c, r); invalidId when absent. */
+    CellId at(int c, int r) const;
+};
+
+/**
+ * A 1-D array of @p n cells; each neighbouring pair is connected in both
+ * directions (systolic arrays commonly stream data both ways).
+ */
+Topology linearArray(int n);
+
+/** A ring of @p n cells (a linear array with a wraparound link). */
+Topology ring(int n);
+
+/** An r x c mesh with 4-neighbour bidirectional connectivity. */
+Topology mesh(int rows, int cols);
+
+/** An r x c torus (mesh plus wraparound links). */
+Topology torus(int rows, int cols);
+
+/**
+ * A rhombic hexagonal array of side @p rows x @p cols in axial
+ * coordinates with 6-neighbour connectivity: east, west, north, south,
+ * north-east and south-west diagonals.
+ */
+Topology hexArray(int rows, int cols);
+
+/**
+ * A complete binary tree with @p levels levels (2^levels - 1 nodes) in
+ * heap order: node 0 is the root, children of i are 2i+1 and 2i+2.
+ * Edges are bidirectional (queries flow down, results flow up).
+ */
+Topology completeBinaryTree(int levels);
+
+/**
+ * The shuffle-exchange graph on 2^k nodes: exchange edges i <-> i^1
+ * and shuffle edges i -> rotate-left_k(i). Its minimum bisection width
+ * is Theta(N / log N) -- between the 1-D and 2-D extremes of
+ * Theorem 6. Nodes are placed on a near-square grid by index.
+ */
+Topology shuffleExchange(int k);
+
+/**
+ * The k-dimensional hypercube (2^k nodes, bisection width 2^(k-1)):
+ * the high-connectivity extreme, where the Theorem 6 area case binds
+ * before the cut case. Nodes are placed on a near-square grid: x from
+ * the low bits, y from the high bits.
+ */
+Topology hypercube(int k);
+
+} // namespace vsync::graph
+
+#endif // VSYNC_GRAPH_TOPOLOGY_HH

@@ -1,0 +1,191 @@
+#include "graph/tree.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vsync::graph
+{
+
+RootedTree::RootedTree(std::size_t n)
+    : parents(n, invalidId), kids(n)
+{
+}
+
+NodeId
+RootedTree::addNode()
+{
+    parents.push_back(invalidId);
+    kids.emplace_back();
+    return static_cast<NodeId>(parents.size() - 1);
+}
+
+void
+RootedTree::setParent(NodeId child, NodeId parent)
+{
+    VSYNC_ASSERT(child >= 0 &&
+                 static_cast<std::size_t>(child) < parents.size(),
+                 "bad child id %d", child);
+    VSYNC_ASSERT(parent >= 0 &&
+                 static_cast<std::size_t>(parent) < parents.size(),
+                 "bad parent id %d", parent);
+    VSYNC_ASSERT(parents[child] == invalidId,
+                 "node %d already has a parent", child);
+    VSYNC_ASSERT(kids[parent].size() < 2,
+                 "node %d already has two children (binary tree)", parent);
+    // Reject cycles: parent must not be a descendant of child, which is
+    // equivalent to child not appearing on parent's root path.
+    for (NodeId v = parent; v != invalidId; v = parents[v])
+        VSYNC_ASSERT(v != child, "cycle attaching %d under %d",
+                     child, parent);
+    parents[child] = parent;
+    kids[parent].push_back(child);
+}
+
+NodeId
+RootedTree::root() const
+{
+    NodeId found = invalidId;
+    for (std::size_t v = 0; v < parents.size(); ++v) {
+        if (parents[v] == invalidId) {
+            VSYNC_ASSERT(found == invalidId,
+                         "tree has multiple roots (%d and %zu)", found, v);
+            found = static_cast<NodeId>(v);
+        }
+    }
+    VSYNC_ASSERT(found != invalidId, "tree has no root");
+    return found;
+}
+
+int
+RootedTree::depth(NodeId v) const
+{
+    int d = 0;
+    for (NodeId u = parents.at(v); u != invalidId; u = parents[u])
+        ++d;
+    return d;
+}
+
+bool
+RootedTree::valid() const
+{
+    if (parents.empty())
+        return false;
+    int roots = 0;
+    for (std::size_t v = 0; v < parents.size(); ++v) {
+        if (parents[v] == invalidId) {
+            ++roots;
+            continue;
+        }
+        // Walk up with a step bound to detect cycles.
+        std::size_t steps = 0;
+        for (NodeId u = static_cast<NodeId>(v); u != invalidId;
+             u = parents[u]) {
+            if (++steps > parents.size())
+                return false;
+        }
+    }
+    return roots == 1;
+}
+
+std::vector<int>
+RootedTree::subtreeMarkCounts(const std::vector<bool> &marked) const
+{
+    VSYNC_ASSERT(marked.size() == parents.size(),
+                 "mark vector size mismatch");
+    std::vector<int> counts(parents.size(), 0);
+    // Process nodes in decreasing depth order so children come first.
+    std::vector<NodeId> order(parents.size());
+    for (std::size_t v = 0; v < parents.size(); ++v)
+        order[v] = static_cast<NodeId>(v);
+    std::vector<int> depths(parents.size());
+    for (std::size_t v = 0; v < parents.size(); ++v)
+        depths[v] = depth(static_cast<NodeId>(v));
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return depths[a] > depths[b];
+    });
+    for (NodeId v : order) {
+        counts[v] += marked[v] ? 1 : 0;
+        if (parents[v] != invalidId)
+            counts[parents[v]] += counts[v];
+    }
+    return counts;
+}
+
+std::vector<NodeId>
+RootedTree::subtreeNodes(NodeId v) const
+{
+    std::vector<NodeId> result;
+    std::vector<NodeId> stack{v};
+    while (!stack.empty()) {
+        const NodeId u = stack.back();
+        stack.pop_back();
+        result.push_back(u);
+        for (NodeId c : kids.at(u))
+            stack.push_back(c);
+    }
+    return result;
+}
+
+NodeId
+RootedTree::nca(NodeId a, NodeId b) const
+{
+    int da = depth(a), db = depth(b);
+    while (da > db) {
+        a = parents.at(a);
+        --da;
+    }
+    while (db > da) {
+        b = parents.at(b);
+        --db;
+    }
+    while (a != b) {
+        a = parents.at(a);
+        b = parents.at(b);
+    }
+    return a;
+}
+
+SeparatorEdge
+findSeparatorEdge(const RootedTree &tree, const std::vector<bool> &marked)
+{
+    const auto counts = tree.subtreeMarkCounts(marked);
+    const NodeId root = tree.root();
+    const int total = counts[root];
+    VSYNC_ASSERT(total >= 2, "Lemma 5 needs at least two marked nodes");
+    // ceil(2/3 * total): both sides must stay at or below this.
+    const int limit = (2 * total + 2) / 3;
+
+    // Find a minimal (deepest along the chosen path) node whose subtree
+    // holds more than `limit` marks by descending into heavy children.
+    NodeId v = root;
+    while (true) {
+        NodeId heavy = invalidId;
+        int heavy_count = -1;
+        for (NodeId c : tree.children(v)) {
+            if (counts[c] > heavy_count) {
+                heavy_count = counts[c];
+                heavy = c;
+            }
+        }
+        if (heavy == invalidId)
+            break;
+        if (counts[heavy] > limit) {
+            v = heavy;
+            continue;
+        }
+        // v is minimal with counts[v] > limit (or v == root): cutting the
+        // edge above `heavy` is the Lemma 5 separator.
+        SeparatorEdge sep;
+        sep.child = heavy;
+        sep.insideCount = counts[heavy];
+        sep.outsideCount = total - counts[heavy];
+        VSYNC_ASSERT(sep.insideCount <= limit && sep.outsideCount <= limit,
+                     "separator violates Lemma 5: %d/%d of %d (limit %d)",
+                     sep.insideCount, sep.outsideCount, total, limit);
+        return sep;
+    }
+    panic("Lemma 5 separator not found (marks concentrated on one node?)");
+}
+
+} // namespace vsync::graph

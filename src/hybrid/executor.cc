@@ -1,0 +1,25 @@
+#include "hybrid/executor.hh"
+
+#include "common/logging.hh"
+
+namespace vsync::hybrid
+{
+
+HybridExecution
+runHybrid(const systolic::SystolicArray &array, const layout::Layout &l,
+          Length element_size, const HybridParams &params, int cycles,
+          const systolic::ExternalInputFn &ext)
+{
+    VSYNC_ASSERT(array.size() == l.size(),
+                 "array (%zu cells) does not match layout (%zu)",
+                 array.size(), l.size());
+
+    HybridExecution exec;
+    HybridNetwork network(partitionGrid(l, element_size), params);
+    exec.timing = network.simulate(cycles);
+    exec.cycleTime = exec.timing.steadyCycle;
+    exec.trace = systolic::runIdeal(array, cycles, ext);
+    return exec;
+}
+
+} // namespace vsync::hybrid

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hybrid execution of systolic arrays: lock-step correctness at the
+ * hybrid network's cycle time.
+ *
+ * Because the Section VI scheme makes every element's cycle k start
+ * only after all neighbours finished cycle k-1, data produced in cycle
+ * k-1 is always stable when consumed in cycle k: the computation is
+ * exactly the ideal lock-step computation, merely paced by the
+ * handshake network. runHybrid therefore returns the ideal trace plus
+ * the network-derived wall-clock timing.
+ */
+
+#ifndef VSYNC_HYBRID_EXECUTOR_HH
+#define VSYNC_HYBRID_EXECUTOR_HH
+
+#include "hybrid/network.hh"
+#include "systolic/executor.hh"
+
+namespace vsync::hybrid
+{
+
+/** Result of a hybrid run. */
+struct HybridExecution
+{
+    /** The computation's trace (identical to the ideal executor's). */
+    systolic::Trace trace;
+    /** Timing of the synchronization network. */
+    HybridRunResult timing;
+    /** Steady cycle time (ns per systolic cycle). */
+    Time cycleTime = 0.0;
+};
+
+/**
+ * Execute @p array for @p cycles under hybrid synchronization.
+ *
+ * @param l       physical layout of the array's cells (for the
+ *                partition).
+ * @param element_size element side length (lambda).
+ * @param params  hybrid timing constants.
+ * @param ext     external inputs.
+ */
+HybridExecution runHybrid(const systolic::SystolicArray &array,
+                          const layout::Layout &l, Length element_size,
+                          const HybridParams &params, int cycles,
+                          const systolic::ExternalInputFn &ext);
+
+} // namespace vsync::hybrid
+
+#endif // VSYNC_HYBRID_EXECUTOR_HH

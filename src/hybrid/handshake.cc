@@ -1,0 +1,115 @@
+#include "hybrid/handshake.hh"
+
+#include "common/logging.hh"
+
+namespace vsync::hybrid
+{
+
+HandshakePair::HandshakePair(desim::Simulator &sim, Time wire_delay,
+                             Time logic_delay)
+    : sim(sim), wireDelay(wire_delay), logicDelay(logic_delay),
+      reqAtInitiator("req@i"), reqAtResponder("req@r"),
+      ackAtResponder("ack@r"), ackAtInitiator("ack@i")
+{
+    VSYNC_ASSERT(wire_delay >= 0.0 && logic_delay >= 0.0,
+                 "negative handshake delays");
+    reqWire = std::make_unique<desim::DelayElement>(
+        sim, reqAtInitiator, reqAtResponder,
+        desim::EdgeDelays::same(wireDelay));
+    ackWire = std::make_unique<desim::DelayElement>(
+        sim, ackAtResponder, ackAtInitiator,
+        desim::EdgeDelays::same(wireDelay));
+
+    // Responder: mirror req onto ack after the logic delay.
+    reqAtResponder.onChange([this](Time t, bool v) {
+        desim::Signal *ack = &ackAtResponder;
+        const Time at = t + logicDelay;
+        this->sim.scheduleAt(at, [ack, at, v]() { ack->set(at, v); });
+    });
+
+    // Initiator: drop req when ack rises; complete a round and start
+    // the next when ack falls.
+    ackAtInitiator.onChange([this](Time t, bool v) {
+        desim::Signal *req = &reqAtInitiator;
+        const Time at = t + logicDelay;
+        if (v) {
+            this->sim.scheduleAt(at, [req, at]() { req->set(at, false); });
+        } else {
+            completions.push_back(t);
+            if (--roundsLeft > 0) {
+                this->sim.scheduleAt(at,
+                                     [req, at]() { req->set(at, true); });
+            }
+        }
+    });
+}
+
+std::vector<Time>
+HandshakePair::run(int rounds)
+{
+    VSYNC_ASSERT(rounds >= 1, "need at least one round");
+    completions.clear();
+    roundsLeft = rounds;
+    desim::Signal *req = &reqAtInitiator;
+    sim.schedule(0.0, [req, &sim = sim]() { req->set(sim.now(), true); });
+    sim.run();
+    VSYNC_ASSERT(completions.size() == static_cast<std::size_t>(rounds),
+                 "handshake stalled: %zu of %d rounds",
+                 completions.size(), rounds);
+    return completions;
+}
+
+Time
+HandshakePair::roundLatency() const
+{
+    // req out + back ack (x2 for the return-to-zero half), plus the
+    // responder's two reactions and the initiator's one mid-round.
+    return 4.0 * wireDelay + 3.0 * logicDelay;
+}
+
+StoppableClock::StoppableClock(desim::Simulator &sim, desim::Signal &out,
+                               Time high, Time low, Time start_delay)
+    : sim(sim), out(out), high(high), low(low), startDelay(start_delay)
+{
+    VSYNC_ASSERT(high > 0.0 && low >= 0.0 && start_delay >= 0.0,
+                 "bad stoppable clock timing");
+}
+
+void
+StoppableClock::enable()
+{
+    if (gate)
+        return;
+    gate = true;
+    if (!running) {
+        running = true;
+        sim.schedule(startDelay, [this]() { startPulse(); });
+    }
+}
+
+void
+StoppableClock::disable()
+{
+    gate = false;
+}
+
+void
+StoppableClock::startPulse()
+{
+    // The gate is sampled only here, between pulses: stopping is
+    // synchronous and can never truncate a pulse.
+    if (!gate) {
+        running = false;
+        return;
+    }
+    const Time rise = sim.now();
+    const Time fall = rise + high;
+    out.set(rise, true);
+    sim.scheduleAt(fall, [this, rise, fall]() {
+        out.set(fall, false);
+        pulseLog.emplace_back(rise, fall);
+        sim.schedule(low, [this]() { startPulse(); });
+    });
+}
+
+} // namespace vsync::hybrid

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Four-phase request/acknowledge handshake controllers (Section VI's
+ * self-timed synchronization network), modelled at the signal level.
+ *
+ * A HandshakePair connects an initiator and a responder through two
+ * wires with configurable delays. One synchronization round is
+ *   req+ -> ack+ -> req- -> ack-
+ * and its latency is twice the round-trip wire delay plus controller
+ * logic delays -- a constant determined by the physical distance
+ * between adjacent elements, never by array size. The StoppableClock
+ * shows the metastability-safety property: the local clock is stopped
+ * synchronously (the gate is sampled between pulses) and restarted
+ * asynchronously, so no pulse is ever truncated.
+ */
+
+#ifndef VSYNC_HYBRID_HANDSHAKE_HH
+#define VSYNC_HYBRID_HANDSHAKE_HH
+
+#include <memory>
+#include <vector>
+
+#include "desim/elements.hh"
+#include "desim/signal.hh"
+#include "desim/simulator.hh"
+
+namespace vsync::hybrid
+{
+
+/** A 4-phase handshake between two controllers over real wires. */
+class HandshakePair
+{
+  public:
+    /**
+     * @param sim        simulator.
+     * @param wire_delay one-way wire delay between controllers (ns).
+     * @param logic_delay controller reaction time per phase (ns).
+     */
+    HandshakePair(desim::Simulator &sim, Time wire_delay,
+                  Time logic_delay);
+
+    HandshakePair(const HandshakePair &) = delete;
+    HandshakePair &operator=(const HandshakePair &) = delete;
+
+    /**
+     * Run @p rounds full 4-phase rounds.
+     *
+     * @return times at which each round completed (ack observed low by
+     *         the initiator).
+     */
+    std::vector<Time> run(int rounds);
+
+    /** Latency of one round once started (4 wire + 2 logic legs). */
+    Time roundLatency() const;
+
+  private:
+    desim::Simulator &sim;
+    Time wireDelay;
+    Time logicDelay;
+
+    desim::Signal reqAtInitiator;
+    desim::Signal reqAtResponder;
+    desim::Signal ackAtResponder;
+    desim::Signal ackAtInitiator;
+    std::unique_ptr<desim::DelayElement> reqWire;
+    std::unique_ptr<desim::DelayElement> ackWire;
+
+    int roundsLeft = 0;
+    std::vector<Time> completions;
+};
+
+/**
+ * A locally generated clock that can be stopped between pulses.
+ *
+ * The enable input is sampled only at pulse boundaries: if the gate
+ * goes low mid-pulse the pulse still completes (synchronous stop), and
+ * a rising gate starts the next pulse after a fixed start delay
+ * (asynchronous start). The pulse widths therefore never vary -- the
+ * property that avoids metastability in the Section VI scheme.
+ */
+class StoppableClock
+{
+  public:
+    /**
+     * @param sim    simulator.
+     * @param out    clock output signal.
+     * @param high   pulse high time (ns).
+     * @param low    minimum low time between pulses (ns).
+     * @param start_delay gate-to-first-pulse delay (ns).
+     */
+    StoppableClock(desim::Simulator &sim, desim::Signal &out, Time high,
+                   Time low, Time start_delay);
+
+    StoppableClock(const StoppableClock &) = delete;
+    StoppableClock &operator=(const StoppableClock &) = delete;
+
+    /** Open the gate at simulation time (pulses begin). */
+    void enable();
+
+    /** Close the gate (takes effect at the next pulse boundary). */
+    void disable();
+
+    /** Completed (rise, fall) pulse intervals. */
+    const std::vector<std::pair<Time, Time>> &pulses() const
+    {
+        return pulseLog;
+    }
+
+  private:
+    desim::Simulator &sim;
+    desim::Signal &out;
+    Time high;
+    Time low;
+    Time startDelay;
+    bool gate = false;
+    bool running = false;
+    std::vector<std::pair<Time, Time>> pulseLog;
+
+    void startPulse();
+};
+
+} // namespace vsync::hybrid
+
+#endif // VSYNC_HYBRID_HANDSHAKE_HH

@@ -1,0 +1,103 @@
+#include "hybrid/network.hh"
+
+#include <algorithm>
+
+#include "common/fit.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace vsync::hybrid
+{
+
+HybridNetwork::HybridNetwork(Partition partition, HybridParams params)
+    : part(std::move(partition)), p(params)
+{
+    VSYNC_ASSERT(part.elementCount > 0, "empty partition");
+}
+
+Time
+HybridNetwork::localCycleCost(int element) const
+{
+    VSYNC_ASSERT(element >= 0 && element < part.elementCount,
+                 "bad element %d", element);
+    // The local tree spans at most the element diameter; its clocking
+    // cost is bounded by that physical extent (a constant, by
+    // construction of the partition).
+    return p.localClockPerLambda * part.maxElementDiameter + p.delta;
+}
+
+Time
+HybridNetwork::handshakeCost(int a, int b) const
+{
+    const Length dist = geom::manhattan(part.elementCenter.at(a),
+                                        part.elementCenter.at(b));
+    // One 4-phase round: 4 wire legs + 3 logic reactions.
+    return 4.0 * p.handshakeWirePerLambda * dist +
+           3.0 * p.handshakeLogic;
+}
+
+Time
+HybridNetwork::analyticCycleBound() const
+{
+    Time worst = 0.0;
+    for (int e = 0; e < part.elementCount; ++e) {
+        Time local = localCycleCost(e);
+        Time hs = 0.0;
+        for (CellId nbr : part.elementGraph.neighbors(e))
+            hs = std::max(hs, handshakeCost(e, static_cast<int>(nbr)));
+        worst = std::max(worst, local + hs);
+    }
+    return worst;
+}
+
+HybridRunResult
+HybridNetwork::simulate(int rounds, Rng *rng) const
+{
+    VSYNC_ASSERT(rounds >= 1, "need at least one round");
+    VSYNC_ASSERT(p.jitterAmplitude == 0.0 || rng != nullptr,
+                 "jitter requires an rng");
+
+    const int n = part.elementCount;
+    std::vector<Time> prev(n, 0.0), cur(n, 0.0);
+    std::vector<Time> round_completion;
+    round_completion.reserve(static_cast<std::size_t>(rounds));
+
+    for (int k = 0; k < rounds; ++k) {
+        Time round_max = 0.0;
+        for (int e = 0; e < n; ++e) {
+            // Wait for own previous cycle and for each neighbour's
+            // previous cycle plus the handshake with it.
+            Time ready = prev[e];
+            for (CellId nbr : part.elementGraph.neighbors(e)) {
+                const int f = static_cast<int>(nbr);
+                ready = std::max(ready, prev[f] + handshakeCost(e, f));
+            }
+            Time cost = localCycleCost(e);
+            if (p.jitterAmplitude > 0.0)
+                cost += rng->uniform(0.0, p.jitterAmplitude);
+            cur[e] = ready + cost;
+            round_max = std::max(round_max, cur[e]);
+        }
+        round_completion.push_back(round_max);
+        std::swap(prev, cur);
+    }
+
+    HybridRunResult result;
+    result.rounds = rounds;
+    result.lastCompletion = prev;
+    result.completionTime = round_completion.back();
+    if (rounds >= 4) {
+        std::vector<double> xs, ys;
+        for (int k = rounds / 2; k < rounds; ++k) {
+            xs.push_back(static_cast<double>(k));
+            ys.push_back(round_completion[static_cast<std::size_t>(k)]);
+        }
+        result.steadyCycle = fitLinear(xs, ys).slope;
+    } else {
+        result.steadyCycle =
+            result.completionTime / static_cast<double>(rounds);
+    }
+    return result;
+}
+
+} // namespace vsync::hybrid

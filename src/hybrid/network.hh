@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The full hybrid synchronization network (Section VI, Fig 8).
+ *
+ * Each element runs a local clock; before starting cycle k+1 an
+ * element's clock node must have completed its own cycle k and
+ * exchanged a handshake with every neighbouring element that has
+ * completed cycle k. Cycle completion times therefore obey a max-plus
+ * recurrence over the element graph whose steady rate is the largest
+ * local cost -- a constant set by element size and neighbour distance,
+ * not by array size. The simulate() routine iterates the recurrence
+ * (optionally with per-round jitter, which the scheme tolerates because
+ * synchronization is local, unlike pipelined global clocking which
+ * needs A8).
+ */
+
+#ifndef VSYNC_HYBRID_NETWORK_HH
+#define VSYNC_HYBRID_NETWORK_HH
+
+#include <functional>
+#include <vector>
+
+#include "hybrid/partition.hh"
+
+namespace vsync
+{
+class Rng;
+} // namespace vsync
+
+namespace vsync::hybrid
+{
+
+/** Timing constants of the hybrid scheme. */
+struct HybridParams
+{
+    /**
+     * Local clock distribution time per cycle within an element
+     * (covers the bounded element's internal skew + settle; ns per
+     * lambda of element diameter).
+     */
+    double localClockPerLambda = 0.1;
+
+    /** Cell compute time per cycle (A5's delta, ns). */
+    Time delta = 2.0;
+
+    /** Handshake wire delay per lambda of controller distance (ns). */
+    double handshakeWirePerLambda = 0.05;
+
+    /** Controller logic delay per handshake phase (ns). */
+    Time handshakeLogic = 0.5;
+
+    /** Per-round random perturbation amplitude (ns); 0 disables. */
+    Time jitterAmplitude = 0.0;
+};
+
+/** Result of simulating the hybrid network. */
+struct HybridRunResult
+{
+    /** Completion time of every element's last cycle. */
+    std::vector<Time> lastCompletion;
+    /** Time the whole array finished the run. */
+    Time completionTime = 0.0;
+    /** Steady-state cycle time (slope over the run's second half). */
+    Time steadyCycle = 0.0;
+    /** Rounds simulated. */
+    int rounds = 0;
+};
+
+/** The hybrid network over a partitioned layout. */
+class HybridNetwork
+{
+  public:
+    HybridNetwork(Partition partition, HybridParams params);
+
+    /** Per-element cost of one local cycle (clocking + compute). */
+    Time localCycleCost(int element) const;
+
+    /** Handshake round latency between adjacent elements @p a, @p b. */
+    Time handshakeCost(int a, int b) const;
+
+    /**
+     * Analytic steady cycle bound: max over elements of local cost
+     * plus the worst adjacent handshake. The measured steady cycle
+     * never exceeds this.
+     */
+    Time analyticCycleBound() const;
+
+    /**
+     * Iterate the max-plus recurrence for @p rounds cycles.
+     *
+     * @param rng randomness for jitter (may be null when
+     *            jitterAmplitude is 0).
+     */
+    HybridRunResult simulate(int rounds, Rng *rng = nullptr) const;
+
+    /** The partition driving this network. */
+    const Partition &partition() const { return part; }
+
+    /** The parameters driving this network. */
+    const HybridParams &params() const { return p; }
+
+  private:
+    Partition part;
+    HybridParams p;
+};
+
+} // namespace vsync::hybrid
+
+#endif // VSYNC_HYBRID_NETWORK_HH

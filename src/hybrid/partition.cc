@@ -1,0 +1,83 @@
+#include "hybrid/partition.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "geom/rect.hh"
+
+namespace vsync::hybrid
+{
+
+Partition
+partitionGrid(const layout::Layout &l, Length element_size)
+{
+    VSYNC_ASSERT(element_size > 0.0, "element size must be positive");
+    VSYNC_ASSERT(l.size() > 0, "empty layout");
+
+    const geom::Rect bb = l.boundingBox();
+    Partition part;
+    part.elementOf.assign(l.size(), -1);
+
+    // Bin cells by grid square; map (bx, by) -> element index.
+    std::map<std::pair<long, long>, int> bins;
+    for (CellId c = 0; static_cast<std::size_t>(c) < l.size(); ++c) {
+        const geom::Point &p = l.position(c);
+        const long bx =
+            static_cast<long>(std::floor((p.x - bb.x0) / element_size));
+        const long by =
+            static_cast<long>(std::floor((p.y - bb.y0) / element_size));
+        auto [it, inserted] =
+            bins.try_emplace({bx, by}, part.elementCount);
+        if (inserted) {
+            ++part.elementCount;
+            part.elementCells.emplace_back();
+        }
+        part.elementOf[c] = it->second;
+        part.elementCells[it->second].push_back(c);
+    }
+
+    // Element centroids and diameters.
+    part.elementCenter.resize(part.elementCount);
+    for (int e = 0; e < part.elementCount; ++e) {
+        double sx = 0.0, sy = 0.0;
+        for (CellId c : part.elementCells[e]) {
+            sx += l.position(c).x;
+            sy += l.position(c).y;
+        }
+        const double n = static_cast<double>(part.elementCells[e].size());
+        part.elementCenter[e] = {sx / n, sy / n};
+        for (CellId a : part.elementCells[e])
+            for (CellId b : part.elementCells[e])
+                part.maxElementDiameter =
+                    std::max(part.maxElementDiameter,
+                             geom::manhattan(l.position(a),
+                                             l.position(b)));
+    }
+
+    // Element adjacency from communication edges.
+    part.elementGraph = graph::Graph(
+        static_cast<std::size_t>(part.elementCount));
+    std::vector<std::pair<int, int>> seen;
+    for (const graph::Edge &e : l.comm().undirectedEdges()) {
+        const int ea = part.elementOf[e.src];
+        const int eb = part.elementOf[e.dst];
+        if (ea == eb)
+            continue;
+        const auto key = std::minmax(ea, eb);
+        if (std::find(seen.begin(), seen.end(),
+                      std::pair<int, int>(key.first, key.second)) !=
+            seen.end())
+            continue;
+        seen.emplace_back(key.first, key.second);
+        part.elementGraph.addBidirectional(key.first, key.second);
+        part.maxControllerDistance =
+            std::max(part.maxControllerDistance,
+                     geom::manhattan(part.elementCenter[ea],
+                                     part.elementCenter[eb]));
+    }
+    return part;
+}
+
+} // namespace vsync::hybrid

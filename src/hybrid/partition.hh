@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Partitioning a layout into bounded-size elements (Section VI).
+ *
+ * The hybrid scheme breaks the layout into segments of bounded physical
+ * extent, each with a local clock distribution node; only the bounded
+ * element interior is clocked synchronously, so per-element clocking
+ * cost is constant regardless of array size.
+ */
+
+#ifndef VSYNC_HYBRID_PARTITION_HH
+#define VSYNC_HYBRID_PARTITION_HH
+
+#include <vector>
+
+#include "geom/point.hh"
+#include "graph/graph.hh"
+#include "layout/layout.hh"
+
+namespace vsync::hybrid
+{
+
+/** The result of partitioning a layout into elements. */
+struct Partition
+{
+    /** Element index per cell. */
+    std::vector<int> elementOf;
+    /** Number of elements. */
+    int elementCount = 0;
+    /** Centroid of each element (local clock node position). */
+    std::vector<geom::Point> elementCenter;
+    /** Cells per element. */
+    std::vector<std::vector<CellId>> elementCells;
+    /**
+     * Element adjacency (one undirected edge per pair of elements
+     * connected by at least one communication edge).
+     */
+    graph::Graph elementGraph;
+    /** Largest physical diameter (Manhattan) of any element. */
+    Length maxElementDiameter = 0.0;
+    /** Longest controller-to-controller distance over adjacent
+     *  elements. */
+    Length maxControllerDistance = 0.0;
+};
+
+/**
+ * Grid-bin the layout into square elements of side @p element_size
+ * (lambda). Cells fall into bins by position; empty bins are skipped.
+ */
+Partition partitionGrid(const layout::Layout &l, Length element_size);
+
+} // namespace vsync::hybrid
+
+#endif // VSYNC_HYBRID_PARTITION_HH

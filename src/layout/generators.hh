@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Layout generators for the structures the paper draws.
+ *
+ * - linear arrays (Fig 4a)
+ * - folded linear arrays (Fig 5: both ends near the host)
+ * - comb / serpentine linear arrays (Fig 6: any aspect ratio)
+ * - square meshes and hexagonal arrays (Fig 3b/3c)
+ * - layered binary trees (Section VIII substrate)
+ */
+
+#ifndef VSYNC_LAYOUT_GENERATORS_HH
+#define VSYNC_LAYOUT_GENERATORS_HH
+
+#include "graph/topology.hh"
+#include "layout/layout.hh"
+
+namespace vsync::layout
+{
+
+/** A straight 1-D array: cell i at (i * pitch, 0). */
+Layout linearLayout(int n, Length pitch = 1.0);
+
+/**
+ * A 1-D array folded at its middle (Fig 5): cells 0..n/2-1 run left to
+ * right on the bottom row, cells n/2..n-1 run right to left on the top
+ * row, so cell 0 and cell n-1 both sit at the left edge next to the
+ * host.
+ */
+Layout foldedLinearLayout(int n, Length pitch = 1.0);
+
+/**
+ * A comb/serpentine 1-D array (Fig 6): the array snakes down and up
+ * columns of @p columnHeight cells, giving a layout of any desired
+ * aspect ratio while keeping neighbouring cells at unit distance.
+ */
+Layout serpentineLayout(int n, int columnHeight, Length pitch = 1.0);
+
+/**
+ * A ring laid out as a racetrack (the folded shape of Fig 5 with the
+ * wrap link closed): cells 0..ceil(n/2)-1 run left to right on the
+ * bottom row, the rest return right to left on the top row, so every
+ * ring edge -- including the wrap between cell n-1 and cell 0 -- is at
+ * most one pitch long.
+ */
+Layout racetrackRingLayout(int n, Length pitch = 1.0);
+
+/** A rows x cols mesh at the given pitch. */
+Layout meshLayout(int rows, int cols, Length pitch = 1.0);
+
+/**
+ * A rhombic hexagonal array: axial cell (c, r) is placed at
+ * (c + r/2, r) * pitch, so all six neighbour kinds are at bounded
+ * distance.
+ */
+Layout hexLayout(int rows, int cols, Length pitch = 1.0);
+
+/**
+ * A complete binary tree drawn in layers: row = depth, column = in-order
+ * index. Top edges are long (Theta(N) at the root) -- this is the naive
+ * layout Section VIII improves on with the H-tree.
+ */
+Layout layeredTreeLayout(int levels, Length pitch = 1.0);
+
+/** Build the natural layout for any generated Topology. */
+Layout fromTopology(const graph::Topology &t, Length pitch = 1.0);
+
+} // namespace vsync::layout
+
+#endif // VSYNC_LAYOUT_GENERATORS_HH

@@ -1,0 +1,109 @@
+#include "systolic/array.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vsync::systolic
+{
+
+CellId
+SystolicArray::addCell(std::unique_ptr<Cell> cell)
+{
+    VSYNC_ASSERT(cell != nullptr, "null cell");
+    cells.push_back(std::move(cell));
+    return static_cast<CellId>(cells.size() - 1);
+}
+
+void
+SystolicArray::connect(CellId src, int src_port, CellId dst, int dst_port)
+{
+    VSYNC_ASSERT(src >= 0 && static_cast<std::size_t>(src) < cells.size(),
+                 "bad connection source %d", src);
+    VSYNC_ASSERT(dst >= 0 && static_cast<std::size_t>(dst) < cells.size(),
+                 "bad connection target %d", dst);
+    VSYNC_ASSERT(src_port >= 0 && src_port < cells[src]->outPorts(),
+                 "cell %d has no output port %d", src, src_port);
+    VSYNC_ASSERT(dst_port >= 0 && dst_port < cells[dst]->inPorts(),
+                 "cell %d has no input port %d", dst, dst_port);
+    VSYNC_ASSERT(!outputConnected(src, src_port),
+                 "output (%d, %d) already connected", src, src_port);
+    VSYNC_ASSERT(!inputConnected(dst, dst_port),
+                 "input (%d, %d) already connected", dst, dst_port);
+    conns.push_back({src, src_port, dst, dst_port});
+}
+
+bool
+SystolicArray::inputConnected(CellId cell, int port) const
+{
+    return std::any_of(conns.begin(), conns.end(),
+                       [&](const Connection &c) {
+                           return c.dst == cell && c.dstPort == port;
+                       });
+}
+
+bool
+SystolicArray::outputConnected(CellId cell, int port) const
+{
+    return std::any_of(conns.begin(), conns.end(),
+                       [&](const Connection &c) {
+                           return c.src == cell && c.srcPort == port;
+                       });
+}
+
+std::vector<std::pair<CellId, int>>
+SystolicArray::externalOutputs() const
+{
+    std::vector<std::pair<CellId, int>> result;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        for (int p = 0; p < cells[c]->outPorts(); ++p) {
+            if (!outputConnected(static_cast<CellId>(c), p))
+                result.emplace_back(static_cast<CellId>(c), p);
+        }
+    }
+    return result;
+}
+
+std::vector<std::unique_ptr<Cell>>
+SystolicArray::cloneCells() const
+{
+    std::vector<std::unique_ptr<Cell>> copy;
+    copy.reserve(cells.size());
+    for (const auto &c : cells)
+        copy.push_back(c->clone());
+    return copy;
+}
+
+graph::Graph
+SystolicArray::commGraph() const
+{
+    graph::Graph g(cells.size());
+    for (const Connection &c : conns) {
+        if (c.src != c.dst)
+            g.addEdge(c.src, c.dst);
+    }
+    return g;
+}
+
+bool
+SystolicArray::validate(bool die) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (die)
+            fatal("array '%s' invalid: %s", arrayName.c_str(),
+                  msg.c_str());
+        return false;
+    };
+    for (const Connection &c : conns) {
+        if (c.src < 0 || static_cast<std::size_t>(c.src) >= cells.size() ||
+            c.dst < 0 || static_cast<std::size_t>(c.dst) >= cells.size())
+            return fail("connection endpoint out of range");
+        if (c.srcPort < 0 || c.srcPort >= cells[c.src]->outPorts())
+            return fail(csprintf("bad source port %d", c.srcPort));
+        if (c.dstPort < 0 || c.dstPort >= cells[c.dst]->inPorts())
+            return fail(csprintf("bad target port %d", c.dstPort));
+    }
+    return true;
+}
+
+} // namespace vsync::systolic

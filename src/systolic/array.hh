@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A systolic array: cells plus port-to-port unit-delay connections.
+ */
+
+#ifndef VSYNC_SYSTOLIC_ARRAY_HH
+#define VSYNC_SYSTOLIC_ARRAY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/graph.hh"
+#include "systolic/cell.hh"
+
+namespace vsync::systolic
+{
+
+/** A directed, registered link between two cell ports. */
+struct Connection
+{
+    CellId src = invalidId;
+    int srcPort = 0;
+    CellId dst = invalidId;
+    int dstPort = 0;
+};
+
+/**
+ * External input provider: value entering (cell, port) at a cycle.
+ * Ports not fed by a Connection and not covered by the provider read
+ * zero.
+ */
+using ExternalInputFn = std::function<Word(CellId, int port, int cycle)>;
+
+/** A constructed systolic array. */
+class SystolicArray
+{
+  public:
+    SystolicArray() = default;
+
+    explicit SystolicArray(std::string name) : arrayName(std::move(name))
+    {
+    }
+
+    /** Add a cell; returns its id. */
+    CellId addCell(std::unique_ptr<Cell> cell);
+
+    /**
+     * Connect (src, src_port) -> (dst, dst_port) through a unit-delay
+     * register. Each port may appear in at most one connection.
+     */
+    void connect(CellId src, int src_port, CellId dst, int dst_port);
+
+    /** Number of cells. */
+    std::size_t size() const { return cells.size(); }
+
+    /** Prototype cell @p id. */
+    const Cell &cell(CellId id) const { return *cells.at(id); }
+
+    /** All connections. */
+    const std::vector<Connection> &connections() const { return conns; }
+
+    /** True when (cell, port) is fed by a connection. */
+    bool inputConnected(CellId cell, int port) const;
+
+    /** True when (cell, port) drives a connection. */
+    bool outputConnected(CellId cell, int port) const;
+
+    /** Unconnected output ports, in (cell, port) order: the array's
+     *  external outputs. */
+    std::vector<std::pair<CellId, int>> externalOutputs() const;
+
+    /** Clone all prototype cells (executors call this per run). */
+    std::vector<std::unique_ptr<Cell>> cloneCells() const;
+
+    /**
+     * The communication graph induced by the connections (one directed
+     * edge per connection) -- this is COMM for skew analysis.
+     */
+    graph::Graph commGraph() const;
+
+    /** Array name. */
+    const std::string &name() const { return arrayName; }
+
+    /**
+     * Validate port indices and single-driver/single-reader rules;
+     * fatal()s on violation when @p die.
+     */
+    bool validate(bool die = true) const;
+
+  private:
+    std::string arrayName;
+    std::vector<std::unique_ptr<Cell>> cells;
+    std::vector<Connection> conns;
+};
+
+} // namespace vsync::systolic
+
+#endif // VSYNC_SYSTOLIC_ARRAY_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The systolic cell abstraction (the paper's A1 cells).
+ *
+ * In an ideally synchronized array every cell, on every cycle, consumes
+ * one word from each input port, performs a bounded computation (delay
+ * delta, A5) and emits one word on each output port. Ports connect to
+ * neighbouring cells through unit-delay links (the communication edges
+ * of COMM) or to the host (external streams).
+ */
+
+#ifndef VSYNC_SYSTOLIC_CELL_HH
+#define VSYNC_SYSTOLIC_CELL_HH
+
+#include <memory>
+#include <vector>
+
+namespace vsync::systolic
+{
+
+/** The data word systolic cells exchange. */
+using Word = double;
+
+/** Abstract lock-step systolic cell. */
+class Cell
+{
+  public:
+    virtual ~Cell() = default;
+
+    /** Number of input ports. */
+    virtual int inPorts() const = 0;
+
+    /** Number of output ports. */
+    virtual int outPorts() const = 0;
+
+    /**
+     * Advance one cycle.
+     *
+     * @param inputs one word per input port (size == inPorts()).
+     * @return one word per output port (size == outPorts()).
+     */
+    virtual std::vector<Word> step(const std::vector<Word> &inputs) = 0;
+
+    /** Observable internal state (for result readout), may be empty. */
+    virtual std::vector<Word> peek() const { return {}; }
+
+    /** Deep copy (executors clone the array's prototype cells). */
+    virtual std::unique_ptr<Cell> clone() const = 0;
+};
+
+} // namespace vsync::systolic
+
+#endif // VSYNC_SYSTOLIC_CELL_HH

@@ -1,0 +1,146 @@
+#include "systolic/clocked_executor.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace vsync::systolic
+{
+
+namespace
+{
+
+/** Classify one connection under the timing constraints. */
+TransferStatus
+classify(const Connection &c, const std::vector<Time> &offset, Time period,
+         const LinkTiming &t)
+{
+    const Time skew = offset[c.src] - offset[c.dst]; // src later: positive
+    // Hold first: a race-through corrupts regardless of period.
+    if (t.clkToQ + t.deltaMin - t.hold < -skew)
+        return TransferStatus::HoldViolation;
+    if (period + (-skew) < t.clkToQ + t.deltaMax + t.setup)
+        return TransferStatus::SetupViolation;
+    return TransferStatus::Ok;
+}
+
+} // namespace
+
+ClockedRunReport
+runClocked(const SystolicArray &array, int cycles,
+           const ExternalInputFn &ext,
+           const std::vector<Time> &clock_offset, Time period,
+           const LinkTiming &timing)
+{
+    VSYNC_ASSERT(clock_offset.size() == array.size(),
+                 "clock offsets (%zu) != cells (%zu)",
+                 clock_offset.size(), array.size());
+    VSYNC_ASSERT(period > 0.0, "period must be positive");
+    array.validate();
+
+    ClockedRunReport report;
+    const auto &conns = array.connections();
+    report.linkStatus.reserve(conns.size());
+    for (const Connection &c : conns) {
+        const TransferStatus st =
+            classify(c, clock_offset, period, timing);
+        report.linkStatus.push_back(st);
+        if (st == TransferStatus::SetupViolation)
+            ++report.setupViolations;
+        else if (st == TransferStatus::HoldViolation)
+            ++report.holdViolations;
+    }
+    report.correct =
+        report.setupViolations == 0 && report.holdViolations == 0;
+
+    // Execute with failure semantics.
+    auto cells = array.cloneCells();
+    std::vector<Word> regs(conns.size(), 0.0);
+
+    report.trace.cycles = cycles;
+    report.trace.ports = array.externalOutputs();
+    report.trace.series.assign(report.trace.ports.size(), {});
+
+    std::vector<std::vector<std::pair<int, std::size_t>>> in_by_cell(
+        array.size());
+    std::vector<std::vector<std::pair<int, std::size_t>>> out_by_cell(
+        array.size());
+    std::vector<std::vector<bool>> in_connected(array.size());
+    for (std::size_t c = 0; c < array.size(); ++c)
+        in_connected[c].assign(cells[c]->inPorts(), false);
+    for (std::size_t k = 0; k < conns.size(); ++k) {
+        in_by_cell[conns[k].dst].emplace_back(conns[k].dstPort, k);
+        out_by_cell[conns[k].src].emplace_back(conns[k].srcPort, k);
+        in_connected[conns[k].dst][conns[k].dstPort] = true;
+    }
+
+    const Word metastable = std::numeric_limits<Word>::quiet_NaN();
+    std::vector<std::vector<Word>> outputs(array.size());
+    for (int t = 0; t < cycles; ++t) {
+        for (std::size_t c = 0; c < array.size(); ++c) {
+            std::vector<Word> inputs(cells[c]->inPorts(), 0.0);
+            for (const auto &[port, k] : in_by_cell[c])
+                inputs[port] = regs[k];
+            if (ext) {
+                for (int p = 0; p < cells[c]->inPorts(); ++p) {
+                    if (!in_connected[c][p])
+                        inputs[p] = ext(static_cast<CellId>(c), p, t);
+                }
+            }
+            outputs[c] = cells[c]->step(inputs);
+        }
+        for (std::size_t k = 0; k < conns.size(); ++k) {
+            const Word launched = outputs[conns[k].src][conns[k].srcPort];
+            // A violated capture window -- setup or hold -- leaves the
+            // register's contents undefined; both deliver metastable
+            // garbage downstream.
+            regs[k] = report.linkStatus[k] == TransferStatus::Ok
+                          ? launched
+                          : metastable;
+        }
+        for (std::size_t i = 0; i < report.trace.ports.size(); ++i) {
+            const auto &[cell, port] = report.trace.ports[i];
+            report.trace.series[i].push_back(outputs[cell][port]);
+        }
+    }
+
+    report.trace.finalStates.reserve(array.size());
+    for (const auto &c : cells)
+        report.trace.finalStates.push_back(c->peek());
+    return report;
+}
+
+Time
+minSafePeriod(const SystolicArray &array,
+              const std::vector<Time> &clock_offset,
+              const LinkTiming &timing)
+{
+    VSYNC_ASSERT(clock_offset.size() == array.size(),
+                 "clock offsets (%zu) != cells (%zu)",
+                 clock_offset.size(), array.size());
+    Time worst = timing.clkToQ + timing.deltaMax + timing.setup;
+    for (const Connection &c : array.connections()) {
+        const Time skew = clock_offset[c.src] - clock_offset[c.dst];
+        worst = std::max(worst, timing.clkToQ + timing.deltaMax +
+                                    timing.setup + skew);
+    }
+    return worst;
+}
+
+bool
+holdSafe(const SystolicArray &array, const std::vector<Time> &clock_offset,
+         const LinkTiming &timing)
+{
+    VSYNC_ASSERT(clock_offset.size() == array.size(),
+                 "clock offsets (%zu) != cells (%zu)",
+                 clock_offset.size(), array.size());
+    for (const Connection &c : array.connections()) {
+        const Time skew = clock_offset[c.dst] - clock_offset[c.src];
+        if (timing.clkToQ + timing.deltaMin - timing.hold < skew)
+            return false;
+    }
+    return true;
+}
+
+} // namespace vsync::systolic

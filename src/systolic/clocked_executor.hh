@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Clocked execution of a systolic array under clock skew.
+ *
+ * Data moves between cells through edge registers. A transfer from cell
+ * u to cell v launched at u's clock edge must reach v's register enough
+ * before v's next edge (setup) and not so early that it corrupts the
+ * capture of the previous word (hold). With per-cell clock arrival
+ * offsets t_u, t_v and period T:
+ *
+ *   setup:  T + (t_v - t_u) >= clkToQ + deltaMax + setup
+ *   hold:   clkToQ + deltaMin - hold >= t_v - t_u
+ *
+ * The executor classifies every connection, then runs the array with
+ * the failure semantics applied: a violated capture window -- setup or
+ * hold -- leaves the register contents undefined, modelled as
+ * metastable garbage (NaN) flowing downstream. When no link is violated
+ * the result equals the ideal executor's -- that is Theorem 2/3's
+ * "simulated by a corresponding clocked system".
+ */
+
+#ifndef VSYNC_SYSTOLIC_CLOCKED_EXECUTOR_HH
+#define VSYNC_SYSTOLIC_CLOCKED_EXECUTOR_HH
+
+#include "systolic/executor.hh"
+
+namespace vsync::systolic
+{
+
+/** Register and combinational timing of a link. */
+struct LinkTiming
+{
+    /** Register setup window (ns). */
+    Time setup = 0.5;
+    /** Register hold window (ns). */
+    Time hold = 0.25;
+    /** Clock-to-Q delay of the launching register (ns). */
+    Time clkToQ = 0.5;
+    /** Fastest compute+wire path between registers (ns). */
+    Time deltaMin = 0.5;
+    /** Slowest compute+wire path between registers (ns; A5's delta). */
+    Time deltaMax = 2.0;
+};
+
+/** Outcome classification of one connection. */
+enum class TransferStatus
+{
+    Ok,
+    SetupViolation,
+    HoldViolation,
+};
+
+/** Result of a clocked run. */
+struct ClockedRunReport
+{
+    /** Status per connection (same order as array.connections()). */
+    std::vector<TransferStatus> linkStatus;
+    std::size_t setupViolations = 0;
+    std::size_t holdViolations = 0;
+    /** The (possibly corrupted) execution trace. */
+    Trace trace;
+    /** True when every link transferred correctly. */
+    bool correct = false;
+};
+
+/**
+ * Run @p array for @p cycles at period @p period with per-cell clock
+ * arrival offsets @p clock_offset (ns; one entry per cell).
+ */
+ClockedRunReport runClocked(const SystolicArray &array, int cycles,
+                            const ExternalInputFn &ext,
+                            const std::vector<Time> &clock_offset,
+                            Time period, const LinkTiming &timing);
+
+/**
+ * Smallest period at which every link meets setup:
+ * max over links of clkToQ + deltaMax + setup + (t_src - t_dst).
+ */
+Time minSafePeriod(const SystolicArray &array,
+                   const std::vector<Time> &clock_offset,
+                   const LinkTiming &timing);
+
+/**
+ * True when every link meets hold (period-independent): hold failures
+ * cannot be fixed by slowing the clock, only by adding delay or
+ * reducing skew -- the paper's "adding delay to circuits" remedy.
+ */
+bool holdSafe(const SystolicArray &array,
+              const std::vector<Time> &clock_offset,
+              const LinkTiming &timing);
+
+} // namespace vsync::systolic
+
+#endif // VSYNC_SYSTOLIC_CLOCKED_EXECUTOR_HH

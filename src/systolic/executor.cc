@@ -1,0 +1,114 @@
+#include "systolic/executor.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vsync::systolic
+{
+
+const std::vector<Word> &
+Trace::of(CellId cell, int port) const
+{
+    for (std::size_t i = 0; i < ports.size(); ++i)
+        if (ports[i].first == cell && ports[i].second == port)
+            return series[i];
+    panic("no external output (%d, %d) in trace", cell, port);
+}
+
+bool
+Trace::matches(const Trace &other, double tol) const
+{
+    if (ports != other.ports || cycles != other.cycles ||
+        finalStates.size() != other.finalStates.size())
+        return false;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (series[i].size() != other.series[i].size())
+            return false;
+        for (std::size_t t = 0; t < series[i].size(); ++t) {
+            const double a = series[i][t], b = other.series[i][t];
+            if (std::isnan(a) != std::isnan(b))
+                return false;
+            if (!std::isnan(a) && std::fabs(a - b) > tol)
+                return false;
+        }
+    }
+    for (std::size_t c = 0; c < finalStates.size(); ++c) {
+        if (finalStates[c].size() != other.finalStates[c].size())
+            return false;
+        for (std::size_t k = 0; k < finalStates[c].size(); ++k) {
+            if (std::fabs(finalStates[c][k] - other.finalStates[c][k]) >
+                tol) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+Trace
+runIdeal(const SystolicArray &array, int cycles, const ExternalInputFn &ext)
+{
+    VSYNC_ASSERT(cycles >= 0, "negative cycle count");
+    array.validate();
+
+    auto cells = array.cloneCells();
+    const auto &conns = array.connections();
+    std::vector<Word> regs(conns.size(), 0.0);
+
+    Trace trace;
+    trace.cycles = cycles;
+    trace.ports = array.externalOutputs();
+    trace.series.assign(trace.ports.size(), {});
+
+    // Pre-index connections by destination and source for fast lookup.
+    std::vector<std::vector<std::pair<int, std::size_t>>> in_by_cell(
+        array.size());
+    std::vector<std::vector<std::pair<int, std::size_t>>> out_by_cell(
+        array.size());
+    std::vector<std::vector<bool>> in_connected(array.size());
+    for (std::size_t c = 0; c < array.size(); ++c)
+        in_connected[c].assign(cells[c]->inPorts(), false);
+    for (std::size_t k = 0; k < conns.size(); ++k) {
+        in_by_cell[conns[k].dst].emplace_back(conns[k].dstPort, k);
+        out_by_cell[conns[k].src].emplace_back(conns[k].srcPort, k);
+        in_connected[conns[k].dst][conns[k].dstPort] = true;
+    }
+
+    std::vector<std::vector<Word>> outputs(array.size());
+    for (int t = 0; t < cycles; ++t) {
+        // Phase 1: every cell reads registered inputs and computes.
+        for (std::size_t c = 0; c < array.size(); ++c) {
+            std::vector<Word> inputs(cells[c]->inPorts(), 0.0);
+            for (const auto &[port, k] : in_by_cell[c])
+                inputs[port] = regs[k];
+            if (ext) {
+                for (int p = 0; p < cells[c]->inPorts(); ++p) {
+                    if (!in_connected[c][p])
+                        inputs[p] = ext(static_cast<CellId>(c), p, t);
+                }
+            }
+            outputs[c] = cells[c]->step(inputs);
+            VSYNC_ASSERT(outputs[c].size() ==
+                             static_cast<std::size_t>(
+                                 cells[c]->outPorts()),
+                         "cell %zu produced %zu outputs, expected %d", c,
+                         outputs[c].size(), cells[c]->outPorts());
+        }
+        // Phase 2: update registers and record external outputs.
+        for (std::size_t c = 0; c < array.size(); ++c)
+            for (const auto &[port, k] : out_by_cell[c])
+                regs[k] = outputs[c][port];
+        for (std::size_t i = 0; i < trace.ports.size(); ++i) {
+            const auto &[cell, port] = trace.ports[i];
+            trace.series[i].push_back(outputs[cell][port]);
+        }
+    }
+
+    trace.finalStates.reserve(array.size());
+    for (const auto &c : cells)
+        trace.finalStates.push_back(c->peek());
+    return trace;
+}
+
+} // namespace vsync::systolic

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Lock-step execution of systolic arrays (the "ideally synchronized"
+ * semantics of A1) and its execution trace.
+ *
+ * The ideal executor is the golden reference: the paper's clocked,
+ * hybrid and self-timed schemes are all means of making real hardware
+ * behave like this executor. The clocked executor (clocked_executor.hh)
+ * reproduces it exactly when timing constraints hold and diverges when
+ * skew violates them.
+ */
+
+#ifndef VSYNC_SYSTOLIC_EXECUTOR_HH
+#define VSYNC_SYSTOLIC_EXECUTOR_HH
+
+#include <vector>
+
+#include "systolic/array.hh"
+
+namespace vsync::systolic
+{
+
+/** Recorded run of a systolic array. */
+struct Trace
+{
+    /** External output ports in (cell, port) order. */
+    std::vector<std::pair<CellId, int>> ports;
+    /** series[i][t] = word on ports[i] at cycle t. */
+    std::vector<std::vector<Word>> series;
+    /** peek() of every cell after the last cycle. */
+    std::vector<std::vector<Word>> finalStates;
+    /** Cycles executed. */
+    int cycles = 0;
+
+    /** Time series of external output (cell, port). @pre it exists. */
+    const std::vector<Word> &of(CellId cell, int port) const;
+
+    /** True when every series and final state matches @p other within
+     *  @p tol. */
+    bool matches(const Trace &other, double tol = 1e-9) const;
+};
+
+/**
+ * Run @p array for @p cycles in perfect lock step.
+ *
+ * @param ext external input provider (null reads as zero).
+ */
+Trace runIdeal(const SystolicArray &array, int cycles,
+               const ExternalInputFn &ext);
+
+} // namespace vsync::systolic
+
+#endif // VSYNC_SYSTOLIC_EXECUTOR_HH

@@ -1,0 +1,66 @@
+#include "systolic/fir.hh"
+
+#include "common/logging.hh"
+
+namespace vsync::systolic
+{
+
+std::vector<Word>
+FirCell::step(const std::vector<Word> &inputs)
+{
+    const Word x_in = inputs[0];
+    const Word y_in = inputs[1];
+    const Word x_out = hold;
+    hold = x_in;
+    return {x_out, y_in + weight * x_in};
+}
+
+SystolicArray
+buildFir(const std::vector<Word> &weights)
+{
+    VSYNC_ASSERT(!weights.empty(), "FIR needs at least one tap");
+    SystolicArray a(csprintf("fir-%zu", weights.size()));
+    for (Word w : weights)
+        a.addCell(std::make_unique<FirCell>(w));
+    for (std::size_t j = 0; j + 1 < weights.size(); ++j) {
+        const CellId src = static_cast<CellId>(j);
+        const CellId dst = static_cast<CellId>(j + 1);
+        a.connect(src, 0, dst, 0); // x chain
+        a.connect(src, 1, dst, 1); // y chain
+    }
+    return a;
+}
+
+ExternalInputFn
+firInputs(std::vector<Word> xs)
+{
+    return [xs = std::move(xs)](CellId cell, int port, int cycle) -> Word {
+        if (cell == 0 && port == 0 && cycle >= 0 &&
+            static_cast<std::size_t>(cycle) < xs.size())
+            return xs[static_cast<std::size_t>(cycle)];
+        return 0.0;
+    };
+}
+
+std::vector<Word>
+firExpectedOutput(const std::vector<Word> &weights,
+                  const std::vector<Word> &xs, int cycles)
+{
+    const int k = static_cast<int>(weights.size());
+    std::vector<Word> expected(static_cast<std::size_t>(cycles), 0.0);
+    auto x_at = [&xs](int idx) -> Word {
+        return idx >= 0 && static_cast<std::size_t>(idx) < xs.size()
+                   ? xs[static_cast<std::size_t>(idx)]
+                   : 0.0;
+    };
+    for (int t = 0; t < cycles; ++t) {
+        const int out_idx = t - (k - 1);
+        Word y = 0.0;
+        for (int j = 0; j < k; ++j)
+            y += weights[static_cast<std::size_t>(j)] * x_at(out_idx - j);
+        expected[static_cast<std::size_t>(t)] = y;
+    }
+    return expected;
+}
+
+} // namespace vsync::systolic

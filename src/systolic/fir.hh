@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Systolic FIR filter on a linear array (the paper's canonical 1-D
+ * workload; Kung, "Why systolic architectures?" [4]).
+ *
+ * Design: k cells, one per tap. The x stream moves right through two
+ * delays per cell (one edge register, one internal hold register); the
+ * accumulating y stream moves right through one delay per cell:
+ *
+ *   cell j:  y_out = y_in + w_j * x_in;  x_out = hold;  hold = x_in.
+ *
+ * With x_t injected at cell 0's x input on cycle t, the last cell's
+ * y output on cycle t equals y_{t-k+1} = sum_j w_j x_{t-k+1-j}.
+ */
+
+#ifndef VSYNC_SYSTOLIC_FIR_HH
+#define VSYNC_SYSTOLIC_FIR_HH
+
+#include <vector>
+
+#include "systolic/array.hh"
+
+namespace vsync::systolic
+{
+
+/** One FIR tap cell. */
+class FirCell : public Cell
+{
+  public:
+    explicit FirCell(Word weight) : weight(weight) {}
+
+    int inPorts() const override { return 2; }  // 0: x, 1: y
+    int outPorts() const override { return 2; } // 0: x, 1: y
+
+    std::vector<Word> step(const std::vector<Word> &inputs) override;
+
+    std::vector<Word> peek() const override { return {weight, hold}; }
+
+    std::unique_ptr<Cell>
+    clone() const override
+    {
+        return std::make_unique<FirCell>(*this);
+    }
+
+  private:
+    Word weight;
+    Word hold = 0.0;
+};
+
+/** Build a FIR array for the given tap weights. */
+SystolicArray buildFir(const std::vector<Word> &weights);
+
+/**
+ * External input function feeding @p xs into cell 0's x port starting
+ * at cycle 0 (zeros outside the stream); all other external inputs 0.
+ */
+ExternalInputFn firInputs(std::vector<Word> xs);
+
+/**
+ * Reference result: the last cell's y output at cycle t for a k-tap
+ * filter is y_{t-k+1}; this computes the full expected series for
+ * @p cycles cycles directly.
+ */
+std::vector<Word> firExpectedOutput(const std::vector<Word> &weights,
+                                    const std::vector<Word> &xs,
+                                    int cycles);
+
+} // namespace vsync::systolic
+
+#endif // VSYNC_SYSTOLIC_FIR_HH

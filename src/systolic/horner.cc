@@ -1,0 +1,56 @@
+#include "systolic/horner.hh"
+
+#include "common/logging.hh"
+
+namespace vsync::systolic
+{
+
+SystolicArray
+buildHorner(const std::vector<Word> &coeffs)
+{
+    VSYNC_ASSERT(!coeffs.empty(), "need at least one coefficient");
+    SystolicArray a(csprintf("horner-%zu", coeffs.size()));
+    for (Word c : coeffs)
+        a.addCell(std::make_unique<HornerCell>(c));
+    for (std::size_t j = 0; j + 1 < coeffs.size(); ++j) {
+        a.connect(static_cast<CellId>(j), 0,
+                  static_cast<CellId>(j + 1), 0); // x
+        a.connect(static_cast<CellId>(j), 1,
+                  static_cast<CellId>(j + 1), 1); // r
+    }
+    return a;
+}
+
+ExternalInputFn
+hornerInputs(std::vector<Word> xs)
+{
+    return [xs = std::move(xs)](CellId cell, int port, int cycle) -> Word {
+        if (cell == 0 && port == 0 && cycle >= 0 &&
+            static_cast<std::size_t>(cycle) < xs.size())
+            return xs[static_cast<std::size_t>(cycle)];
+        return 0.0;
+    };
+}
+
+std::vector<Word>
+hornerExpectedOutput(const std::vector<Word> &coeffs,
+                     const std::vector<Word> &xs, int cycles)
+{
+    const int k = static_cast<int>(coeffs.size());
+    auto x_at = [&xs](int idx) -> Word {
+        return idx >= 0 && static_cast<std::size_t>(idx) < xs.size()
+                   ? xs[static_cast<std::size_t>(idx)]
+                   : 0.0;
+    };
+    std::vector<Word> expected(static_cast<std::size_t>(cycles), 0.0);
+    for (int t = 0; t < cycles; ++t) {
+        const Word x = x_at(t - (k - 1));
+        Word r = 0.0;
+        for (Word c : coeffs)
+            r = r * x + c;
+        expected[static_cast<std::size_t>(t)] = r;
+    }
+    return expected;
+}
+
+} // namespace vsync::systolic

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Systolic polynomial evaluation (Horner's rule) on a linear array.
+ *
+ * Cell j holds coefficient c_j; x values and partial results move
+ * right together at one cell per cycle:
+ *
+ *   r_out = r_in * x_in + c_j;   x_out = x_in.
+ *
+ * The last cell emits p(x) = sum_j c_j x^(k-1-j) -- one full
+ * evaluation per cycle after the pipeline fills. Another classic 1-D
+ * workload for the Section V-A clocking scheme.
+ */
+
+#ifndef VSYNC_SYSTOLIC_HORNER_HH
+#define VSYNC_SYSTOLIC_HORNER_HH
+
+#include <vector>
+
+#include "systolic/array.hh"
+
+namespace vsync::systolic
+{
+
+/** One Horner cell. */
+class HornerCell : public Cell
+{
+  public:
+    explicit HornerCell(Word coefficient) : coefficient(coefficient) {}
+
+    int inPorts() const override { return 2; }  // 0: x, 1: r
+    int outPorts() const override { return 2; } // 0: x, 1: r
+
+    std::vector<Word>
+    step(const std::vector<Word> &inputs) override
+    {
+        return {inputs[0], inputs[1] * inputs[0] + coefficient};
+    }
+
+    std::vector<Word> peek() const override { return {coefficient}; }
+
+    std::unique_ptr<Cell>
+    clone() const override
+    {
+        return std::make_unique<HornerCell>(*this);
+    }
+
+  private:
+    Word coefficient;
+};
+
+/**
+ * Build the evaluator for coefficients @p coeffs (highest power
+ * first: cell 0 holds the leading coefficient).
+ */
+SystolicArray buildHorner(const std::vector<Word> &coeffs);
+
+/** Stream @p xs into cell 0's x port starting at cycle 0. */
+ExternalInputFn hornerInputs(std::vector<Word> xs);
+
+/**
+ * Expected r output of the last cell: p(x_{t-k+1}) at cycle t, with x
+ * reading 0 outside the stream.
+ */
+std::vector<Word> hornerExpectedOutput(const std::vector<Word> &coeffs,
+                                       const std::vector<Word> &xs,
+                                       int cycles);
+
+} // namespace vsync::systolic
+
+#endif // VSYNC_SYSTOLIC_HORNER_HH

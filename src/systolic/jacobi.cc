@@ -1,0 +1,73 @@
+#include "systolic/jacobi.hh"
+
+#include "common/logging.hh"
+
+namespace vsync::systolic
+{
+
+SystolicArray
+buildJacobi(int rows, int cols, Word initial)
+{
+    VSYNC_ASSERT(rows >= 1 && cols >= 1, "bad Jacobi mesh %dx%d", rows,
+                 cols);
+    SystolicArray a(csprintf("jacobi-%dx%d", rows, cols));
+    for (int i = 0; i < rows * cols; ++i)
+        a.addCell(std::make_unique<JacobiCell>(initial));
+    auto id = [cols](int r, int c) {
+        return static_cast<CellId>(r * cols + c);
+    };
+    // Ports: 0 = N, 1 = E, 2 = S, 3 = W.
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols) {
+                a.connect(id(r, c), 1, id(r, c + 1), 3); // east
+                a.connect(id(r, c + 1), 3, id(r, c), 1); // west
+            }
+            if (r + 1 < rows) {
+                a.connect(id(r, c), 2, id(r + 1, c), 0); // south
+                a.connect(id(r + 1, c), 0, id(r, c), 2); // north
+            }
+        }
+    }
+    return a;
+}
+
+ExternalInputFn
+jacobiInputs(Word boundary)
+{
+    return [boundary](CellId, int, int) { return boundary; };
+}
+
+std::vector<std::vector<Word>>
+jacobiReference(int rows, int cols, Word initial, Word boundary,
+                int cycles)
+{
+    // Mirror the executor: `sent` holds the value sitting in the edge
+    // registers (all four outputs of a cell are identical), starting
+    // at the registers' initial zero.
+    std::vector<std::vector<Word>> s(
+        rows, std::vector<Word>(cols, initial));
+    std::vector<std::vector<Word>> sent(
+        rows, std::vector<Word>(cols, 0.0));
+    for (int t = 0; t < cycles; ++t) {
+        std::vector<std::vector<Word>> next = s;
+        for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c) {
+                const Word north =
+                    r > 0 ? sent[r - 1][c] : boundary;
+                const Word south =
+                    r + 1 < rows ? sent[r + 1][c] : boundary;
+                const Word west = c > 0 ? sent[r][c - 1] : boundary;
+                const Word east =
+                    c + 1 < cols ? sent[r][c + 1] : boundary;
+                next[r][c] = 0.25 * (north + east + south + west);
+            }
+        }
+        // Registers pick up the pre-update values.
+        sent = s;
+        s = next;
+    }
+    return s;
+}
+
+} // namespace vsync::systolic

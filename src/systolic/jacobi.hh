@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Jacobi relaxation on a 2-D mesh: the iterative-solver face of the
+ * n x n arrays whose clocking Section V-B analyses.
+ *
+ * Every cell repeatedly replaces its value with the average of its
+ * four neighbours (boundary ports read a fixed boundary value from the
+ * host). Because array links carry one register of delay, the
+ * realised iteration is the two-step synchronous recurrence
+ *
+ *   s_{t+1}(c) = 1/4 * ( sum of neighbours' s_{t-1} + boundary terms )
+ *
+ * which jacobiReference() mirrors exactly, so runs can be verified
+ * bit-for-bit at any cycle count.
+ */
+
+#ifndef VSYNC_SYSTOLIC_JACOBI_HH
+#define VSYNC_SYSTOLIC_JACOBI_HH
+
+#include <vector>
+
+#include "systolic/array.hh"
+
+namespace vsync::systolic
+{
+
+/** One Jacobi relaxation cell. */
+class JacobiCell : public Cell
+{
+  public:
+    explicit JacobiCell(Word initial) : value(initial) {}
+
+    int inPorts() const override { return 4; }  // N, E, S, W
+    int outPorts() const override { return 4; } // N, E, S, W
+
+    std::vector<Word>
+    step(const std::vector<Word> &inputs) override
+    {
+        const Word out = value;
+        value = 0.25 * (inputs[0] + inputs[1] + inputs[2] + inputs[3]);
+        return {out, out, out, out};
+    }
+
+    std::vector<Word> peek() const override { return {value}; }
+
+    std::unique_ptr<Cell>
+    clone() const override
+    {
+        return std::make_unique<JacobiCell>(*this);
+    }
+
+  private:
+    Word value;
+};
+
+/**
+ * Build a rows x cols Jacobi mesh (row-major cell ids) with all cells
+ * initialised to @p initial.
+ */
+SystolicArray buildJacobi(int rows, int cols, Word initial = 0.0);
+
+/**
+ * External inputs: boundary ports read @p boundary every cycle (the
+ * Dirichlet condition held by the host).
+ */
+ExternalInputFn jacobiInputs(Word boundary);
+
+/**
+ * Reference iterate: cell states after @p cycles executor steps,
+ * mirroring the registered-link recurrence exactly.
+ */
+std::vector<std::vector<Word>> jacobiReference(int rows, int cols,
+                                               Word initial,
+                                               Word boundary,
+                                               int cycles);
+
+} // namespace vsync::systolic
+
+#endif // VSYNC_SYSTOLIC_JACOBI_HH

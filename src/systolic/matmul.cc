@@ -1,0 +1,76 @@
+#include "systolic/matmul.hh"
+
+#include "common/logging.hh"
+
+namespace vsync::systolic
+{
+
+SystolicArray
+buildMatMul(int n)
+{
+    VSYNC_ASSERT(n >= 1, "matmul mesh needs n >= 1, got %d", n);
+    SystolicArray arr(csprintf("matmul-%dx%d", n, n));
+    for (int i = 0; i < n * n; ++i)
+        arr.addCell(std::make_unique<MatMulCell>());
+    auto id = [n](int r, int c) { return static_cast<CellId>(r * n + c); };
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) {
+            if (c + 1 < n)
+                arr.connect(id(r, c), 0, id(r, c + 1), 0); // a east
+            if (r + 1 < n)
+                arr.connect(id(r, c), 1, id(r + 1, c), 1); // b south
+        }
+    }
+    return arr;
+}
+
+ExternalInputFn
+matMulInputs(std::vector<std::vector<Word>> a,
+             std::vector<std::vector<Word>> b)
+{
+    const int n = static_cast<int>(a.size());
+    return [a = std::move(a), b = std::move(b), n](
+               CellId cell, int port, int cycle) -> Word {
+        const int row = cell / n;
+        const int col = cell % n;
+        if (port == 0 && col == 0) {
+            // a_{row,k} enters on cycle row + k.
+            const int k = cycle - row;
+            if (k >= 0 && k < n)
+                return a[static_cast<std::size_t>(row)]
+                        [static_cast<std::size_t>(k)];
+        } else if (port == 1 && row == 0) {
+            // b_{k,col} enters on cycle col + k.
+            const int k = cycle - col;
+            if (k >= 0 && k < n)
+                return b[static_cast<std::size_t>(k)]
+                        [static_cast<std::size_t>(col)];
+        }
+        return 0.0;
+    };
+}
+
+int
+matMulCycles(int n)
+{
+    return 3 * n - 2;
+}
+
+std::vector<std::vector<Word>>
+matMulReference(const std::vector<std::vector<Word>> &a,
+                const std::vector<std::vector<Word>> &b)
+{
+    const std::size_t n = a.size();
+    VSYNC_ASSERT(b.size() == n, "dimension mismatch");
+    std::vector<std::vector<Word>> c(n, std::vector<Word>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        VSYNC_ASSERT(a[i].size() == n && b[i].size() == n,
+                     "ragged matrix row %zu", i);
+        for (std::size_t k = 0; k < n; ++k)
+            for (std::size_t j = 0; j < n; ++j)
+                c[i][j] += a[i][k] * b[k][j];
+    }
+    return c;
+}
+
+} // namespace vsync::systolic

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Systolic matrix multiplication C = A B on an n x n mesh.
+ *
+ * Cell (i, j) accumulates c_{ij}. A's rows stream in from the west
+ * boundary (a_{i,k} enters row i on cycle i + k), B's columns from the
+ * north boundary (b_{k,j} enters column j on cycle j + k); values pass
+ * east/south one hop per cycle, so a_{i,k} and b_{k,j} meet at cell
+ * (i, j) on cycle i + j + k and all n products accumulate by cycle
+ * 3n - 3. This is the classic 2-D workload whose clocked implementation
+ * Section V-B proves cannot keep constant-period global clocking under
+ * the summation model.
+ */
+
+#ifndef VSYNC_SYSTOLIC_MATMUL_HH
+#define VSYNC_SYSTOLIC_MATMUL_HH
+
+#include <vector>
+
+#include "systolic/array.hh"
+
+namespace vsync::systolic
+{
+
+/** One mesh matmul cell. */
+class MatMulCell : public Cell
+{
+  public:
+    int inPorts() const override { return 2; }  // 0: a west, 1: b north
+    int outPorts() const override { return 2; } // 0: a east, 1: b south
+
+    std::vector<Word>
+    step(const std::vector<Word> &inputs) override
+    {
+        c += inputs[0] * inputs[1];
+        return {inputs[0], inputs[1]};
+    }
+
+    std::vector<Word> peek() const override { return {c}; }
+
+    std::unique_ptr<Cell>
+    clone() const override
+    {
+        return std::make_unique<MatMulCell>(*this);
+    }
+
+  private:
+    Word c = 0.0;
+};
+
+/** Build an n x n matmul mesh (row-major cell ids). */
+SystolicArray buildMatMul(int n);
+
+/**
+ * External inputs streaming @p a (west) and @p b (north) with the
+ * diagonal stagger. Both must be n x n.
+ */
+ExternalInputFn matMulInputs(std::vector<std::vector<Word>> a,
+                             std::vector<std::vector<Word>> b);
+
+/** Cycles needed for every product to accumulate: 3n - 2. */
+int matMulCycles(int n);
+
+/** Plain reference product. */
+std::vector<std::vector<Word>> matMulReference(
+    const std::vector<std::vector<Word>> &a,
+    const std::vector<std::vector<Word>> &b);
+
+} // namespace vsync::systolic
+
+#endif // VSYNC_SYSTOLIC_MATMUL_HH

@@ -1,0 +1,57 @@
+#include "systolic/matvec.hh"
+
+#include "common/logging.hh"
+
+namespace vsync::systolic
+{
+
+SystolicArray
+buildMatVec(const std::vector<Word> &x)
+{
+    VSYNC_ASSERT(!x.empty(), "matvec needs at least one element");
+    SystolicArray a(csprintf("matvec-%zu", x.size()));
+    for (Word xi : x)
+        a.addCell(std::make_unique<MatVecCell>(xi));
+    for (std::size_t j = 0; j + 1 < x.size(); ++j)
+        a.connect(static_cast<CellId>(j), 0,
+                  static_cast<CellId>(j + 1), 1);
+    return a;
+}
+
+ExternalInputFn
+matVecInputs(std::vector<std::vector<Word>> a)
+{
+    return [a = std::move(a)](CellId cell, int port, int cycle) -> Word {
+        if (port != 0)
+            return 0.0;
+        const int i = cycle - cell; // a_{i,j} enters cell j at i + j
+        if (i < 0 || static_cast<std::size_t>(i) >= a.size())
+            return 0.0;
+        const auto &row = a[static_cast<std::size_t>(i)];
+        if (static_cast<std::size_t>(cell) >= row.size())
+            return 0.0;
+        return row[static_cast<std::size_t>(cell)];
+    };
+}
+
+std::vector<Word>
+matVecExpectedOutput(const std::vector<std::vector<Word>> &a,
+                     const std::vector<Word> &x, int cycles)
+{
+    const int n = static_cast<int>(x.size());
+    std::vector<Word> expected(static_cast<std::size_t>(cycles), 0.0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        VSYNC_ASSERT(a[i].size() == x.size(),
+                     "matrix row %zu has %zu entries, expected %zu", i,
+                     a[i].size(), x.size());
+        Word y = 0.0;
+        for (std::size_t j = 0; j < x.size(); ++j)
+            y += a[i][j] * x[j];
+        const int t = static_cast<int>(i) + n - 1;
+        if (t < cycles)
+            expected[static_cast<std::size_t>(t)] = y;
+    }
+    return expected;
+}
+
+} // namespace vsync::systolic

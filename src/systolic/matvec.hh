@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Systolic matrix-vector product y = A x on a linear array.
+ *
+ * Cell j is preloaded with x_j. Matrix entries stream in from the host
+ * along a diagonal wavefront: a_{i,j} enters cell j on cycle i + j.
+ * Partial sums move right, gaining a_{i,j} x_j at each cell, and
+ * y_i emerges from the last cell on cycle i + n - 1.
+ */
+
+#ifndef VSYNC_SYSTOLIC_MATVEC_HH
+#define VSYNC_SYSTOLIC_MATVEC_HH
+
+#include <vector>
+
+#include "systolic/array.hh"
+
+namespace vsync::systolic
+{
+
+/** One matrix-vector cell holding x_j. */
+class MatVecCell : public Cell
+{
+  public:
+    explicit MatVecCell(Word x) : x(x) {}
+
+    int inPorts() const override { return 2; }  // 0: a (host), 1: s
+    int outPorts() const override { return 1; } // 0: s
+
+    std::vector<Word>
+    step(const std::vector<Word> &inputs) override
+    {
+        return {inputs[1] + inputs[0] * x};
+    }
+
+    std::vector<Word> peek() const override { return {x}; }
+
+    std::unique_ptr<Cell>
+    clone() const override
+    {
+        return std::make_unique<MatVecCell>(*this);
+    }
+
+  private:
+    Word x;
+};
+
+/** Build a matvec array preloaded with @p x. */
+SystolicArray buildMatVec(const std::vector<Word> &x);
+
+/**
+ * External input function streaming the m x n matrix @p a (row-major,
+ * m rows) into the cells' a ports along the diagonal wavefront.
+ */
+ExternalInputFn matVecInputs(std::vector<std::vector<Word>> a);
+
+/**
+ * Expected series on the last cell's s output for @p cycles cycles:
+ * y_i appears at cycle i + n - 1.
+ */
+std::vector<Word> matVecExpectedOutput(
+    const std::vector<std::vector<Word>> &a, const std::vector<Word> &x,
+    int cycles);
+
+} // namespace vsync::systolic
+
+#endif // VSYNC_SYSTOLIC_MATVEC_HH

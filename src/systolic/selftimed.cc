@@ -1,0 +1,89 @@
+#include "systolic/selftimed.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/fit.hh"
+#include "common/logging.hh"
+
+namespace vsync::systolic
+{
+
+SelfTimedResult
+runSelfTimed(const SystolicArray &array, int firings,
+             const ServiceFn &service, bool bounded)
+{
+    VSYNC_ASSERT(firings >= 1, "need at least one firing");
+    VSYNC_ASSERT(static_cast<bool>(service), "null service function");
+    array.validate();
+
+    const std::size_t n = array.size();
+    std::vector<std::vector<CellId>> preds(n), succs(n);
+    for (const Connection &c : array.connections()) {
+        preds[c.dst].push_back(c.src);
+        succs[c.src].push_back(c.dst);
+    }
+
+    // t_prev[v] = completion time of firing k-1; t_prev2 of k-2.
+    std::vector<Time> t_prev(n, 0.0), t_prev2(n, 0.0), t_cur(n, 0.0);
+    std::vector<Time> last_completion; // of the max cell per firing
+    last_completion.reserve(static_cast<std::size_t>(firings));
+
+    for (int k = 0; k < firings; ++k) {
+        Time round_max = 0.0;
+        for (std::size_t v = 0; v < n; ++v) {
+            Time ready = 0.0;
+            if (k > 0) {
+                // Inputs: the k-th token from each predecessor is its
+                // (k-1)-th firing's output.
+                for (CellId u : preds[v])
+                    ready = std::max(ready, t_prev[u]);
+                // A cell cannot start its next firing before finishing
+                // the previous one.
+                ready = std::max(ready, t_prev[v]);
+                if (bounded && k > 1) {
+                    // Unit-capacity output links: the consumer must
+                    // have absorbed the previous token first.
+                    for (CellId w : succs[v])
+                        ready = std::max(ready, t_prev2[w]);
+                }
+            }
+            t_cur[v] =
+                ready + service(static_cast<CellId>(v), k);
+            round_max = std::max(round_max, t_cur[v]);
+        }
+        last_completion.push_back(round_max);
+        t_prev2 = t_prev;
+        t_prev = t_cur;
+    }
+
+    SelfTimedResult result;
+    result.firings = firings;
+    result.lastFireTime = t_prev;
+    result.completionTime = last_completion.back();
+
+    // Steady-state cycle: slope of round completion times over the
+    // second half of the run.
+    if (firings >= 4) {
+        std::vector<double> xs, ys;
+        for (int k = firings / 2; k < firings; ++k) {
+            xs.push_back(static_cast<double>(k));
+            ys.push_back(last_completion[static_cast<std::size_t>(k)]);
+        }
+        result.steadyCycle = fitLinear(xs, ys).slope;
+    } else {
+        result.steadyCycle =
+            result.completionTime / static_cast<double>(firings);
+    }
+    return result;
+}
+
+double
+worstCasePathProbability(double p, int k)
+{
+    VSYNC_ASSERT(p >= 0.0 && p <= 1.0, "probability %g out of [0,1]", p);
+    VSYNC_ASSERT(k >= 0, "negative path length %d", k);
+    return 1.0 - std::pow(p, k);
+}
+
+} // namespace vsync::systolic

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Self-timed (asynchronous dataflow) execution of systolic arrays.
+ *
+ * Each cell fires as soon as its inputs are available (and, with
+ * bounded buffering, its previous outputs have been consumed), taking a
+ * per-firing service time. This is the paper's Section I model for
+ * fully self-timed arrays; it exists to quantify the claim that
+ * self-timing seldom pays off in regular arrays: the throughput of a
+ * k-cell path is limited by its slowest member, and a worst-case cell
+ * appears on the path with probability 1 - p^k.
+ */
+
+#ifndef VSYNC_SYSTOLIC_SELFTIMED_HH
+#define VSYNC_SYSTOLIC_SELFTIMED_HH
+
+#include <functional>
+#include <vector>
+
+#include "systolic/array.hh"
+
+namespace vsync::systolic
+{
+
+/** Service time of a cell's @p firing-th firing (ns). */
+using ServiceFn = std::function<Time(CellId, int firing)>;
+
+/** Result of a self-timed run. */
+struct SelfTimedResult
+{
+    /** Time the last cell completed its last firing. */
+    Time completionTime = 0.0;
+
+    /** Firings per cell executed. */
+    int firings = 0;
+
+    /**
+     * Steady-state cycle time estimate: the slope of the last cell
+     * completion times over the second half of the run.
+     */
+    Time steadyCycle = 0.0;
+
+    /** Completion time of every cell's final firing. */
+    std::vector<Time> lastFireTime;
+};
+
+/**
+ * Compute the self-timed firing schedule of @p array.
+ *
+ * @param firings  number of firings per cell.
+ * @param service  per-firing service times.
+ * @param bounded  true: unit-capacity edges (a producer blocks until
+ *                 its consumer has taken the previous token -- the
+ *                 realistic handshake semantics); false: unbounded
+ *                 FIFOs.
+ */
+SelfTimedResult runSelfTimed(const SystolicArray &array, int firings,
+                             const ServiceFn &service,
+                             bool bounded = true);
+
+/**
+ * The intro's analysis: probability that a directed path of @p k cells
+ * contains at least one worst-case cell when each cell independently
+ * avoids the worst case with probability @p p: 1 - p^k.
+ */
+double worstCasePathProbability(double p, int k);
+
+} // namespace vsync::systolic
+
+#endif // VSYNC_SYSTOLIC_SELFTIMED_HH

@@ -1,0 +1,49 @@
+#include "systolic/sort.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vsync::systolic
+{
+
+std::vector<Word>
+OESortCell::step(const std::vector<Word> &inputs)
+{
+    // Cycle 0 only publishes the key so neighbours' edge registers fill.
+    if (cycle > 0) {
+        const int s = cycle - 1; // compare step index
+        const bool pair_right = ((s + index) % 2) == 0;
+        if (pair_right && index + 1 < n) {
+            value = std::min(value, inputs[1]);
+        } else if (!pair_right && index > 0) {
+            value = std::max(value, inputs[0]);
+        }
+    }
+    ++cycle;
+    return {value, value};
+}
+
+SystolicArray
+buildOESort(const std::vector<Word> &keys)
+{
+    VSYNC_ASSERT(!keys.empty(), "sorting needs at least one key");
+    const int n = static_cast<int>(keys.size());
+    SystolicArray a(csprintf("oesort-%d", n));
+    for (int i = 0; i < n; ++i)
+        a.addCell(std::make_unique<OESortCell>(i, n, keys[i]));
+    for (int i = 0; i + 1 < n; ++i) {
+        const CellId left = i, right = i + 1;
+        a.connect(left, 1, right, 0);  // left's value to right's port 0
+        a.connect(right, 0, left, 1);  // right's value to left's port 1
+    }
+    return a;
+}
+
+int
+oeSortCycles(int n)
+{
+    return n + 1;
+}
+
+} // namespace vsync::systolic

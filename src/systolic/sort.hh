@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Odd-even transposition sort on a linear array.
+ *
+ * Every cell holds one key and exchanges it with alternating neighbours
+ * each compare step; after n steps the keys are sorted. The first cycle
+ * only publishes values (edge registers start empty), so a run takes
+ * n + 1 cycles. This exercises the bidirectional communication pattern
+ * of 1-D arrays under the Section V-A clocking scheme.
+ */
+
+#ifndef VSYNC_SYSTOLIC_SORT_HH
+#define VSYNC_SYSTOLIC_SORT_HH
+
+#include <vector>
+
+#include "systolic/array.hh"
+
+namespace vsync::systolic
+{
+
+/** One odd-even transposition sort cell. */
+class OESortCell : public Cell
+{
+  public:
+    /**
+     * @param index position in the array.
+     * @param n     array length.
+     * @param value initial key.
+     */
+    OESortCell(int index, int n, Word value)
+        : index(index), n(n), value(value)
+    {
+    }
+
+    int inPorts() const override { return 2; }  // 0: from left, 1: right
+    int outPorts() const override { return 2; } // 0: to left, 1: right
+
+    std::vector<Word> step(const std::vector<Word> &inputs) override;
+
+    std::vector<Word> peek() const override { return {value}; }
+
+    std::unique_ptr<Cell>
+    clone() const override
+    {
+        return std::make_unique<OESortCell>(*this);
+    }
+
+  private:
+    int index;
+    int n;
+    Word value;
+    int cycle = 0;
+};
+
+/** Build a sorting array preloaded with @p keys. */
+SystolicArray buildOESort(const std::vector<Word> &keys);
+
+/** Cycles to completion: publish + n compare steps. */
+int oeSortCycles(int n);
+
+} // namespace vsync::systolic
+
+#endif // VSYNC_SYSTOLIC_SORT_HH

@@ -1,0 +1,99 @@
+#include "systolic/trisolve.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vsync::systolic
+{
+
+std::vector<Word>
+TriSolveCell::step(const std::vector<Word> &inputs)
+{
+    const Word l_in = inputs[0];
+    const Word s_in = inputs[1];
+    const Word b_in = inputs[2];
+    const int row = cycle - index; // row whose wavefront is here now
+    ++cycle;
+
+    if (row < index) {
+        // Wavefront has not reached this cell's first live row yet.
+        return {0.0};
+    }
+    if (row == index) {
+        // Boundary operation: solve for this cell's unknown.
+        VSYNC_ASSERT(std::fabs(l_in) > 1e-300,
+                     "zero diagonal entry at cell %d", index);
+        y = (b_in - s_in) / l_in;
+        solved = true;
+        // Pass b_j along; downstream cells see zero l entries for this
+        // row, so the value is inert.
+        return {s_in + l_in * y};
+    }
+    // row > index: accumulate this cell's contribution to a later row.
+    VSYNC_ASSERT(solved, "cell %d used before its unknown solved",
+                 index);
+    return {s_in + l_in * y};
+}
+
+SystolicArray
+buildTriSolve(int n)
+{
+    VSYNC_ASSERT(n >= 1, "solver needs n >= 1, got %d", n);
+    SystolicArray a(csprintf("trisolve-%d", n));
+    for (int j = 0; j < n; ++j)
+        a.addCell(std::make_unique<TriSolveCell>(j));
+    for (int j = 0; j + 1 < n; ++j)
+        a.connect(static_cast<CellId>(j), 0,
+                  static_cast<CellId>(j + 1), 1);
+    return a;
+}
+
+ExternalInputFn
+triSolveInputs(std::vector<std::vector<Word>> l, std::vector<Word> b)
+{
+    const int n = static_cast<int>(b.size());
+    return [l = std::move(l), b = std::move(b), n](
+               CellId cell, int port, int cycle) -> Word {
+        if (port == 0) {
+            // l_{i, j} at cycle i + j into cell j.
+            const int i = cycle - cell;
+            if (i >= 0 && i < n &&
+                static_cast<std::size_t>(cell) <
+                    l[static_cast<std::size_t>(i)].size())
+                return l[static_cast<std::size_t>(i)]
+                        [static_cast<std::size_t>(cell)];
+        } else if (port == 2) {
+            // b_j at cycle 2j into cell j.
+            if (cycle == 2 * cell && cell < n)
+                return b[static_cast<std::size_t>(cell)];
+        }
+        return 0.0;
+    };
+}
+
+int
+triSolveCycles(int n)
+{
+    return 2 * n - 1;
+}
+
+std::vector<Word>
+triSolveReference(const std::vector<std::vector<Word>> &l,
+                  const std::vector<Word> &b)
+{
+    const std::size_t n = b.size();
+    VSYNC_ASSERT(l.size() == n, "dimension mismatch");
+    std::vector<Word> y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        VSYNC_ASSERT(std::fabs(l[i][i]) > 1e-300,
+                     "zero diagonal at row %zu", i);
+        Word s = 0.0;
+        for (std::size_t k = 0; k < i; ++k)
+            s += l[i][k] * y[k];
+        y[i] = (b[i] - s) / l[i][i];
+    }
+    return y;
+}
+
+} // namespace vsync::systolic

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Systolic triangular solve: L y = b for lower-triangular L on a
+ * linear array (the Kung-Leiserson linear-system workload).
+ *
+ * Cell j owns unknown y_j. Matrix entries stream in along the matvec
+ * wavefront (l_{i,j} reaches cell j at cycle i + j) and partial sums
+ * flow right. When row j's wavefront reaches cell j (cycle 2j) the
+ * cell performs the boundary operation y_j = (b_j - s_in) / l_{jj},
+ * stores y_j, and thereafter multiplies incoming l_{i,j} by it. After
+ * 2n - 1 cycles every cell holds its unknown (read via peek()).
+ */
+
+#ifndef VSYNC_SYSTOLIC_TRISOLVE_HH
+#define VSYNC_SYSTOLIC_TRISOLVE_HH
+
+#include <vector>
+
+#include "systolic/array.hh"
+
+namespace vsync::systolic
+{
+
+/** One triangular-solve cell. */
+class TriSolveCell : public Cell
+{
+  public:
+    explicit TriSolveCell(int index) : index(index) {}
+
+    int inPorts() const override { return 3; }  // 0: l, 1: s, 2: b
+    int outPorts() const override { return 1; } // 0: s
+
+    std::vector<Word> step(const std::vector<Word> &inputs) override;
+
+    std::vector<Word> peek() const override { return {y}; }
+
+    std::unique_ptr<Cell>
+    clone() const override
+    {
+        return std::make_unique<TriSolveCell>(*this);
+    }
+
+  private:
+    int index;
+    int cycle = 0;
+    Word y = 0.0;
+    bool solved = false;
+};
+
+/** Build an n-cell solver. */
+SystolicArray buildTriSolve(int n);
+
+/**
+ * Stream the lower-triangular matrix @p l (n x n, row-major) and the
+ * right-hand side @p b: l_{i,j} into cell j's l port at cycle i + j,
+ * b_i into cell i's b port at cycle 2i.
+ */
+ExternalInputFn triSolveInputs(std::vector<std::vector<Word>> l,
+                               std::vector<Word> b);
+
+/** Cycles to completion: the last boundary operation is at 2n - 2. */
+int triSolveCycles(int n);
+
+/** Reference forward substitution. @pre l has a non-zero diagonal. */
+std::vector<Word> triSolveReference(
+    const std::vector<std::vector<Word>> &l, const std::vector<Word> &b);
+
+} // namespace vsync::systolic
+
+#endif // VSYNC_SYSTOLIC_TRISOLVE_HH

@@ -1,0 +1,87 @@
+#include "treemachine/search.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vsync::treemachine
+{
+
+systolic::SystolicArray
+buildSearchMachine(int levels, const std::vector<systolic::Word> &keys)
+{
+    VSYNC_ASSERT(levels >= 2, "search machine needs >= 2 levels");
+    const int leaves = 1 << (levels - 1);
+    VSYNC_ASSERT(static_cast<int>(keys.size()) == leaves,
+                 "expected %d keys, got %zu", leaves, keys.size());
+
+    systolic::SystolicArray arr(csprintf("search-machine-%d", levels));
+    const int internal = (1 << (levels - 1)) - 1;
+    const int n = (1 << levels) - 1;
+    for (int v = 0; v < n; ++v) {
+        if (v < internal) {
+            arr.addCell(std::make_unique<CombineCell>());
+        } else {
+            arr.addCell(std::make_unique<LeafCell>(
+                keys[static_cast<std::size_t>(v - internal)]));
+        }
+    }
+    for (int v = 0; v < internal; ++v) {
+        const int left = 2 * v + 1;
+        const int right = 2 * v + 2;
+        const bool left_leaf = left >= internal;
+        const bool right_leaf = right >= internal;
+        // Query down: out 0 -> left's query port, out 1 -> right's.
+        arr.connect(v, 0, left, 0);
+        arr.connect(v, 1, right, 0);
+        // Results up: child's result port -> our in 1 / in 2.
+        arr.connect(left, left_leaf ? 0 : 2, v, 1);
+        arr.connect(right, right_leaf ? 0 : 2, v, 2);
+    }
+    return arr;
+}
+
+systolic::ExternalInputFn
+searchInputs(std::vector<systolic::Word> qs)
+{
+    return [qs = std::move(qs)](CellId cell, int port,
+                                int cycle) -> systolic::Word {
+        if (cell == 0 && port == 0 && cycle >= 0 &&
+            static_cast<std::size_t>(cycle) < qs.size())
+            return qs[static_cast<std::size_t>(cycle)];
+        return 0.0;
+    };
+}
+
+std::vector<systolic::Word>
+searchExpectedOutput(int levels, const std::vector<systolic::Word> &keys,
+                     const std::vector<systolic::Word> &qs, int cycles)
+{
+    const int lat = 2 * (levels - 1);
+    std::vector<systolic::Word> expected(
+        static_cast<std::size_t>(cycles), 0.0);
+    const int down = levels - 1; // root-to-leaf query latency
+    for (int t = 0; t < cycles; ++t) {
+        if (t < down) {
+            // Upward registers still hold their initial zeros, and
+            // scores are non-negative, so the root's min emits 0.
+            expected[static_cast<std::size_t>(t)] = 0.0;
+            continue;
+        }
+        // The leaves scored the query injected at cycle t - lat; for
+        // t - lat < 0 they scored the zero-filled query registers.
+        const int qi = t - lat;
+        const systolic::Word q =
+            (qi >= 0 && static_cast<std::size_t>(qi) < qs.size())
+                ? qs[static_cast<std::size_t>(qi)]
+                : 0.0;
+        systolic::Word best = infinity;
+        for (systolic::Word k : keys)
+            best = std::min(best, std::fabs(k - q));
+        expected[static_cast<std::size_t>(t)] = best;
+    }
+    return expected;
+}
+
+} // namespace vsync::treemachine

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A Bentley-Kung style tree search machine [2] running on the systolic
+ * substrate: queries broadcast down the tree, per-leaf scores combine
+ * (min) on the way up. One query enters and one result leaves per
+ * cycle; the root-to-root latency is 2 (levels - 1) cycles. This is
+ * the Section VIII workload: COMM is a binary tree and the machine
+ * stays fully pipelined after register insertion.
+ */
+
+#ifndef VSYNC_TREEMACHINE_SEARCH_HH
+#define VSYNC_TREEMACHINE_SEARCH_HH
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "systolic/array.hh"
+
+namespace vsync::treemachine
+{
+
+/** Internal tree node: broadcast down, min-combine up. */
+class CombineCell : public systolic::Cell
+{
+  public:
+    int inPorts() const override { return 3; }  // 0 query, 1 L, 2 R
+    int outPorts() const override { return 3; } // 0 L, 1 R, 2 result
+
+    std::vector<systolic::Word>
+    step(const std::vector<systolic::Word> &in) override
+    {
+        const systolic::Word up = std::min(in[1], in[2]);
+        return {in[0], in[0], up};
+    }
+
+    std::unique_ptr<Cell>
+    clone() const override
+    {
+        return std::make_unique<CombineCell>(*this);
+    }
+};
+
+/** Leaf holding a key; scores queries by absolute distance. */
+class LeafCell : public systolic::Cell
+{
+  public:
+    explicit LeafCell(systolic::Word key) : key(key) {}
+
+    int inPorts() const override { return 1; }  // 0 query
+    int outPorts() const override { return 1; } // 0 score
+
+    std::vector<systolic::Word>
+    step(const std::vector<systolic::Word> &in) override
+    {
+        return {std::fabs(key - in[0])};
+    }
+
+    std::vector<systolic::Word> peek() const override { return {key}; }
+
+    std::unique_ptr<Cell>
+    clone() const override
+    {
+        return std::make_unique<LeafCell>(*this);
+    }
+
+  private:
+    systolic::Word key;
+};
+
+/**
+ * Build a @p levels-level nearest-key search machine over @p keys
+ * (@p keys.size() == 2^(levels-1); cell ids in heap order).
+ */
+systolic::SystolicArray buildSearchMachine(
+    int levels, const std::vector<systolic::Word> &keys);
+
+/** Query stream feeding the root's query port. */
+systolic::ExternalInputFn searchInputs(std::vector<systolic::Word> qs);
+
+/**
+ * Expected root result series: out(t) = min_i |key_i - q(t - 2(L-1))|
+ * where q(t) reads zero outside the stream.
+ */
+std::vector<systolic::Word> searchExpectedOutput(
+    int levels, const std::vector<systolic::Word> &keys,
+    const std::vector<systolic::Word> &qs, int cycles);
+
+} // namespace vsync::treemachine
+
+#endif // VSYNC_TREEMACHINE_SEARCH_HH

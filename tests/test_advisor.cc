@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the synchronization scheme advisor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/advisor.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::core;
+using graph::TopologyKind;
+
+TechnologyAssumptions
+summationTech()
+{
+    TechnologyAssumptions t;
+    t.skewModel = SkewModelKind::Summation;
+    t.temporalInvariance = true;
+    t.smallSystem = false;
+    return t;
+}
+
+TEST(Advisor, LinearArrayGetsSpine)
+{
+    const Advice a = adviseScheme(TopologyKind::Linear, summationTech());
+    EXPECT_EQ(a.scheme, SyncScheme::PipelinedSpine);
+    EXPECT_EQ(a.periodGrowth, GrowthLaw::Constant);
+    EXPECT_NE(a.justification.find("Theorem 3"), std::string::npos);
+}
+
+TEST(Advisor, RingTreatedAsOneDimensional)
+{
+    const Advice a = adviseScheme(TopologyKind::Ring, summationTech());
+    EXPECT_EQ(a.scheme, SyncScheme::PipelinedSpine);
+}
+
+TEST(Advisor, MeshNeedsHybridUnderSummation)
+{
+    for (TopologyKind k :
+         {TopologyKind::Mesh, TopologyKind::Torus, TopologyKind::Hex}) {
+        const Advice a = adviseScheme(k, summationTech());
+        EXPECT_EQ(a.scheme, SyncScheme::Hybrid);
+        EXPECT_EQ(a.periodGrowth, GrowthLaw::Constant);
+        EXPECT_NE(a.justification.find("Theorem 6"), std::string::npos);
+    }
+}
+
+TEST(Advisor, TreeClocksAlongDataPaths)
+{
+    const Advice a =
+        adviseScheme(TopologyKind::BinaryTree, summationTech());
+    EXPECT_EQ(a.scheme, SyncScheme::ClockAlongDataPaths);
+    EXPECT_NE(a.justification.find("Section VIII"), std::string::npos);
+}
+
+TEST(Advisor, DifferenceModelAllowsHTreeEverywhere)
+{
+    TechnologyAssumptions t = summationTech();
+    t.skewModel = SkewModelKind::Difference;
+    for (TopologyKind k :
+         {TopologyKind::Linear, TopologyKind::Mesh,
+          TopologyKind::BinaryTree}) {
+        const Advice a = adviseScheme(k, t);
+        EXPECT_EQ(a.scheme, SyncScheme::PipelinedHTree);
+        EXPECT_EQ(a.periodGrowth, GrowthLaw::Constant);
+    }
+}
+
+TEST(Advisor, NoTemporalInvarianceForcesHybrid)
+{
+    TechnologyAssumptions t = summationTech();
+    t.temporalInvariance = false;
+    for (TopologyKind k : {TopologyKind::Linear, TopologyKind::Mesh}) {
+        const Advice a = adviseScheme(k, t);
+        EXPECT_EQ(a.scheme, SyncScheme::Hybrid);
+        EXPECT_NE(a.justification.find("A8"), std::string::npos);
+    }
+}
+
+TEST(Advisor, SmallSystemsKeepGlobalClock)
+{
+    TechnologyAssumptions t = summationTech();
+    t.smallSystem = true;
+    const Advice a = adviseScheme(TopologyKind::Mesh, t);
+    EXPECT_EQ(a.scheme, SyncScheme::GlobalEquipotential);
+    EXPECT_NE(a.justification.find("Section VII"), std::string::npos);
+}
+
+TEST(Advisor, SchemeNamesAreDistinct)
+{
+    std::vector<std::string> names;
+    for (SyncScheme s :
+         {SyncScheme::GlobalEquipotential, SyncScheme::PipelinedHTree,
+          SyncScheme::PipelinedSpine, SyncScheme::ClockAlongDataPaths,
+          SyncScheme::Hybrid, SyncScheme::FullySelfTimed}) {
+        names.push_back(syncSchemeName(s));
+    }
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+} // namespace

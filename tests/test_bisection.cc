@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for minimum bisection computation (the Lemma 4 substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "graph/bisection.hh"
+#include "graph/topology.hh"
+
+namespace
+{
+
+using namespace vsync::graph;
+using vsync::Rng;
+
+TEST(CutSize, CountsCrossingUndirectedEdges)
+{
+    const Topology t = linearArray(4);
+    // Partition {0,1} vs {2,3}: one undirected edge crosses.
+    EXPECT_EQ(cutSize(t.graph, {0, 0, 1, 1}), 1u);
+    // Alternating partition: all three undirected edges cross.
+    EXPECT_EQ(cutSize(t.graph, {0, 1, 0, 1}), 3u);
+}
+
+TEST(ExactBisection, PathGraphHasWidthOne)
+{
+    const Topology t = linearArray(8);
+    const Bisection b = exactBisection(t.graph);
+    EXPECT_TRUE(b.exact);
+    EXPECT_EQ(b.cutWidth, 1u);
+}
+
+TEST(ExactBisection, CycleHasWidthTwo)
+{
+    const Topology t = ring(8);
+    EXPECT_EQ(exactBisection(t.graph).cutWidth, 2u);
+}
+
+TEST(ExactBisection, CompleteGraphK6)
+{
+    Graph g(6);
+    for (vsync::CellId a = 0; a < 6; ++a)
+        for (vsync::CellId b = a + 1; b < 6; ++b)
+            g.addEdge(a, b);
+    // Balanced 3|3 split of K6 cuts 3*3 = 9 edges.
+    EXPECT_EQ(exactBisection(g).cutWidth, 9u);
+}
+
+TEST(ExactBisection, Mesh4x4HasWidthFour)
+{
+    const Topology t = mesh(4, 4);
+    EXPECT_EQ(exactBisection(t.graph).cutWidth, 4u);
+}
+
+TEST(ExactBisection, PartitionIsBalanced)
+{
+    const Topology t = mesh(4, 4);
+    const Bisection b = exactBisection(t.graph);
+    int side1 = 0;
+    for (int s : b.side)
+        side1 += s;
+    EXPECT_EQ(side1, 8);
+}
+
+TEST(KLBisection, MatchesExactOnSmallGraphs)
+{
+    Rng rng(42);
+    for (int n : {6, 8, 10}) {
+        const Topology t = mesh(2, n / 2);
+        const auto exact = exactBisection(t.graph);
+        const auto kl = klBisection(t.graph, rng, 8);
+        EXPECT_EQ(kl.cutWidth, exact.cutWidth) << "n=" << n;
+    }
+}
+
+TEST(KLBisection, MeshWidthNearN)
+{
+    Rng rng(7);
+    const int n = 8;
+    const Topology t = mesh(n, n);
+    const auto b = klBisection(t.graph, rng, 8);
+    // The true width is n; the heuristic is an upper bound and should
+    // land close.
+    EXPECT_GE(b.cutWidth, static_cast<std::size_t>(n));
+    EXPECT_LE(b.cutWidth, static_cast<std::size_t>(2 * n));
+}
+
+TEST(KLBisection, BalancedOutput)
+{
+    Rng rng(3);
+    const Topology t = mesh(5, 5);
+    const auto b = klBisection(t.graph, rng, 4);
+    int side1 = 0;
+    for (int s : b.side)
+        side1 += s;
+    EXPECT_EQ(side1, 12); // floor(25 / 2)
+}
+
+TEST(MinimumBisection, DispatchesOnSize)
+{
+    Rng rng(1);
+    EXPECT_TRUE(minimumBisection(linearArray(10).graph, rng).exact);
+    EXPECT_FALSE(minimumBisection(linearArray(30).graph, rng).exact);
+}
+
+/** Property: the linear array's bisection width is 1 at every size. */
+class LinearBisection : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LinearBisection, WidthOne)
+{
+    Rng rng(11);
+    const Topology t = linearArray(GetParam());
+    const auto b = minimumBisection(t.graph, rng);
+    EXPECT_EQ(b.cutWidth, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinearBisection,
+                         ::testing::Values(4, 8, 12, 16, 20));
+
+} // namespace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for buffer insertion (assumption A7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "clocktree/buffering.hh"
+#include "clocktree/builders.hh"
+#include "layout/generators.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::clocktree;
+
+TEST(Buffering, SegmentsBoundedBySpacing)
+{
+    const layout::Layout l = layout::linearLayout(64);
+    const ClockTree t = buildSpine(l);
+    const auto b = BufferedClockTree::insertBuffers(t, 4.0);
+    EXPECT_LE(b.maxSegmentLength(), 4.0 + 1e-12);
+    EXPECT_DOUBLE_EQ(b.spacing(), 4.0);
+}
+
+TEST(Buffering, NoBuffersWhenWiresShort)
+{
+    const layout::Layout l = layout::linearLayout(8);
+    const ClockTree t = buildSpine(l); // unit wires
+    const auto b = BufferedClockTree::insertBuffers(t, 4.0);
+    EXPECT_EQ(b.bufferCount(), 0u);
+    EXPECT_EQ(b.sites().size(), t.size());
+}
+
+TEST(Buffering, CountMatchesWireLength)
+{
+    ClockTree t;
+    const NodeId root = t.addRoot({0, 0});
+    t.addChild(root, {10, 0});
+    const auto b = BufferedClockTree::insertBuffers(t, 3.0);
+    // 10 / 3 -> buffers at 3, 6, 9: three buffers, last segment 1.
+    EXPECT_EQ(b.bufferCount(), 3u);
+    EXPECT_NEAR(b.sites().back().wireFromParent, 1.0, 1e-12);
+}
+
+TEST(Buffering, ExactMultipleAvoidsZeroSegment)
+{
+    ClockTree t;
+    const NodeId root = t.addRoot({0, 0});
+    t.addChild(root, {8, 0});
+    const auto b = BufferedClockTree::insertBuffers(t, 4.0);
+    // Buffer at 4 only; the endpoint provides the second boundary.
+    EXPECT_EQ(b.bufferCount(), 1u);
+    EXPECT_NEAR(b.sites().back().wireFromParent, 4.0, 1e-12);
+}
+
+TEST(Buffering, SiteTreeIsConsistent)
+{
+    const layout::Layout l = layout::meshLayout(4, 4);
+    const ClockTree t = buildHTreeGrid(l, 4, 4);
+    const auto b = BufferedClockTree::insertBuffers(t, 1.0);
+    const auto &sites = b.sites();
+    ASSERT_FALSE(sites.empty());
+    EXPECT_EQ(sites[0].parent, invalidId);
+    for (std::size_t i = 1; i < sites.size(); ++i) {
+        EXPECT_GE(sites[i].parent, 0);
+        EXPECT_LT(sites[i].parent, static_cast<NodeId>(i));
+        EXPECT_GE(sites[i].wireFromParent, 0.0);
+    }
+    // Every original node has a site.
+    for (NodeId v = 0; static_cast<std::size_t>(v) < t.size(); ++v) {
+        const NodeId site = b.siteOfNode(v);
+        ASSERT_NE(site, invalidId);
+        EXPECT_EQ(sites[site].treeNode, v);
+    }
+}
+
+TEST(Buffering, PathLengthPreserved)
+{
+    const layout::Layout l = layout::linearLayout(32);
+    const ClockTree t = buildSpine(l);
+    const auto b = BufferedClockTree::insertBuffers(t, 2.5);
+    // Sum of segment lengths along the path to the last cell equals
+    // the unbuffered root path length.
+    const NodeId leaf_site = b.siteOfNode(t.nodeOfCell(31));
+    Length total = 0.0;
+    for (NodeId s = leaf_site; s != invalidId; s = b.sites()[s].parent)
+        total += b.sites()[s].wireFromParent;
+    EXPECT_NEAR(total, t.rootPathLength(t.nodeOfCell(31)), 1e-9);
+}
+
+TEST(Buffering, BufferDepthScalesWithTreeDepth)
+{
+    const layout::Layout small = layout::linearLayout(8);
+    const layout::Layout large = layout::linearLayout(64);
+    const auto bs =
+        BufferedClockTree::insertBuffers(buildSpine(small), 0.5);
+    const auto bl =
+        BufferedClockTree::insertBuffers(buildSpine(large), 0.5);
+    EXPECT_GT(bl.maxBufferDepth(), bs.maxBufferDepth());
+}
+
+TEST(Buffering, PaddedWiresAreBuffered)
+{
+    ClockTree t;
+    const NodeId root = t.addRoot({0, 0});
+    const NodeId a = t.addChild(root, {1, 0});
+    t.padWire(a, 9.0); // effective length 10
+    const auto b = BufferedClockTree::insertBuffers(t, 2.0);
+    EXPECT_EQ(b.bufferCount(), 4u); // at 2, 4, 6, 8
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for process parameters and the Section VII inverter string.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/inverter_string.hh"
+#include "circuit/process.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::circuit;
+
+TEST(ProcessParams, SettlingTimeCombinesLinearAndQuadratic)
+{
+    ProcessParams p;
+    p.alpha = 2.0;
+    p.rcQuadratic = 0.5;
+    EXPECT_DOUBLE_EQ(p.settlingTime(4.0), 8.0 + 8.0);
+    EXPECT_DOUBLE_EQ(p.settlingTime(0.0), 0.0);
+}
+
+TEST(ProcessParams, UnitWireDelayWithinEps)
+{
+    ProcessParams p;
+    p.m = 1.0;
+    p.eps = 0.25;
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = p.sampleUnitWireDelay(rng);
+        EXPECT_GE(d, 0.75);
+        EXPECT_LE(d, 1.25);
+    }
+}
+
+TEST(ProcessParams, StageDelaysRealiseConfiguredPairBias)
+{
+    ProcessParams p;
+    p.stageDelay = 10.0;
+    p.stageDelaySigma = 0.0;
+    p.pairBias = 0.4;
+    p.pairDiscrepancySigma = 0.0;
+    Rng rng(9);
+    const auto odd = p.sampleStageDelays(rng, true);
+    const auto even = p.sampleStageDelays(rng, false);
+    // Odd stage: fall slower by bias/2; even stage mirrors.
+    EXPECT_NEAR(odd.fall - odd.rise, 0.2, 1e-12);
+    EXPECT_NEAR(even.fall - even.rise, -0.2, 1e-12);
+}
+
+TEST(InverterString, TraversalScalesWithLength)
+{
+    const ProcessParams p = ProcessParams::nmos1983();
+    Rng rng(1);
+    const InverterString s256(256, p, rng.deriveStream(1));
+    const InverterString s1024(1024, p, rng.deriveStream(2));
+    EXPECT_NEAR(s1024.traversalDelayRiseIn() /
+                    s256.traversalDelayRiseIn(),
+                4.0, 0.1);
+}
+
+TEST(InverterString, Nmos1983ReproducesPaperNumbers)
+{
+    const ProcessParams p = ProcessParams::nmos1983();
+    Rng rng(7);
+    const InverterString chip(2048, p, rng);
+    // Equipotential cycle ~34 us (paper: approximately 34 us).
+    EXPECT_NEAR(chip.equipotentialCycle(), 34000.0, 1500.0);
+    // Pipelined cycle ~500 ns.
+    EXPECT_NEAR(chip.pipelinedCycleAnalytic(), 500.0, 30.0);
+    // Speedup ~68x.
+    const double speedup =
+        chip.equipotentialCycle() / chip.pipelinedCycleAnalytic();
+    EXPECT_NEAR(speedup, 68.0, 6.0);
+}
+
+TEST(InverterString, FiveChipsAgreeWhenBiasDominates)
+{
+    // The paper observed the same 68x speedup on five chips because
+    // the systematic bias dominated random variation.
+    const ProcessParams p = ProcessParams::nmos1983();
+    Rng rng(11);
+    for (int chip = 0; chip < 5; ++chip) {
+        const InverterString s(2048, p,
+                               rng.deriveStream(
+                                   static_cast<std::uint64_t>(chip)));
+        const double speedup =
+            s.equipotentialCycle() / s.pipelinedCycleAnalytic();
+        EXPECT_NEAR(speedup, 68.0, 6.0) << "chip " << chip;
+    }
+}
+
+TEST(InverterString, PrefixDiscrepancyEndpoints)
+{
+    const ProcessParams p = ProcessParams::nmos1983();
+    Rng rng(13);
+    const InverterString s(64, p, rng);
+    EXPECT_DOUBLE_EQ(s.prefixDiscrepancy(0), 0.0);
+    EXPECT_NEAR(s.prefixDiscrepancy(64),
+                s.traversalDelayFallIn() - s.traversalDelayRiseIn(),
+                1e-9);
+    EXPECT_GE(s.worstPrefixDiscrepancy(),
+              std::fabs(s.prefixDiscrepancy(64)) - 1e-9);
+}
+
+TEST(InverterString, DesimPulseTrainMatchesAnalyticThreshold)
+{
+    // Use a short string so the desim bisection is fast.
+    ProcessParams p = ProcessParams::nmos1983();
+    Rng rng(17);
+    const InverterString s(64, p, rng);
+    const Time analytic = s.pipelinedCycleAnalytic();
+    // Comfortably above the analytic minimum: must run.
+    EXPECT_TRUE(s.runsAtPeriod(analytic * 1.2, 6));
+    // Far below: must fail.
+    EXPECT_FALSE(s.runsAtPeriod(analytic * 0.4, 6));
+}
+
+TEST(InverterString, MinPipelinedPeriodNearAnalytic)
+{
+    ProcessParams p = ProcessParams::nmos1983();
+    Rng rng(19);
+    const InverterString s(128, p, rng);
+    const Time analytic = s.pipelinedCycleAnalytic();
+    const Time measured = s.minPipelinedPeriod(6, 0.5);
+    // The desim check inspects the string's far end; the analytic form
+    // polices every prefix, so measured <= analytic (+tolerance).
+    EXPECT_LE(measured, analytic + 1.0);
+    EXPECT_GT(measured, 2.0 * p.minPulseWidth - 1.0);
+}
+
+TEST(InverterString, PipelinedBeatsEquipotentialOnLongStrings)
+{
+    const ProcessParams p = ProcessParams::nmos1983();
+    Rng rng(23);
+    for (int n : {256, 1024, 4096}) {
+        const InverterString s(n, p, rng.deriveStream(n));
+        EXPECT_GT(s.equipotentialCycle(),
+                  5.0 * s.pipelinedCycleAnalytic())
+            << "n=" << n;
+    }
+}
+
+TEST(ProcessPresets, HaveDistinctCharacters)
+{
+    const auto nmos = ProcessParams::nmos1983();
+    const auto cmos = ProcessParams::cmosGeneric();
+    const auto gaas = ProcessParams::gaasFast();
+    EXPECT_GT(nmos.stageDelay, cmos.stageDelay);
+    EXPECT_GT(cmos.stageDelay, gaas.stageDelay);
+    // GaAs: wire delay dominates stage delay (pipelined territory).
+    EXPECT_GT(gaas.m / gaas.stageDelay, cmos.m / cmos.stageDelay);
+}
+
+} // namespace

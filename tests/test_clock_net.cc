@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the simulated buffered clock tree: arrival times, pipelined
+ * events in flight (A7), and jitter breaking event spacing (A8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "clocktree/buffering.hh"
+#include "clocktree/builders.hh"
+#include "common/rng.hh"
+#include "desim/clock_net.hh"
+#include "layout/generators.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::desim;
+using clocktree::BufferedClockTree;
+using clocktree::ClockTree;
+
+/** Fixed stage delay: wire delay m per lambda + buffer delay. */
+ClockNet::DelayFn
+fixedDelays(double m, Time buffer_delay)
+{
+    return [m, buffer_delay](const clocktree::BufferedSite &site,
+                             std::size_t) {
+        Time d = m * site.wireFromParent;
+        if (site.isBuffer)
+            d += buffer_delay;
+        return EdgeDelays::same(d);
+    };
+}
+
+TEST(ClockNet, ArrivalEqualsPathDelay)
+{
+    Simulator sim;
+    ClockTree t;
+    const NodeId root = t.addRoot({0, 0});
+    const NodeId leaf = t.addChild(root, {10, 0});
+    t.bindCell(leaf, 0);
+    const auto buffered = BufferedClockTree::insertBuffers(t, 4.0);
+    ASSERT_EQ(buffered.bufferCount(), 2u); // at 4 and 8 lambda
+    ClockNet net(sim, buffered, fixedDelays(0.5, 0.1));
+
+    net.drive(1000.0, 1); // one slow edge
+    const auto &arr = net.risingArrivals(leaf);
+    ASSERT_EQ(arr.size(), 1u);
+    // 10 lambda of wire at 0.5 ns/lambda plus two 0.1 ns buffers.
+    EXPECT_NEAR(arr[0], 5.0 + 0.2, 1e-9);
+}
+
+TEST(ClockNet, AllCellsReceiveEveryEdge)
+{
+    Simulator sim;
+    const layout::Layout l = layout::meshLayout(4, 4);
+    const ClockTree t = clocktree::buildHTreeGrid(l, 4, 4);
+    const auto buffered = BufferedClockTree::insertBuffers(t, 2.0);
+    ClockNet net(sim, buffered, fixedDelays(0.5, 0.1));
+    net.drive(5.0, 10);
+    for (CellId c = 0; c < 16; ++c)
+        EXPECT_EQ(net.risingArrivals(t.nodeOfCell(c)).size(), 10u);
+}
+
+TEST(ClockNet, PipelinedModeHasManyEventsInFlight)
+{
+    Simulator sim;
+    const layout::Layout l = layout::linearLayout(64);
+    const ClockTree t = clocktree::buildSpine(l);
+    const auto buffered = BufferedClockTree::insertBuffers(t, 2.0);
+    ClockNet net(sim, buffered, fixedDelays(0.5, 0.1));
+
+    // Root-to-end latency is 64 * 0.5 = 32 ns; driving at a 2 ns
+    // period must put many events in flight at once.
+    net.drive(2.0, 40);
+    const NodeId last = t.nodeOfCell(63);
+    EXPECT_GE(net.maxEventsInFlight(last), 10);
+    // And every edge still arrives, correctly spaced (A8 holds).
+    const auto &arr = net.risingArrivals(last);
+    ASSERT_EQ(arr.size(), 40u);
+    for (std::size_t k = 1; k < arr.size(); ++k)
+        EXPECT_NEAR(arr[k] - arr[k - 1], 2.0, 1e-9);
+}
+
+TEST(ClockNet, EquipotentialModeHasOneEventInFlight)
+{
+    Simulator sim;
+    const layout::Layout l = layout::linearLayout(64);
+    const ClockTree t = clocktree::buildSpine(l);
+    const auto buffered = BufferedClockTree::insertBuffers(t, 2.0);
+    ClockNet net(sim, buffered, fixedDelays(0.5, 0.1));
+
+    // Period far above the settle time: classic equipotential pacing.
+    net.drive(100.0, 10);
+    EXPECT_LE(net.maxEventsInFlight(t.nodeOfCell(63)), 1);
+}
+
+TEST(ClockNet, JitterDesynchronisesEdgeSpacing)
+{
+    Simulator sim;
+    const layout::Layout l = layout::linearLayout(32);
+    const ClockTree t = clocktree::buildSpine(l);
+    const auto buffered = BufferedClockTree::insertBuffers(t, 2.0);
+    ClockNet net(sim, buffered, fixedDelays(0.5, 0.1));
+
+    // Break A8: every stage adds a random extra delay per transition.
+    Rng rng(321);
+    auto *rng_ptr = &rng;
+    net.setJitter([rng_ptr]() { return rng_ptr->uniform(0.0, 1.5); });
+    net.drive(2.0, 20);
+
+    const auto &arr = net.risingArrivals(t.nodeOfCell(31));
+    ASSERT_GE(arr.size(), 2u);
+    double worst_spacing_error = 0.0;
+    for (std::size_t k = 1; k < arr.size(); ++k) {
+        worst_spacing_error = std::max(
+            worst_spacing_error, std::fabs((arr[k] - arr[k - 1]) - 2.0));
+    }
+    // Successive events are no longer correctly spaced (Section VI's
+    // premise for abandoning pipelined clocking without A8).
+    EXPECT_GT(worst_spacing_error, 0.5);
+}
+
+TEST(ClockNet, SiteCountMatchesBufferedTree)
+{
+    Simulator sim;
+    const layout::Layout l = layout::linearLayout(8);
+    const ClockTree t = clocktree::buildSpine(l);
+    const auto buffered = BufferedClockTree::insertBuffers(t, 0.5);
+    ClockNet net(sim, buffered, fixedDelays(1.0, 0.0));
+    EXPECT_EQ(net.siteCount(), buffered.sites().size());
+}
+
+} // namespace

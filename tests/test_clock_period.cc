@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for clock period accounting (A5-A7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "clocktree/builders.hh"
+#include "clocktree/buffering.hh"
+#include "core/clock_period.hh"
+#include "layout/generators.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::core;
+
+ClockParams
+testParams()
+{
+    ClockParams p;
+    p.alpha = 0.1;
+    p.m = 0.05;
+    p.eps = 0.005;
+    p.bufferDelay = 0.2;
+    p.bufferSpacing = 4.0;
+    p.delta = 2.0;
+    return p;
+}
+
+TEST(ClockPeriod, EquipotentialTauTracksTreeDepth)
+{
+    const ClockParams params = testParams();
+    const SkewModel model = SkewModel::summation(params.m, params.eps);
+
+    const layout::Layout small = layout::linearLayout(16);
+    const layout::Layout large = layout::linearLayout(256);
+    const auto ts = clocktree::buildSpine(small);
+    const auto tl = clocktree::buildSpine(large);
+
+    const auto ps = clockPeriod(analyzeSkew(small, ts, model), ts,
+                                params, ClockingMode::Equipotential);
+    const auto pl = clockPeriod(analyzeSkew(large, tl, model), tl,
+                                params, ClockingMode::Equipotential);
+    // A6: tau = alpha * P grows with the array.
+    EXPECT_DOUBLE_EQ(ps.tau, 0.1 * 16.0);
+    EXPECT_DOUBLE_EQ(pl.tau, 0.1 * 256.0);
+    EXPECT_GT(pl.period, ps.period);
+}
+
+TEST(ClockPeriod, PipelinedTauIndependentOfSize)
+{
+    const ClockParams params = testParams();
+    const SkewModel model = SkewModel::summation(params.m, params.eps);
+
+    Time tau16 = 0.0, tau1024 = 0.0;
+    for (int n : {16, 1024}) {
+        const layout::Layout l = layout::linearLayout(n);
+        const auto t = clocktree::buildSpine(l);
+        const auto p = clockPeriod(analyzeSkew(l, t, model), t, params,
+                                   ClockingMode::Pipelined);
+        (n == 16 ? tau16 : tau1024) = p.tau;
+    }
+    EXPECT_DOUBLE_EQ(tau16, tau1024);
+    // tau = bufferDelay + (m + eps) * spacing.
+    EXPECT_NEAR(tau16, 0.2 + 0.055 * 4.0, 1e-12);
+}
+
+TEST(ClockPeriod, PeriodIsSumOfComponents)
+{
+    const ClockParams params = testParams();
+    const SkewModel model = SkewModel::summation(params.m, params.eps);
+    const layout::Layout l = layout::linearLayout(64);
+    const auto t = clocktree::buildSpine(l);
+    const auto p = clockPeriod(analyzeSkew(l, t, model), t, params,
+                               ClockingMode::Pipelined);
+    EXPECT_DOUBLE_EQ(p.period, p.sigma + p.delta + p.tau);
+    EXPECT_DOUBLE_EQ(p.delta, params.delta);
+    EXPECT_DOUBLE_EQ(p.sigma, 0.055); // (m+eps) * 1 pitch
+}
+
+TEST(ClockPeriod, AltFormulaSameGrowthClass)
+{
+    const ClockParams params = testParams();
+    const SkewModel model = SkewModel::summation(params.m, params.eps);
+    const layout::Layout l = layout::linearLayout(64);
+    const auto t = clocktree::buildSpine(l);
+    const auto p = clockPeriod(analyzeSkew(l, t, model), t, params,
+                               ClockingMode::Pipelined);
+    EXPECT_DOUBLE_EQ(p.altPeriod,
+                     std::max(p.tau, 2.0 * p.sigma + p.delta));
+    // Both formulas bounded by constants for a spine-clocked 1-D array.
+    EXPECT_LT(p.altPeriod, 10.0);
+}
+
+TEST(PipelinedTau, UsesActualSegmentLengths)
+{
+    const ClockParams params = testParams();
+    clocktree::ClockTree t;
+    const NodeId root = t.addRoot({0, 0});
+    t.addChild(root, {10, 0});
+    const auto buffered =
+        clocktree::BufferedClockTree::insertBuffers(t, 4.0);
+    // Longest segment is 4.0 -> tau = 0.2 + 0.055 * 4.
+    EXPECT_NEAR(pipelinedTau(buffered, params), 0.42, 1e-12);
+}
+
+TEST(ClockPeriod, ModeNames)
+{
+    EXPECT_EQ(clockingModeName(ClockingMode::Equipotential),
+              "equipotential");
+    EXPECT_EQ(clockingModeName(ClockingMode::Pipelined), "pipelined");
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the register-level clocked shift chain: the circuit-level
+ * counterpart of Theorem 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/clocked_chain.hh"
+#include "clocktree/builders.hh"
+#include "common/rng.hh"
+#include "layout/generators.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::circuit;
+
+ProcessParams
+chainProcess()
+{
+    ProcessParams p = ProcessParams::cmosGeneric();
+    p.m = 0.1;
+    p.eps = 0.01;
+    p.setupTime = 0.2;
+    p.holdTime = 0.05;
+    p.clkToQ = 0.3;
+    p.bufferSpacing = 8.0;
+    p.stageDelay = 0.2;
+    return p;
+}
+
+TEST(ClockedShiftChain, DeliversPatternAtGenerousPeriod)
+{
+    const ProcessParams p = chainProcess();
+    const layout::Layout l = layout::linearLayout(8);
+    const auto tree = clocktree::buildSpine(l);
+    Rng rng(11);
+    const std::vector<bool> pattern{true, false, true, true, false,
+                                    true};
+    const auto res =
+        runClockedShiftChain(l, tree, p, pattern, 5.0, rng);
+    EXPECT_EQ(res.setupViolations, 0u);
+    EXPECT_EQ(res.holdViolations, 0u);
+    EXPECT_EQ(res.received, res.expected);
+    EXPECT_TRUE(res.correct);
+    // The expected stream contains the pattern shifted by the depth.
+    EXPECT_TRUE(res.expected[8 + 0]);
+    EXPECT_FALSE(res.expected[8 + 1]);
+}
+
+TEST(ClockedShiftChain, FailsAtAbsurdlyShortPeriod)
+{
+    const ProcessParams p = chainProcess();
+    const layout::Layout l = layout::linearLayout(8);
+    const auto tree = clocktree::buildSpine(l);
+    Rng rng(13);
+    const std::vector<bool> pattern{true, false, true, false};
+    const auto res =
+        runClockedShiftChain(l, tree, p, pattern, 0.4, rng);
+    EXPECT_FALSE(res.correct);
+    EXPECT_GT(res.setupViolations, 0u);
+}
+
+TEST(ClockedShiftChain, PipelinedClockingEventsInFlight)
+{
+    const ProcessParams p = chainProcess();
+    const layout::Layout l = layout::linearLayout(128);
+    const auto tree = clocktree::buildSpine(l);
+    Rng rng(17);
+    const std::vector<bool> pattern{true, true, false, true};
+    // Clock latency to the end ~ 128 * 0.1 = 12.8 ns >> 2 ns period:
+    // the chain shifts correctly with many clock events in flight.
+    const auto res =
+        runClockedShiftChain(l, tree, p, pattern, 2.0, rng);
+    EXPECT_TRUE(res.correct);
+    EXPECT_GE(res.clockEventsInFlight, 4);
+}
+
+TEST(ClockedShiftChain, MinPeriodIndependentOfLength)
+{
+    const ProcessParams p = chainProcess();
+    Rng rng(19);
+    Time t16 = 0.0, t128 = 0.0;
+    for (int n : {16, 128}) {
+        const layout::Layout l = layout::linearLayout(n);
+        const auto tree = clocktree::buildSpine(l);
+        const Time t = minShiftChainPeriod(l, tree, p, rng, 0.05);
+        (n == 16 ? t16 : t128) = t;
+    }
+    // Theorem 3 at the circuit level: the workable period does not
+    // grow with the array (allow a small tolerance for sampling).
+    EXPECT_NEAR(t128, t16, 0.25);
+    // And it is in the physically sensible range.
+    EXPECT_GT(t16, p.clkToQ);
+    EXPECT_LT(t16, 5.0);
+}
+
+TEST(ClockedShiftChain, ExpectedStreamShape)
+{
+    const ProcessParams p = chainProcess();
+    const layout::Layout l = layout::linearLayout(4);
+    const auto tree = clocktree::buildSpine(l);
+    Rng rng(23);
+    const std::vector<bool> pattern{true};
+    const auto res =
+        runClockedShiftChain(l, tree, p, pattern, 5.0, rng);
+    // A single 1 surfaces exactly once, n cycles after launch.
+    int ones = 0;
+    for (bool b : res.received)
+        ones += b ? 1 : 0;
+    EXPECT_EQ(ones, 1);
+    ASSERT_GT(res.received.size(), 4u);
+    EXPECT_TRUE(res.received[4]);
+}
+
+} // namespace

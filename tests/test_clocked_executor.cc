@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for clocked execution under skew: correct simulation when
+ * constraints hold (Theorems 2/3) and detected corruption when they
+ * break.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clocktree/builders.hh"
+#include "common/rng.hh"
+#include "core/skew_analysis.hh"
+#include "layout/generators.hh"
+#include "systolic/clocked_executor.hh"
+#include "systolic/fir.hh"
+#include "systolic/sort.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::systolic;
+
+LinkTiming
+testTiming()
+{
+    LinkTiming t;
+    t.setup = 0.5;
+    t.hold = 0.25;
+    t.clkToQ = 0.5;
+    t.deltaMin = 0.5;
+    t.deltaMax = 2.0;
+    return t;
+}
+
+TEST(ClockedExecutor, ZeroSkewMatchesIdeal)
+{
+    SystolicArray a = buildFir({1.0, -2.0, 0.5});
+    const std::vector<Word> xs{1, 2, 3, 4, 5};
+    const int cycles = 12;
+    const Trace ideal = runIdeal(a, cycles, firInputs(xs));
+
+    const std::vector<Time> offsets(a.size(), 0.0);
+    const auto report = runClocked(a, cycles, firInputs(xs), offsets,
+                                   10.0, testTiming());
+    EXPECT_TRUE(report.correct);
+    EXPECT_EQ(report.setupViolations, 0u);
+    EXPECT_EQ(report.holdViolations, 0u);
+    EXPECT_TRUE(report.trace.matches(ideal));
+}
+
+TEST(ClockedExecutor, BoundedSkewStillCorrectAtSafePeriod)
+{
+    SystolicArray a = buildFir({2.0, 1.0});
+    const std::vector<Word> xs{3, 1, 4};
+    // Skews within one pitch of a spine-clocked array.
+    const std::vector<Time> offsets{0.0, 0.6};
+    const LinkTiming timing = testTiming();
+    const Time safe = minSafePeriod(a, offsets, timing);
+    EXPECT_TRUE(holdSafe(a, offsets, timing));
+
+    const int cycles = 8;
+    const Trace ideal = runIdeal(a, cycles, firInputs(xs));
+    const auto report =
+        runClocked(a, cycles, firInputs(xs), offsets, safe, timing);
+    EXPECT_TRUE(report.correct);
+    EXPECT_TRUE(report.trace.matches(ideal));
+}
+
+TEST(ClockedExecutor, JustBelowSafePeriodViolatesSetup)
+{
+    SystolicArray a = buildFir({2.0, 1.0});
+    // Source clock later than destination: skew eats into setup.
+    const std::vector<Time> offsets{0.6, 0.0};
+    const LinkTiming timing = testTiming();
+    const Time safe = minSafePeriod(a, offsets, timing);
+    EXPECT_DOUBLE_EQ(safe, 3.6);
+    const auto report = runClocked(a, 8, firInputs({1.0}), offsets,
+                                   safe - 0.01, timing);
+    EXPECT_FALSE(report.correct);
+    EXPECT_GT(report.setupViolations, 0u);
+}
+
+TEST(ClockedExecutor, ViolationsCorruptDownstreamData)
+{
+    SystolicArray a = buildFir({1.0, 1.0, 1.0});
+    // Make the middle link hopeless: cell 1's clock is far later than
+    // cell 2's, so transfers 1 -> 2 miss setup at this period.
+    const std::vector<Time> offsets{0.0, 5.0, 0.0};
+    const auto report = runClocked(a, 10, firInputs({1, 2, 3}), offsets,
+                                   6.0, testTiming());
+    EXPECT_FALSE(report.correct);
+    // The corrupted link injects NaN which reaches the y output.
+    const auto &y = report.trace.of(2, 1);
+    bool saw_nan = false;
+    for (Word v : y)
+        saw_nan = saw_nan || std::isnan(v);
+    EXPECT_TRUE(saw_nan);
+}
+
+TEST(ClockedExecutor, HoldViolationDetectedWhenDestinationLate)
+{
+    SystolicArray a = buildFir({1.0, 1.0});
+    // Destination clock much later than source: race-through danger.
+    const std::vector<Time> offsets{0.0, 2.0};
+    const LinkTiming timing = testTiming();
+    // clkToQ + deltaMin - hold = 0.75 < 2.0 -> hold violation on 0->1.
+    EXPECT_FALSE(holdSafe(a, offsets, timing));
+    const auto report = runClocked(a, 6, firInputs({1.0}), offsets,
+                                   100.0, timing);
+    EXPECT_GT(report.holdViolations, 0u);
+    EXPECT_FALSE(report.correct);
+}
+
+TEST(ClockedExecutor, MinSafePeriodFloorsAtIntrinsicDelay)
+{
+    SystolicArray a = buildFir({1.0, 1.0});
+    const std::vector<Time> zero(a.size(), 0.0);
+    const LinkTiming timing = testTiming();
+    // No skew: period = clkToQ + deltaMax + setup.
+    EXPECT_DOUBLE_EQ(minSafePeriod(a, zero, timing), 3.0);
+}
+
+TEST(ClockedExecutor, SpineSkewOffsetsRunBidirectionalTraffic)
+{
+    // Odd-even sort uses edges in both directions, so the spine's
+    // monotone clock offsets stress setup one way and hold the other.
+    const std::vector<Word> keys{9, 2, 7, 1, 8, 3};
+    SystolicArray arr = buildOESort(keys);
+    const layout::Layout l = layout::linearLayout(6);
+    const auto tree = clocktree::buildSpine(l);
+
+    Rng rng(55);
+    const auto inst =
+        core::sampleSkewInstance(l, tree, 0.05, 0.005, rng);
+    std::vector<Time> offsets;
+    for (CellId c = 0; c < 6; ++c)
+        offsets.push_back(inst.arrival[tree.nodeOfCell(c)]);
+
+    const LinkTiming timing = testTiming();
+    ASSERT_TRUE(holdSafe(arr, offsets, timing));
+    const Time safe = minSafePeriod(arr, offsets, timing);
+    const auto report =
+        runClocked(arr, oeSortCycles(6), nullptr, offsets, safe, timing);
+    EXPECT_TRUE(report.correct);
+    for (int i = 0; i + 1 < 6; ++i)
+        EXPECT_LE(report.trace.finalStates[i][0],
+                  report.trace.finalStates[i + 1][0]);
+}
+
+/** Property: at the analytic safe period the run always matches the
+ *  ideal; one tick below it never does (for positive skews). */
+class SafePeriodBoundary : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SafePeriodBoundary, TightBoundary)
+{
+    const double skew = GetParam();
+    SystolicArray a = buildFir({1.0, 2.0});
+    const std::vector<Time> offsets{skew, 0.0}; // src later than dst
+    const LinkTiming timing = testTiming();
+    ASSERT_TRUE(holdSafe(a, offsets, timing));
+    const Time safe = minSafePeriod(a, offsets, timing);
+    EXPECT_DOUBLE_EQ(safe, 3.0 + skew);
+
+    const auto good = runClocked(a, 6, firInputs({1.0}), offsets, safe,
+                                 timing);
+    EXPECT_TRUE(good.correct);
+    const auto bad = runClocked(a, 6, firInputs({1.0}), offsets,
+                                safe - 1e-6, timing);
+    EXPECT_FALSE(bad.correct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, SafePeriodBoundary,
+                         ::testing::Values(0.0, 0.1, 0.5, 1.0, 3.0));
+
+} // namespace

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for clock trees and their builders (Figs 3 and 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clocktree/builders.hh"
+#include "clocktree/clock_tree.hh"
+#include "common/rng.hh"
+#include "layout/generators.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::clocktree;
+
+TEST(ClockTree, ManualConstruction)
+{
+    ClockTree t;
+    const NodeId root = t.addRoot({0, 0});
+    const NodeId a = t.addChild(root, {2, 0});
+    const NodeId b = t.addChild(root, {0, 3});
+    t.bindCell(a, 0);
+    t.bindCell(b, 1);
+    EXPECT_TRUE(t.validate(false));
+    EXPECT_DOUBLE_EQ(t.rootPathLength(a), 2.0);
+    EXPECT_DOUBLE_EQ(t.rootPathLength(b), 3.0);
+    EXPECT_DOUBLE_EQ(t.pathDifference(a, b), 1.0);
+    EXPECT_DOUBLE_EQ(t.treeDistance(a, b), 5.0);
+    EXPECT_DOUBLE_EQ(t.maxRootPathLength(), 3.0);
+    EXPECT_DOUBLE_EQ(t.totalWireLength(), 5.0);
+    EXPECT_EQ(t.nodeOfCell(0), a);
+    EXPECT_EQ(t.cellOfNode(b), 1);
+    EXPECT_EQ(t.boundCellCount(), 2u);
+}
+
+TEST(ClockTree, PadWireLengthensWithoutMoving)
+{
+    ClockTree t;
+    const NodeId root = t.addRoot({0, 0});
+    const NodeId a = t.addChild(root, {1, 0});
+    t.padWire(a, 2.5);
+    EXPECT_DOUBLE_EQ(t.rootPathLength(a), 3.5);
+    EXPECT_TRUE(t.validate(false));
+}
+
+TEST(ClockTree, TreeDistanceOfAncestorPair)
+{
+    ClockTree t;
+    const NodeId root = t.addRoot({0, 0});
+    const NodeId a = t.addChild(root, {1, 0});
+    const NodeId b = t.addChild(a, {2, 0});
+    // s == d when one node is the other's ancestor.
+    EXPECT_DOUBLE_EQ(t.treeDistance(root, b), 2.0);
+    EXPECT_DOUBLE_EQ(t.pathDifference(root, b), 2.0);
+}
+
+TEST(Spine, NeighborsConstantTreeDistance)
+{
+    for (int n : {4, 16, 64, 256}) {
+        const layout::Layout l = layout::linearLayout(n);
+        const ClockTree t = buildSpine(l);
+        EXPECT_TRUE(t.validate(false));
+        EXPECT_EQ(t.boundCellCount(), static_cast<std::size_t>(n));
+        for (int i = 0; i + 1 < n; ++i) {
+            const NodeId a = t.nodeOfCell(i);
+            const NodeId b = t.nodeOfCell(i + 1);
+            EXPECT_DOUBLE_EQ(t.treeDistance(a, b), 1.0);
+        }
+    }
+}
+
+TEST(Spine, RootPathGrowsLinearly)
+{
+    const layout::Layout l = layout::linearLayout(100);
+    const ClockTree t = buildSpine(l);
+    EXPECT_DOUBLE_EQ(t.maxRootPathLength(), 100.0);
+}
+
+TEST(Chain, FollowsGivenOrder)
+{
+    const layout::Layout l = layout::foldedLinearLayout(8);
+    std::vector<CellId> order{0, 1, 2, 3, 4, 5, 6, 7};
+    const ClockTree t = buildChain(l, order, {-1.0, 0.0});
+    EXPECT_TRUE(t.validate(false));
+    // Across the fold (cells 3 and 4) the chain step is one pitch.
+    EXPECT_DOUBLE_EQ(
+        t.treeDistance(t.nodeOfCell(3), t.nodeOfCell(4)), 1.0);
+}
+
+TEST(HTree, PowerOfTwoMeshIsExactlyEquidistant)
+{
+    const layout::Layout l = layout::meshLayout(8, 8);
+    const ClockTree t = buildHTreeGrid(l, 8, 8, false);
+    EXPECT_TRUE(t.validate(false));
+    EXPECT_EQ(t.boundCellCount(), 64u);
+    const Length h0 = t.rootPathLength(t.nodeOfCell(0));
+    for (CellId c = 0; c < 64; ++c)
+        EXPECT_NEAR(t.rootPathLength(t.nodeOfCell(c)), h0, 1e-9)
+            << "cell " << c;
+}
+
+TEST(HTree, EqualizedNonPowerOfTwo)
+{
+    const layout::Layout l = layout::meshLayout(5, 7);
+    const ClockTree t = buildHTreeGrid(l, 5, 7, true);
+    const Length h0 = t.rootPathLength(t.nodeOfCell(0));
+    for (CellId c = 0; c < 35; ++c)
+        EXPECT_NEAR(t.rootPathLength(t.nodeOfCell(c)), h0, 1e-9);
+}
+
+TEST(HTree, LinearArrayEquidistant)
+{
+    const layout::Layout l = layout::linearLayout(16);
+    const ClockTree t = buildHTreeLinear(l, false);
+    const Length h0 = t.rootPathLength(t.nodeOfCell(0));
+    for (CellId c = 0; c < 16; ++c)
+        EXPECT_NEAR(t.rootPathLength(t.nodeOfCell(c)), h0, 1e-9);
+}
+
+TEST(HTree, HexArrayEqualizedEquidistant)
+{
+    const layout::Layout l = layout::hexLayout(4, 4);
+    const ClockTree t = buildHTreeGrid(l, 4, 4, true);
+    const Length h0 = t.rootPathLength(t.nodeOfCell(0));
+    for (CellId c = 0; c < 16; ++c)
+        EXPECT_NEAR(t.rootPathLength(t.nodeOfCell(c)), h0, 1e-9);
+}
+
+TEST(HTree, WireAreaWithinConstantFactorOfLayout)
+{
+    for (int n : {8, 16, 32}) {
+        const layout::Layout l = layout::meshLayout(n, n);
+        const ClockTree t = buildHTreeGrid(l, n, n, false);
+        // Lemma 1: total clock wiring is O(layout area).
+        EXPECT_LE(t.totalWireLength(), 4.0 * l.boundingBox().area())
+            << n;
+    }
+}
+
+TEST(RecursiveBisection, BindsAllCells)
+{
+    const layout::Layout l = layout::meshLayout(6, 5);
+    const ClockTree t = buildRecursiveBisection(l);
+    EXPECT_TRUE(t.validate(false));
+    EXPECT_EQ(t.boundCellCount(), 30u);
+    for (CellId c = 0; c < 30; ++c)
+        EXPECT_NE(t.nodeOfCell(c), invalidId);
+}
+
+TEST(RandomTree, ValidAndComplete)
+{
+    Rng rng(77);
+    const layout::Layout l = layout::meshLayout(4, 4);
+    for (int trial = 0; trial < 5; ++trial) {
+        const ClockTree t = buildRandomTree(l, rng);
+        EXPECT_TRUE(t.validate(false));
+        EXPECT_EQ(t.boundCellCount(), 16u);
+    }
+}
+
+TEST(RandomTree, DifferentSeedsGiveDifferentShapes)
+{
+    Rng r1(1), r2(2);
+    const layout::Layout l = layout::meshLayout(4, 4);
+    const ClockTree a = buildRandomTree(l, r1);
+    const ClockTree b = buildRandomTree(l, r2);
+    // Total wire length almost surely differs between seeds.
+    EXPECT_NE(a.totalWireLength(), b.totalWireLength());
+}
+
+TEST(Spine, ExpandabilityAppendWithoutReanalysis)
+{
+    // The paper's modularity claim: extend a running 1-D array by
+    // appending cells to the spine; existing bindings, distances and
+    // the worst communicating-pair separation are untouched.
+    const layout::Layout small = layout::linearLayout(16);
+    ClockTree t = buildSpine(small);
+    const Length h5_before = t.rootPathLength(t.nodeOfCell(5));
+
+    // Append 16 more cells by continuing the chain.
+    NodeId tail = t.nodeOfCell(15);
+    for (int i = 16; i < 32; ++i) {
+        const NodeId node =
+            t.addChild(tail, {static_cast<Length>(i), 0.0});
+        t.bindCell(node, i);
+        tail = node;
+    }
+    EXPECT_TRUE(t.validate(false));
+    EXPECT_EQ(t.boundCellCount(), 32u);
+    // Old cells unchanged.
+    EXPECT_DOUBLE_EQ(t.rootPathLength(t.nodeOfCell(5)), h5_before);
+    // Every neighbouring pair, old or new, still one pitch apart.
+    for (int i = 0; i + 1 < 32; ++i) {
+        EXPECT_DOUBLE_EQ(
+            t.treeDistance(t.nodeOfCell(i), t.nodeOfCell(i + 1)), 1.0);
+    }
+}
+
+TEST(ClockTree, SingleCellLayouts)
+{
+    const layout::Layout l = layout::linearLayout(1);
+    const ClockTree spine = buildSpine(l);
+    EXPECT_EQ(spine.boundCellCount(), 1u);
+    const ClockTree h = buildHTreeLinear(l);
+    EXPECT_EQ(h.boundCellCount(), 1u);
+    const ClockTree rb = buildRecursiveBisection(l);
+    EXPECT_EQ(rb.boundCellCount(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for least-squares fitting and growth-law classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fit.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using vsync::classifyGrowth;
+using vsync::fitLinear;
+using vsync::fitPower;
+using vsync::GrowthLaw;
+
+TEST(FitLinear, ExactLine)
+{
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(3.0 * x - 2.0);
+    const auto fit = fitLinear(xs, ys);
+    EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoisyLineHasHighR2)
+{
+    vsync::Rng rng(3);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+        xs.push_back(i);
+        ys.push_back(2.0 * i + 5.0 + rng.normal(0.0, 1.0));
+    }
+    const auto fit = fitLinear(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.0, 0.05);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(FitLinear, ConstantDataHasZeroSlope)
+{
+    const std::vector<double> xs{1, 2, 3, 4};
+    const std::vector<double> ys{7, 7, 7, 7};
+    const auto fit = fitLinear(xs, ys);
+    EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 7.0, 1e-12);
+}
+
+TEST(FitPower, ExactPowerLaw)
+{
+    std::vector<double> xs, ys;
+    for (double x : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+        xs.push_back(x);
+        ys.push_back(3.0 * std::pow(x, 1.5));
+    }
+    const auto fit = fitPower(xs, ys);
+    EXPECT_NEAR(fit.exponent, 1.5, 1e-9);
+    EXPECT_NEAR(fit.coefficient, 3.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(GrowthLawName, AllNamed)
+{
+    EXPECT_EQ(vsync::growthLawName(GrowthLaw::Constant), "O(1)");
+    EXPECT_EQ(vsync::growthLawName(GrowthLaw::Logarithmic), "O(log n)");
+    EXPECT_EQ(vsync::growthLawName(GrowthLaw::SquareRoot), "O(sqrt n)");
+    EXPECT_EQ(vsync::growthLawName(GrowthLaw::Linear), "O(n)");
+    EXPECT_EQ(vsync::growthLawName(GrowthLaw::Quadratic), "O(n^2)");
+}
+
+/** Parameterized sweep: generated series must classify correctly. */
+struct GrowthCase
+{
+    const char *name;
+    GrowthLaw expected;
+    double (*fn)(double);
+};
+
+double constantFn(double) { return 5.0; }
+double logFn(double n) { return 3.0 * std::log(n) + 1.0; }
+double sqrtFn(double n) { return 0.5 * std::sqrt(n); }
+double linearFn(double n) { return 0.25 * n + 2.0; }
+double quadraticFn(double n) { return 0.01 * n * n; }
+
+class GrowthClassification : public ::testing::TestWithParam<GrowthCase>
+{
+};
+
+TEST_P(GrowthClassification, RecognisesLaw)
+{
+    const GrowthCase &c = GetParam();
+    std::vector<double> ns, ys;
+    for (double n = 8; n <= 8192; n *= 2) {
+        ns.push_back(n);
+        ys.push_back(c.fn(n));
+    }
+    EXPECT_EQ(classifyGrowth(ns, ys), c.expected) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Laws, GrowthClassification,
+    ::testing::Values(GrowthCase{"constant", GrowthLaw::Constant,
+                                 constantFn},
+                      GrowthCase{"log", GrowthLaw::Logarithmic, logFn},
+                      GrowthCase{"sqrt", GrowthLaw::SquareRoot, sqrtFn},
+                      GrowthCase{"linear", GrowthLaw::Linear, linearFn},
+                      GrowthCase{"quadratic", GrowthLaw::Quadratic,
+                                 quadraticFn}),
+    [](const ::testing::TestParamInfo<GrowthCase> &info) {
+        return info.param.name;
+    });
+
+TEST(ClassifyGrowth, NoisyLinearStillLinear)
+{
+    vsync::Rng rng(17);
+    std::vector<double> ns, ys;
+    for (double n = 8; n <= 4096; n *= 2) {
+        ns.push_back(n);
+        ys.push_back(2.0 * n * rng.uniform(0.9, 1.1));
+    }
+    EXPECT_EQ(classifyGrowth(ns, ys), GrowthLaw::Linear);
+}
+
+TEST(ClassifyGrowth, SlightlyWobblyFlatSeriesIsConstant)
+{
+    std::vector<double> ns, ys;
+    for (double n = 8; n <= 4096; n *= 2) {
+        ns.push_back(n);
+        ys.push_back(10.0 + (static_cast<int>(n) % 3));
+    }
+    EXPECT_EQ(classifyGrowth(ns, ys), GrowthLaw::Constant);
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the deterministic random number generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace
+{
+
+using vsync::Rng;
+using vsync::RunningStat;
+
+TEST(SplitMix64, KnownSequenceIsDeterministic)
+{
+    vsync::SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.5, 2.25);
+        EXPECT_GE(u, -3.5);
+        EXPECT_LT(u, 2.25);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered)
+{
+    Rng rng(11);
+    RunningStat st;
+    for (int i = 0; i < 100000; ++i)
+        st.add(rng.uniform());
+    EXPECT_NEAR(st.mean(), 0.5, 0.01);
+    EXPECT_NEAR(st.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAllResidues)
+{
+    Rng rng(17);
+    std::vector<int> seen(10, 0);
+    for (int i = 0; i < 10000; ++i)
+        ++seen[rng.uniformInt(10)];
+    for (int count : seen)
+        EXPECT_GT(count, 700);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(19);
+    RunningStat st;
+    for (int i = 0; i < 200000; ++i)
+        st.add(rng.normal());
+    EXPECT_NEAR(st.mean(), 0.0, 0.01);
+    EXPECT_NEAR(st.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, NormalScaled)
+{
+    Rng rng(23);
+    RunningStat st;
+    for (int i = 0; i < 100000; ++i)
+        st.add(rng.normal(5.0, 2.0));
+    EXPECT_NEAR(st.mean(), 5.0, 0.05);
+    EXPECT_NEAR(st.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(29);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(31);
+    RunningStat st;
+    for (int i = 0; i < 100000; ++i)
+        st.add(rng.exponential(4.0));
+    EXPECT_NEAR(st.mean(), 4.0, 0.1);
+    EXPECT_GE(st.min(), 0.0);
+}
+
+TEST(Rng, DerivedStreamsAreIndependentOfDrawCount)
+{
+    Rng a(99), b(99);
+    // Consume from a before deriving; derived streams must match.
+    for (int i = 0; i < 57; ++i)
+        a.next();
+    Rng da = a.deriveStream(5);
+    Rng db = b.deriveStream(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(da.next(), db.next());
+}
+
+TEST(Rng, DerivedStreamsWithDifferentSaltsDiffer)
+{
+    Rng a(99);
+    Rng s1 = a.deriveStream(1);
+    Rng s2 = a.deriveStream(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += s1.next() == s2.next() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+/** Property sweep: uniform(lo, hi) stays in range for many ranges. */
+class UniformRangeTest
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(UniformRangeTest, StaysInRange)
+{
+    const auto [lo, hi] = GetParam();
+    Rng rng(1234);
+    for (int i = 0; i < 2000; ++i) {
+        const double u = rng.uniform(lo, hi);
+        EXPECT_GE(u, lo);
+        EXPECT_LE(u, hi);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, UniformRangeTest,
+    ::testing::Values(std::pair{0.0, 1.0}, std::pair{-1.0, 1.0},
+                      std::pair{1e-9, 2e-9}, std::pair{-1e6, 1e6},
+                      std::pair{5.0, 5.0}));
+
+} // namespace

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the table writer and bench option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace
+{
+
+using vsync::BenchOptions;
+using vsync::Table;
+
+TEST(Table, AlignsColumns)
+{
+    Table t("demo", {"n", "value"});
+    t.addRow({"1", "10"});
+    t.addRow({"1024", "3.25"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("| n    | value |"), std::string::npos);
+    EXPECT_NE(out.find("| 1024 | 3.25  |"), std::string::npos);
+}
+
+TEST(Table, PadsMissingCellsAndDropsExtras)
+{
+    Table t("x", {"a", "b"});
+    t.addRow({"only"});
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\nonly,\n1,2\n");
+}
+
+TEST(Table, CsvQuotesSpecialCells)
+{
+    Table t("q", {"a", "b"});
+    t.addRow({"x,y", "he said \"hi\""});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Table, NumericFormatters)
+{
+    EXPECT_EQ(Table::num(3.14159), "3.142");
+    EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::integer(1234567), "1234567");
+}
+
+TEST(BenchOptions, DefaultsAreEmpty)
+{
+    char prog[] = "bench";
+    char *argv[] = {prog};
+    const auto opts = BenchOptions::parse(1, argv);
+    EXPECT_FALSE(opts.csv);
+    EXPECT_FALSE(opts.seedSet);
+}
+
+TEST(BenchOptions, ParsesCsvAndSeed)
+{
+    char prog[] = "bench";
+    char csv[] = "--csv";
+    char seed[] = "--seed=0xdead";
+    char *argv[] = {prog, csv, seed};
+    const auto opts = BenchOptions::parse(3, argv);
+    EXPECT_TRUE(opts.csv);
+    EXPECT_TRUE(opts.seedSet);
+    EXPECT_EQ(opts.seed, 0xdeadu);
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the Elmore delay analysis of unbuffered clock trees.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/elmore.hh"
+#include "clocktree/builders.hh"
+#include "common/fit.hh"
+#include "core/clock_period.hh"
+#include "layout/generators.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::circuit;
+
+WireRC
+unitRc()
+{
+    WireRC rc;
+    rc.rPerLambda = 1.0;
+    rc.cPerLambda = 1.0;
+    rc.cLeaf = 0.0;
+    rc.rDriver = 0.0;
+    rc.nsPerOhmFarad = 1.0; // work in raw RC units
+    return rc;
+}
+
+TEST(Elmore, SingleWireMatchesClosedForm)
+{
+    clocktree::ClockTree t;
+    const NodeId root = t.addRoot({0, 0});
+    const NodeId leaf = t.addChild(root, {10, 0});
+    t.bindCell(leaf, 0);
+    const auto rep = elmoreAnalysis(t, unitRc());
+    // R = 10, downstream C = half of own wire = 5: delay = 50.
+    EXPECT_DOUBLE_EQ(rep.arrival[leaf], 50.0);
+    EXPECT_DOUBLE_EQ(rep.totalCapacitance, 10.0);
+}
+
+TEST(Elmore, LeafLoadAddsDelay)
+{
+    WireRC rc = unitRc();
+    rc.cLeaf = 4.0;
+    clocktree::ClockTree t;
+    const NodeId root = t.addRoot({0, 0});
+    const NodeId leaf = t.addChild(root, {10, 0});
+    t.bindCell(leaf, 0);
+    const auto rep = elmoreAnalysis(t, rc);
+    // R = 10, C = 5 (half wire) + 4 (tap): delay = 90.
+    EXPECT_DOUBLE_EQ(rep.arrival[leaf], 90.0);
+}
+
+TEST(Elmore, DriverResistanceChargesEverything)
+{
+    WireRC rc = unitRc();
+    rc.rDriver = 2.0;
+    clocktree::ClockTree t;
+    const NodeId root = t.addRoot({0, 0});
+    const NodeId leaf = t.addChild(root, {10, 0});
+    t.bindCell(leaf, 0);
+    const auto rep = elmoreAnalysis(t, rc);
+    EXPECT_DOUBLE_EQ(rep.arrival[root], 20.0); // 2 * 10 fF total
+    EXPECT_DOUBLE_EQ(rep.arrival[leaf], 70.0);
+}
+
+TEST(Elmore, SymmetricHTreeHasNoLeafSkew)
+{
+    const int n = 8;
+    const layout::Layout l = layout::meshLayout(n, n);
+    const auto tree = clocktree::buildHTreeGrid(l, n, n, false);
+    WireRC rc = unitRc();
+    rc.cLeaf = 3.0;
+    const auto rep = elmoreAnalysis(tree, rc);
+    EXPECT_NEAR(rep.maxLeafArrival, rep.minLeafArrival,
+                1e-9 * rep.maxLeafArrival + 1e-12);
+}
+
+TEST(Elmore, SpineDrivenFromOneEndIsSkewed)
+{
+    const layout::Layout l = layout::linearLayout(32);
+    const auto tree = clocktree::buildSpine(l);
+    const graph::Graph comm = l.comm();
+    const auto rep = elmoreAnalysis(tree, unitRc(), &comm);
+    // The far end settles much later than the near end...
+    EXPECT_GT(rep.maxLeafArrival, 10.0 * rep.minLeafArrival);
+    // ...and even neighbours differ (the unbuffered spine is a bad
+    // equipotential tree, which is why it gets buffered + pipelined).
+    EXPECT_GT(rep.maxCommSkew, 0.0);
+}
+
+TEST(Elmore, SettleGrowsQuadraticallyWithHTreeSide)
+{
+    std::vector<double> ns, settles;
+    for (int n : {4, 8, 16, 32}) {
+        const layout::Layout l = layout::meshLayout(n, n);
+        const auto tree = clocktree::buildHTreeGrid(l, n, n, false);
+        const auto rep = elmoreAnalysis(tree, unitRc());
+        ns.push_back(n);
+        settles.push_back(rep.maxLeafArrival);
+    }
+    EXPECT_EQ(classifyGrowth(ns, settles), GrowthLaw::Quadratic);
+}
+
+TEST(TwoPhase, PeriodAbsorbsSkewTwice)
+{
+    // Defined here to keep the two-phase check near its ablation use.
+    core::SkewReport report;
+    report.maxSkewUpper = 1.5;
+    core::TwoPhaseParams tp;
+    tp.phi1Min = 2.0;
+    tp.phi2Min = 1.0;
+    tp.nonoverlapMin = 0.25;
+    EXPECT_DOUBLE_EQ(core::twoPhasePeriod(report, tp),
+                     2.0 + 1.0 + 2.0 * (0.25 + 1.5));
+}
+
+} // namespace

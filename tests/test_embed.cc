@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the rectangular-grid near-square embedding (Theorem 2's
+ * substrate; see DESIGN.md for the documented substitution).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "layout/embed.hh"
+
+namespace
+{
+
+using vsync::layout::EmbedStats;
+using vsync::layout::embedMeshNearSquare;
+using vsync::layout::Layout;
+
+TEST(Embed, SquareInputIsUntouched)
+{
+    EmbedStats stats;
+    const Layout l = embedMeshNearSquare(8, 8, 2.0, &stats);
+    EXPECT_EQ(stats.folds, 0);
+    EXPECT_DOUBLE_EQ(stats.dilation, 1.0);
+    EXPECT_TRUE(l.validate(false));
+}
+
+TEST(Embed, StronglyRectangularBecomesNearSquare)
+{
+    EmbedStats stats;
+    const Layout l = embedMeshNearSquare(4, 64, 2.0, &stats);
+    EXPECT_TRUE(l.validate(false));
+    EXPECT_LE(stats.aspectRatio, 2.5);
+    EXPECT_GT(stats.folds, 0);
+}
+
+TEST(Embed, AreaFactorBounded)
+{
+    for (int cols : {16, 32, 64, 128}) {
+        EmbedStats stats;
+        embedMeshNearSquare(4, cols, 2.0, &stats);
+        // The interleaved fold preserves cell count; the bounding box
+        // stays within a small constant of the cell area.
+        EXPECT_LE(stats.areaFactor, 4.0) << "cols=" << cols;
+    }
+}
+
+TEST(Embed, CellsStayDistinct)
+{
+    const Layout l = embedMeshNearSquare(2, 32, 2.0, nullptr);
+    EXPECT_TRUE(l.validate(false)); // includes pairwise spacing check
+}
+
+TEST(Embed, GraphIsPreserved)
+{
+    EmbedStats stats;
+    const Layout l = embedMeshNearSquare(3, 24, 2.0, &stats);
+    // 3x24 mesh: undirected edges = 3*23 + 2*24 = 117, directed 234.
+    EXPECT_EQ(l.comm().edgeCount(), 234u);
+    EXPECT_TRUE(l.comm().isConnected());
+}
+
+TEST(Embed, DilationGrowsSlowlyWithAspect)
+{
+    // The documented substitution: dilation O(sqrt(aspect)), not O(1).
+    EmbedStats s16, s64;
+    embedMeshNearSquare(4, 4 * 16, 2.0, &s16);
+    embedMeshNearSquare(4, 4 * 64, 2.0, &s64);
+    EXPECT_GE(s64.dilation, s16.dilation);
+    // sqrt(aspect) law: quadrupling the aspect ratio should no more
+    // than roughly double the dilation (allow slack for rounding).
+    EXPECT_LE(s64.dilation, 3.0 * s16.dilation);
+}
+
+} // namespace

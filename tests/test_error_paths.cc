@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Death tests covering the library's precondition checks: the
+ * "impossible" states panic()/assert rather than silently corrupting
+ * an analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "clocktree/buffering.hh"
+#include "clocktree/builders.hh"
+#include "clocktree/clock_tree.hh"
+#include "common/rng.hh"
+#include "core/skew_analysis.hh"
+#include "core/skew_model.hh"
+#include "graph/graph.hh"
+#include "graph/topology.hh"
+#include "layout/generators.hh"
+#include "systolic/fir.hh"
+#include "systolic/trisolve.hh"
+#include "systolic/executor.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+class ErrorPaths : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        GTEST_FLAG_SET(death_test_style, "threadsafe");
+    }
+};
+
+TEST_F(ErrorPaths, GraphRejectsSelfLoopsAndBadIds)
+{
+    graph::Graph g(3);
+    EXPECT_DEATH(g.addEdge(1, 1), "self loop");
+    EXPECT_DEATH(g.addEdge(0, 7), "bad edge target");
+    EXPECT_DEATH(g.addEdge(-1, 0), "bad edge source");
+}
+
+TEST_F(ErrorPaths, TopologyGeneratorsRejectBadSizes)
+{
+    EXPECT_DEATH(graph::linearArray(0), "n >= 1");
+    EXPECT_DEATH(graph::ring(2), "n >= 3");
+    EXPECT_DEATH(graph::hypercube(0), "order");
+}
+
+TEST_F(ErrorPaths, ClockTreeEnforcesConstructionInvariants)
+{
+    clocktree::ClockTree t;
+    EXPECT_DEATH(t.root(), "empty");
+    const NodeId root = t.addRoot({0, 0});
+    EXPECT_DEATH(t.addRoot({1, 1}), "already has a root");
+    const NodeId a = t.addChild(root, {1, 0});
+    t.bindCell(a, 0);
+    EXPECT_DEATH(t.bindCell(a, 1), "already clocks");
+    const NodeId b = t.addChild(root, {2, 0});
+    EXPECT_DEATH(t.bindCell(b, 0), "already clocked by");
+    EXPECT_DEATH(t.padWire(root, 1.0), "cannot pad");
+    EXPECT_DEATH(t.padWire(a, -2.0), "negative padding");
+}
+
+TEST_F(ErrorPaths, BinaryTreeRefusesThirdChild)
+{
+    clocktree::ClockTree t;
+    const NodeId root = t.addRoot({0, 0});
+    t.addChild(root, {1, 0});
+    t.addChild(root, {0, 1});
+    EXPECT_DEATH(t.addChild(root, {-1, 0}), "two children");
+}
+
+TEST_F(ErrorPaths, SkewAnalysisRequiresCompleteBinding)
+{
+    const layout::Layout l = layout::linearLayout(3);
+    clocktree::ClockTree t;
+    const NodeId root = t.addRoot({-1, 0});
+    t.bindCell(t.addChild(root, {0, 0}), 0);
+    t.bindCell(t.addChild(root, {1, 0}), 1);
+    // Cell 2 never bound (A4 violated).
+    const auto model = core::SkewModel::summation(0.1, 0.01);
+    EXPECT_DEATH(core::analyzeSkew(l, t, model), "not clocked");
+}
+
+TEST_F(ErrorPaths, BufferingRejectsNonPositiveSpacing)
+{
+    const layout::Layout l = layout::linearLayout(4);
+    const auto t = clocktree::buildSpine(l);
+    EXPECT_DEATH(
+        clocktree::BufferedClockTree::insertBuffers(t, 0.0),
+        "positive");
+}
+
+TEST_F(ErrorPaths, ArrayPortWiringValidated)
+{
+    systolic::SystolicArray a = systolic::buildFir({1.0, 2.0});
+    EXPECT_DEATH(a.connect(0, 5, 1, 0), "no output port");
+    EXPECT_DEATH(a.connect(0, 0, 1, 9), "no input port");
+    // Port 0 of cell 0 already drives cell 1.
+    EXPECT_DEATH(a.connect(0, 0, 1, 0), "already connected");
+}
+
+TEST_F(ErrorPaths, TriSolveRejectsZeroDiagonal)
+{
+    systolic::SystolicArray a = systolic::buildTriSolve(2);
+    const auto ext =
+        systolic::triSolveInputs({{0.0, 0.0}, {1.0, 1.0}}, {1.0, 1.0});
+    EXPECT_DEATH(systolic::runIdeal(a, 3, ext), "zero diagonal");
+    EXPECT_DEATH(
+        systolic::triSolveReference({{0.0, 0.0}, {1.0, 1.0}},
+                                    {1.0, 1.0}),
+        "zero diagonal");
+}
+
+TEST_F(ErrorPaths, RngRejectsDegenerateParameters)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.uniformInt(0), "n > 0");
+    EXPECT_DEATH(rng.exponential(-1.0), "mean > 0");
+    EXPECT_DEATH(rng.uniform(2.0, 1.0), "bad uniform range");
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the directed communication graph.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hh"
+
+namespace
+{
+
+using vsync::graph::Graph;
+
+TEST(Graph, AddNodesAndEdges)
+{
+    Graph g(3);
+    EXPECT_EQ(g.size(), 3u);
+    const auto e0 = g.addEdge(0, 1);
+    const auto e1 = g.addEdge(1, 2);
+    EXPECT_EQ(g.edgeCount(), 2u);
+    EXPECT_EQ(g.edge(e0).src, 0);
+    EXPECT_EQ(g.edge(e1).dst, 2);
+    EXPECT_EQ(g.addNode(), 3);
+    EXPECT_EQ(g.size(), 4u);
+    EXPECT_EQ(g.addNodes(2), 4);
+    EXPECT_EQ(g.size(), 6u);
+}
+
+TEST(Graph, AdjacencyLists)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(2, 0);
+    EXPECT_EQ(g.outEdges(0).size(), 2u);
+    EXPECT_EQ(g.inEdges(0).size(), 1u);
+    EXPECT_EQ(g.outEdges(1).size(), 0u);
+    EXPECT_EQ(g.inEdges(1).size(), 1u);
+}
+
+TEST(Graph, NeighborsDeduplicates)
+{
+    Graph g(3);
+    g.addBidirectional(0, 1);
+    g.addEdge(0, 2);
+    const auto n = g.neighbors(0);
+    EXPECT_EQ(n, (std::vector<vsync::CellId>{1, 2}));
+}
+
+TEST(Graph, ConnectedChecksBothDirections)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    EXPECT_TRUE(g.connected(0, 1));
+    EXPECT_TRUE(g.connected(1, 0));
+    EXPECT_FALSE(g.connected(0, 2));
+}
+
+TEST(Graph, UndirectedEdgesCollapsePairs)
+{
+    Graph g(3);
+    g.addBidirectional(0, 1);
+    g.addEdge(1, 2);
+    const auto ue = g.undirectedEdges();
+    ASSERT_EQ(ue.size(), 2u);
+    EXPECT_EQ(ue[0].src, 0);
+    EXPECT_EQ(ue[0].dst, 1);
+    EXPECT_EQ(ue[1].src, 1);
+    EXPECT_EQ(ue[1].dst, 2);
+}
+
+TEST(Graph, ComponentsAndConnectivity)
+{
+    Graph g(5);
+    g.addBidirectional(0, 1);
+    g.addBidirectional(2, 3);
+    EXPECT_EQ(g.componentCount(), 3u);
+    EXPECT_FALSE(g.isConnected());
+    g.addEdge(1, 2);
+    g.addEdge(3, 4);
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Graph, BfsDistances)
+{
+    Graph g(5);
+    g.addBidirectional(0, 1);
+    g.addBidirectional(1, 2);
+    g.addBidirectional(2, 3);
+    const auto d = g.bfsDistances(0);
+    EXPECT_EQ(d[0], 0);
+    EXPECT_EQ(d[1], 1);
+    EXPECT_EQ(d[3], 3);
+    EXPECT_EQ(d[4], -1); // unreachable
+}
+
+TEST(Graph, EmptyGraphIsNotConnected)
+{
+    Graph g;
+    EXPECT_FALSE(g.isConnected());
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the Horner evaluator and the Jacobi relaxation mesh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "systolic/executor.hh"
+#include "systolic/horner.hh"
+#include "systolic/jacobi.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::systolic;
+
+TEST(Horner, ConstantPolynomial)
+{
+    SystolicArray a = buildHorner({7.0});
+    const Trace tr = runIdeal(a, 4, hornerInputs({1.0, 2.0, 3.0}));
+    const auto &r = tr.of(0, 1);
+    for (int t = 0; t < 4; ++t)
+        EXPECT_DOUBLE_EQ(r[t], 7.0);
+}
+
+TEST(Horner, QuadraticKnownValues)
+{
+    // p(x) = 2x^2 + 3x + 4 -> coefficients {2, 3, 4}.
+    SystolicArray a = buildHorner({2.0, 3.0, 4.0});
+    const std::vector<Word> xs{0.0, 1.0, 2.0, -1.0};
+    const int cycles = 8;
+    const Trace tr = runIdeal(a, cycles, hornerInputs(xs));
+    const auto &r = tr.of(2, 1);
+    // Latency k-1 = 2: p(0)=4 at t=2, p(1)=9, p(2)=18, p(-1)=3.
+    EXPECT_DOUBLE_EQ(r[2], 4.0);
+    EXPECT_DOUBLE_EQ(r[3], 9.0);
+    EXPECT_DOUBLE_EQ(r[4], 18.0);
+    EXPECT_DOUBLE_EQ(r[5], 3.0);
+}
+
+/** Property: random polynomials and inputs match the reference. */
+class HornerProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HornerProperty, MatchesReference)
+{
+    Rng rng(GetParam());
+    const int k = 1 + static_cast<int>(rng.uniformInt(6));
+    const int len = 3 + static_cast<int>(rng.uniformInt(10));
+    std::vector<Word> coeffs, xs;
+    for (int i = 0; i < k; ++i)
+        coeffs.push_back(rng.uniform(-2.0, 2.0));
+    for (int i = 0; i < len; ++i)
+        xs.push_back(rng.uniform(-1.5, 1.5));
+
+    SystolicArray a = buildHorner(coeffs);
+    const int cycles = len + k + 2;
+    const Trace tr = runIdeal(a, cycles, hornerInputs(xs));
+    const auto expected = hornerExpectedOutput(coeffs, xs, cycles);
+    const auto &r = tr.of(static_cast<CellId>(k - 1), 1);
+    for (int t = 0; t < cycles; ++t)
+        EXPECT_NEAR(r[t], expected[t], 1e-9) << "t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HornerProperty,
+                         ::testing::Values(31u, 32u, 33u, 34u, 35u,
+                                           36u));
+
+TEST(Jacobi, SingleCellConvergesToBoundary)
+{
+    SystolicArray a = buildJacobi(1, 1, 0.0);
+    const Trace tr = runIdeal(a, 3, jacobiInputs(8.0));
+    // All four ports read the boundary: value jumps to 8 and stays.
+    EXPECT_DOUBLE_EQ(tr.finalStates[0][0], 8.0);
+}
+
+TEST(Jacobi, MatchesReferenceRecurrenceExactly)
+{
+    const int rows = 4, cols = 5, cycles = 9;
+    SystolicArray a = buildJacobi(rows, cols, 1.0);
+    const Trace tr = runIdeal(a, cycles, jacobiInputs(2.0));
+    const auto ref = jacobiReference(rows, cols, 1.0, 2.0, cycles);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            EXPECT_NEAR(tr.finalStates[r * cols + c][0], ref[r][c],
+                        1e-12)
+                << r << "," << c;
+}
+
+TEST(Jacobi, ConvergesToHarmonicSolution)
+{
+    // Constant boundary: the harmonic solution is that constant.
+    const int n = 6, cycles = 400;
+    SystolicArray a = buildJacobi(n, n, 0.0);
+    const Trace tr = runIdeal(a, cycles, jacobiInputs(1.0));
+    for (int i = 0; i < n * n; ++i)
+        EXPECT_NEAR(tr.finalStates[i][0], 1.0, 1e-3) << i;
+}
+
+/** Property: executor equals the mirrored reference for random
+ *  shapes/parameters. */
+class JacobiProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(JacobiProperty, ExecutorMirrorsReference)
+{
+    Rng rng(GetParam());
+    const int rows = 1 + static_cast<int>(rng.uniformInt(5));
+    const int cols = 1 + static_cast<int>(rng.uniformInt(5));
+    const Word init = rng.uniform(-2.0, 2.0);
+    const Word boundary = rng.uniform(-2.0, 2.0);
+    const int cycles = 1 + static_cast<int>(rng.uniformInt(20));
+
+    SystolicArray a = buildJacobi(rows, cols, init);
+    const Trace tr = runIdeal(a, cycles, jacobiInputs(boundary));
+    const auto ref =
+        jacobiReference(rows, cols, init, boundary, cycles);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            EXPECT_NEAR(tr.finalStates[r * cols + c][0], ref[r][c],
+                        1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JacobiProperty,
+                         ::testing::Values(41u, 42u, 43u, 44u, 45u,
+                                           46u, 47u, 48u));
+
+} // namespace

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the Section VI hybrid synchronization scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "desim/simulator.hh"
+#include "hybrid/executor.hh"
+#include "hybrid/handshake.hh"
+#include "hybrid/network.hh"
+#include "hybrid/partition.hh"
+#include "layout/generators.hh"
+#include "systolic/matmul.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::hybrid;
+
+TEST(Partition, GridBinningCoversAllCells)
+{
+    const layout::Layout l = layout::meshLayout(8, 8);
+    const Partition p = partitionGrid(l, 4.0);
+    EXPECT_EQ(p.elementCount, 4);
+    for (int e : p.elementOf)
+        EXPECT_GE(e, 0);
+    std::size_t total = 0;
+    for (const auto &cells : p.elementCells)
+        total += cells.size();
+    EXPECT_EQ(total, 64u);
+}
+
+TEST(Partition, ElementDiameterBoundedByElementSize)
+{
+    const layout::Layout l = layout::meshLayout(16, 16);
+    const Partition p = partitionGrid(l, 4.0);
+    // Manhattan diameter of a 4x4 lambda bin is at most 2 * 4.
+    EXPECT_LE(p.maxElementDiameter, 8.0);
+    EXPECT_EQ(p.elementCount, 16);
+}
+
+TEST(Partition, AdjacentElementsLinked)
+{
+    const layout::Layout l = layout::meshLayout(8, 8);
+    const Partition p = partitionGrid(l, 4.0);
+    // 2x2 element grid: corner elements have two neighbours.
+    for (int e = 0; e < p.elementCount; ++e)
+        EXPECT_EQ(p.elementGraph.neighbors(e).size(), 2u);
+    EXPECT_GT(p.maxControllerDistance, 0.0);
+}
+
+TEST(Partition, SingleElementWhenSizeCoversLayout)
+{
+    const layout::Layout l = layout::meshLayout(4, 4);
+    const Partition p = partitionGrid(l, 100.0);
+    EXPECT_EQ(p.elementCount, 1);
+    EXPECT_EQ(p.elementGraph.edgeCount(), 0u);
+}
+
+TEST(Handshake, FourPhaseRoundsComplete)
+{
+    desim::Simulator sim;
+    HandshakePair hs(sim, 1.0, 0.25);
+    const auto completions = hs.run(5);
+    ASSERT_EQ(completions.size(), 5u);
+    // First round: 4 wire legs + 3 logic reactions.
+    EXPECT_NEAR(completions[0], hs.roundLatency(), 1e-9);
+    // Steady rounds add one more logic delay to restart.
+    for (std::size_t k = 1; k < completions.size(); ++k) {
+        EXPECT_NEAR(completions[k] - completions[k - 1],
+                    hs.roundLatency() + 0.25, 1e-9);
+    }
+}
+
+TEST(Handshake, LatencyScalesWithDistanceNotRounds)
+{
+    desim::Simulator sim1, sim2;
+    HandshakePair near(sim1, 0.5, 0.25);
+    HandshakePair far(sim2, 5.0, 0.25);
+    EXPECT_GT(far.roundLatency(), near.roundLatency());
+    EXPECT_NEAR(far.roundLatency() - near.roundLatency(), 4.0 * 4.5,
+                1e-9);
+}
+
+TEST(StoppableClock, PulsesNeverTruncated)
+{
+    desim::Simulator sim;
+    desim::Signal clk("clk");
+    StoppableClock sc(sim, clk, 2.0, 1.0, 0.5);
+    sc.enable();
+    // Disable mid-flight after a few pulses.
+    sim.schedule(7.3, [&sc]() { sc.disable(); });
+    sim.run();
+    ASSERT_GE(sc.pulses().size(), 2u);
+    for (const auto &[rise, fall] : sc.pulses())
+        EXPECT_NEAR(fall - rise, 2.0, 1e-12);
+    // Clock parked low after the synchronous stop.
+    EXPECT_FALSE(clk.value());
+}
+
+TEST(StoppableClock, RestartsAsynchronously)
+{
+    desim::Simulator sim;
+    desim::Signal clk("clk");
+    StoppableClock sc(sim, clk, 1.0, 0.5, 0.25);
+    sc.enable();
+    sim.schedule(2.9, [&sc]() { sc.disable(); });
+    sim.schedule(10.0, [&sc]() { sc.enable(); });
+    sim.schedule(12.4, [&sc]() { sc.disable(); });
+    sim.run();
+    EXPECT_GE(sc.pulses().size(), 3u);
+    for (const auto &[rise, fall] : sc.pulses())
+        EXPECT_NEAR(fall - rise, 1.0, 1e-12);
+}
+
+HybridParams
+testParams()
+{
+    HybridParams p;
+    p.localClockPerLambda = 0.1;
+    p.delta = 2.0;
+    p.handshakeWirePerLambda = 0.05;
+    p.handshakeLogic = 0.5;
+    return p;
+}
+
+TEST(HybridNetwork, SteadyCycleWithinAnalyticBound)
+{
+    const layout::Layout l = layout::meshLayout(16, 16);
+    HybridNetwork net(partitionGrid(l, 4.0), testParams());
+    const auto res = net.simulate(40);
+    EXPECT_LE(res.steadyCycle, net.analyticCycleBound() + 1e-9);
+    EXPECT_GT(res.steadyCycle, 0.0);
+}
+
+TEST(HybridNetwork, CycleTimeIndependentOfArraySize)
+{
+    // The Fig 8 claim: growing the array does not grow the cycle.
+    double cycle8 = 0.0, cycle32 = 0.0;
+    for (int n : {8, 32}) {
+        const layout::Layout l = layout::meshLayout(n, n);
+        HybridNetwork net(partitionGrid(l, 4.0), testParams());
+        const double c = net.simulate(40).steadyCycle;
+        (n == 8 ? cycle8 : cycle32) = c;
+    }
+    EXPECT_NEAR(cycle32, cycle8, 0.3);
+}
+
+TEST(HybridNetwork, ToleratesJitterUnlikePipelinedClock)
+{
+    HybridParams p = testParams();
+    p.jitterAmplitude = 1.0; // A8 violated
+    const layout::Layout l = layout::meshLayout(12, 12);
+    HybridNetwork net(partitionGrid(l, 4.0), p);
+    Rng rng(91);
+    const auto res = net.simulate(60, &rng);
+    // Still bounded: local synchronization absorbs the jitter.
+    EXPECT_LE(res.steadyCycle,
+              net.analyticCycleBound() + p.jitterAmplitude + 1e-9);
+}
+
+TEST(HybridExecutor, ComputesIdealResultWithConstantCycle)
+{
+    const int n = 4;
+    Rng rng(93);
+    std::vector<std::vector<systolic::Word>> a(
+        n, std::vector<systolic::Word>(n));
+    std::vector<std::vector<systolic::Word>> b = a;
+    for (auto *mat : {&a, &b})
+        for (auto &row : *mat)
+            for (auto &v : row)
+                v = rng.uniform(-1.0, 1.0);
+
+    systolic::SystolicArray arr = systolic::buildMatMul(n);
+    const layout::Layout l = layout::meshLayout(n, n);
+    const auto exec =
+        runHybrid(arr, l, 2.0, testParams(), systolic::matMulCycles(n),
+                  systolic::matMulInputs(a, b));
+
+    const auto c = systolic::matMulReference(a, b);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            EXPECT_NEAR(exec.trace.finalStates[i * n + j][0], c[i][j],
+                        1e-9);
+    EXPECT_GT(exec.cycleTime, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * End-to-end integration tests: the paper's central claims exercised
+ * through the whole stack (layout -> clock tree -> skew -> execution).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clocktree/builders.hh"
+#include "common/fit.hh"
+#include "common/rng.hh"
+#include "core/advisor.hh"
+#include "core/clock_period.hh"
+#include "core/lower_bound.hh"
+#include "core/skew_analysis.hh"
+#include "hybrid/executor.hh"
+#include "layout/generators.hh"
+#include "systolic/clocked_executor.hh"
+#include "systolic/fir.hh"
+#include "systolic/matmul.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+/**
+ * Theorem 3 end to end: a 1-D FIR array, spine-clocked under the
+ * summation model with sampled wire delays, runs correctly at a period
+ * that does not depend on the array length.
+ */
+TEST(Integration, Theorem3FirRunsAtSizeIndependentPeriod)
+{
+    const double m = 0.05, eps = 0.005;
+    systolic::LinkTiming timing;
+    timing.setup = 0.2;
+    timing.hold = 0.1;
+    timing.clkToQ = 0.2;
+    timing.deltaMin = 0.3;
+    timing.deltaMax = 1.0;
+
+    // Fixed budget chosen once: intrinsic delay + one-pitch worst skew.
+    const Time period = timing.clkToQ + timing.deltaMax + timing.setup +
+                        (m + eps) * 1.0;
+
+    Rng rng(1001);
+    for (int n : {4, 16, 64, 256}) {
+        std::vector<systolic::Word> taps(static_cast<std::size_t>(n),
+                                         1.0);
+        systolic::SystolicArray arr = systolic::buildFir(taps);
+        const layout::Layout l = layout::linearLayout(n);
+        const auto tree = clocktree::buildSpine(l);
+        const auto inst = core::sampleSkewInstance(l, tree, m, eps, rng);
+
+        std::vector<Time> offsets;
+        for (CellId c = 0; c < n; ++c)
+            offsets.push_back(inst.arrival[tree.nodeOfCell(c)]);
+
+        ASSERT_TRUE(systolic::holdSafe(arr, offsets, timing)) << n;
+        EXPECT_LE(systolic::minSafePeriod(arr, offsets, timing),
+                  period + 1e-9)
+            << n;
+
+        const std::vector<systolic::Word> xs{1, -1, 2};
+        const int cycles = n + 6;
+        const auto ideal =
+            systolic::runIdeal(arr, cycles, systolic::firInputs(xs));
+        const auto clocked = systolic::runClocked(
+            arr, cycles, systolic::firInputs(xs), offsets, period,
+            timing);
+        EXPECT_TRUE(clocked.correct) << n;
+        EXPECT_TRUE(clocked.trace.matches(ideal)) << n;
+    }
+}
+
+/**
+ * The Section V-B contrast: the same fixed period that works for every
+ * 1-D array fails on large meshes clocked by any of our builders under
+ * the summation model, because some communicating pair is far apart on
+ * every tree.
+ */
+TEST(Integration, MeshSkewDefeatsFixedPeriodGlobalClocking)
+{
+    const double m = 0.05, eps = 0.005;
+    systolic::LinkTiming timing;
+    timing.setup = 0.2;
+    timing.hold = 0.1;
+    timing.clkToQ = 0.2;
+    timing.deltaMin = 0.3;
+    timing.deltaMax = 1.0;
+    const Time period = timing.clkToQ + timing.deltaMax + timing.setup +
+                        (m + eps) * 2.0;
+
+    bool small_ok = false, large_failed = false;
+    for (int n : {4, 24}) {
+        systolic::SystolicArray arr = systolic::buildMatMul(n);
+        const layout::Layout l = layout::meshLayout(n, n);
+        const auto tree = clocktree::buildHTreeGrid(l, n, n);
+        // The worst-case chip A11 asserts to exist: adversarial wire
+        // delays maximising the skew of the critical pair.
+        const auto inst = core::adversarialSkewInstance(l, tree, m, eps);
+        std::vector<Time> offsets;
+        for (CellId c = 0; static_cast<std::size_t>(c) < l.size(); ++c)
+            offsets.push_back(inst.arrival[tree.nodeOfCell(c)]);
+        const Time needed =
+            systolic::minSafePeriod(arr, offsets, timing);
+        if (n == 4 && needed <= period)
+            small_ok = true;
+        if (n == 24 && needed > period)
+            large_failed = true;
+    }
+    EXPECT_TRUE(small_ok);
+    EXPECT_TRUE(large_failed);
+}
+
+/** Fig 8 end to end: hybrid synchronization restores a constant cycle
+ *  on meshes and still computes the right product. */
+TEST(Integration, HybridRescuesLargeMeshes)
+{
+    hybrid::HybridParams params;
+    params.localClockPerLambda = 0.1;
+    params.delta = 2.0;
+    params.handshakeWirePerLambda = 0.05;
+    params.handshakeLogic = 0.5;
+
+    Rng rng(1003);
+    std::vector<double> ns, cycles;
+    for (int n : {4, 8, 16}) {
+        std::vector<std::vector<systolic::Word>> a(
+            n, std::vector<systolic::Word>(n));
+        auto b = a;
+        for (auto *mat : {&a, &b})
+            for (auto &row : *mat)
+                for (auto &v : row)
+                    v = rng.uniform(-1.0, 1.0);
+        systolic::SystolicArray arr = systolic::buildMatMul(n);
+        const layout::Layout l = layout::meshLayout(n, n);
+        const auto exec = hybrid::runHybrid(
+            arr, l, 4.0, params, systolic::matMulCycles(n),
+            systolic::matMulInputs(a, b));
+        const auto c = systolic::matMulReference(a, b);
+        for (int i = 0; i < n; ++i)
+            for (int j = 0; j < n; ++j)
+                EXPECT_NEAR(exec.trace.finalStates[i * n + j][0],
+                            c[i][j], 1e-9);
+        ns.push_back(n * n);
+        cycles.push_back(exec.cycleTime);
+    }
+    EXPECT_EQ(classifyGrowth(ns, cycles), GrowthLaw::Constant);
+}
+
+/** The advisor's verdicts agree with measured growth classes. */
+TEST(Integration, AdvisorConsistentWithMeasurements)
+{
+    const core::SkewModel model = core::SkewModel::summation(0.05, 0.005);
+    core::ClockParams cp;
+    cp.m = 0.05;
+    cp.eps = 0.005;
+    cp.bufferDelay = 0.2;
+    cp.bufferSpacing = 4.0;
+    cp.delta = 2.0;
+
+    // Linear arrays, spine clock, pipelined: measured O(1) period.
+    std::vector<double> ns, periods;
+    for (int n : {8, 32, 128, 512}) {
+        const layout::Layout l = layout::linearLayout(n);
+        const auto t = clocktree::buildSpine(l);
+        const auto p =
+            core::clockPeriod(core::analyzeSkew(l, t, model), t, cp,
+                              core::ClockingMode::Pipelined);
+        ns.push_back(n);
+        periods.push_back(p.period);
+    }
+    EXPECT_EQ(classifyGrowth(ns, periods), GrowthLaw::Constant);
+    const auto advice = core::adviseScheme(
+        graph::TopologyKind::Linear, core::TechnologyAssumptions{});
+    EXPECT_EQ(advice.periodGrowth, GrowthLaw::Constant);
+    EXPECT_EQ(advice.scheme, core::SyncScheme::PipelinedSpine);
+
+    // Meshes, best-effort global clock: measured growth with n matches
+    // the Theorem 6 prediction that no bounded-skew tree exists.
+    std::vector<double> mesh_ns, sigmas;
+    for (int n : {4, 8, 16, 32}) {
+        const layout::Layout l = layout::meshLayout(n, n);
+        const auto t = clocktree::buildHTreeGrid(l, n, n);
+        const auto r = core::analyzeSkew(l, t, model);
+        mesh_ns.push_back(n);
+        sigmas.push_back(r.maxSkewLower);
+    }
+    EXPECT_EQ(classifyGrowth(mesh_ns, sigmas), GrowthLaw::Linear);
+    const auto mesh_advice = core::adviseScheme(
+        graph::TopologyKind::Mesh, core::TechnologyAssumptions{});
+    EXPECT_EQ(mesh_advice.scheme, core::SyncScheme::Hybrid);
+}
+
+/** Theorem 6 instance check: the certified circle-argument bound is
+ *  respected by every tree builder we have. */
+TEST(Integration, CertifiedLowerBoundHoldsForAllBuilders)
+{
+    const double beta = 0.005;
+    Rng rng(1004);
+    const int n = 12;
+    const layout::Layout l = layout::meshLayout(n, n);
+    std::vector<clocktree::ClockTree> trees;
+    trees.push_back(clocktree::buildHTreeGrid(l, n, n));
+    trees.push_back(clocktree::buildRecursiveBisection(l));
+    trees.push_back(clocktree::buildRandomTree(l, rng));
+    const double theorem =
+        core::theorem6Bound(l.size(), core::meshCutWidth(n), beta);
+    for (const auto &t : trees) {
+        const double actual = core::instanceSkewLowerBound(l, t, beta);
+        EXPECT_GE(actual, theorem * 0.9) << t.name;
+    }
+}
+
+} // namespace

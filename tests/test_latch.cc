@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for level-sensitive latches, two-phase clock generation, and
+ * the phase-overlap (skew race) detector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "desim/elements.hh"
+#include "desim/latch.hh"
+#include "desim/signal.hh"
+#include "desim/simulator.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::desim;
+
+TEST(Latch, TransparentWhileOpen)
+{
+    Simulator sim;
+    Signal d("d"), en("en", true), q("q");
+    Latch latch(sim, d, en, q, 0.1, 0.2);
+    sim.schedule(1.0, [&d, &sim]() { d.set(sim.now(), true); });
+    sim.schedule(2.0, [&d, &sim]() { d.set(sim.now(), false); });
+    sim.run();
+    EXPECT_FALSE(q.value());
+    EXPECT_EQ(q.transitions(), 2u);
+}
+
+TEST(Latch, HoldsWhileClosed)
+{
+    Simulator sim;
+    Signal d("d"), en("en", true), q("q");
+    Latch latch(sim, d, en, q, 0.1, 0.2);
+    sim.schedule(1.0, [&d, &sim]() { d.set(sim.now(), true); });
+    sim.schedule(2.0, [&en, &sim]() { en.set(sim.now(), false); });
+    sim.schedule(3.0, [&d, &sim]() { d.set(sim.now(), false); });
+    sim.run();
+    EXPECT_TRUE(q.value()); // change at t=3 was not passed
+    EXPECT_EQ(latch.closures(), 1u);
+    EXPECT_TRUE(latch.setupViolations().empty());
+}
+
+TEST(Latch, OpeningPassesCurrentData)
+{
+    Simulator sim;
+    Signal d("d"), en("en", false), q("q");
+    Latch latch(sim, d, en, q, 0.1, 0.2);
+    sim.schedule(1.0, [&d, &sim]() { d.set(sim.now(), true); });
+    sim.schedule(2.0, [&en, &sim]() { en.set(sim.now(), true); });
+    sim.run();
+    EXPECT_TRUE(q.value());
+    EXPECT_DOUBLE_EQ(q.lastChange(), 2.1);
+}
+
+TEST(Latch, FlagsLateDataAtClosure)
+{
+    Simulator sim;
+    Signal d("d"), en("en", true), q("q");
+    Latch latch(sim, d, en, q, 0.1, 0.5);
+    sim.schedule(1.8, [&d, &sim]() { d.set(sim.now(), true); });
+    sim.schedule(2.0, [&en, &sim]() { en.set(sim.now(), false); });
+    sim.run();
+    ASSERT_EQ(latch.setupViolations().size(), 1u);
+    EXPECT_DOUBLE_EQ(latch.setupViolations()[0], 2.0);
+}
+
+TEST(TwoPhaseClock, PhasesNeverOverlapNominally)
+{
+    Simulator sim;
+    Signal phi1("phi1"), phi2("phi2");
+    PhaseOverlapDetector det(phi1, phi2);
+    TwoPhaseClock clock(sim, phi1, phi2, 10.0, 3.0, 1.0, 5);
+    sim.run();
+    EXPECT_EQ(det.overlaps(), 0u);
+    EXPECT_EQ(phi1.transitions(), 10u);
+    EXPECT_EQ(phi2.transitions(), 10u);
+}
+
+TEST(TwoPhaseClock, MasterSlavePairActsAsRegister)
+{
+    // phi1 latch feeding a phi2 latch: one word per cycle, no race.
+    Simulator sim;
+    Signal d("d"), mid("mid"), q("q");
+    Signal phi1("phi1"), phi2("phi2");
+    Latch master(sim, d, phi1, mid, 0.05, 0.1);
+    Latch slave(sim, mid, phi2, q, 0.05, 0.1);
+    TwoPhaseClock clock(sim, phi1, phi2, 10.0, 3.0, 1.0, 4);
+
+    // Data changes during phi2 (master closed); appears at q one
+    // phi2 window later.
+    std::vector<std::pair<Time, bool>> q_events;
+    q.onChange([&q_events](Time t, bool v) {
+        q_events.emplace_back(t, v);
+    });
+    sim.schedule(5.0, [&d, &sim]() { d.set(sim.now(), true); });
+    sim.run();
+    // Master opens at t=10, mid rises ~10.05; slave opens at t=14:
+    // q rises ~14.05.
+    ASSERT_EQ(q_events.size(), 1u);
+    EXPECT_NEAR(q_events[0].first, 14.1, 0.2);
+    EXPECT_TRUE(q_events[0].second);
+}
+
+TEST(PhaseOverlap, SkewedPhaseWireCausesOverlap)
+{
+    // Delay phi1 by more than the gap on its way to a distant cell:
+    // at that cell the delivered phases overlap -- the two-phase race
+    // the skew budget must prevent (core::twoPhasePeriod's 2*sigma
+    // term).
+    Simulator sim;
+    Signal phi1_src("phi1@gen"), phi2_src("phi2@gen");
+    Signal phi1_cell("phi1@cell");
+    DelayElement phi1_wire(sim, phi1_src, phi1_cell,
+                           EdgeDelays::same(1.5)); // gap is 1.0
+    PhaseOverlapDetector at_cell(phi1_cell, phi2_src);
+    PhaseOverlapDetector at_gen(phi1_src, phi2_src);
+    TwoPhaseClock clock(sim, phi1_src, phi2_src, 10.0, 3.0, 1.0, 5);
+    sim.run();
+    EXPECT_EQ(at_gen.overlaps(), 0u);
+    EXPECT_EQ(at_cell.overlaps(), 5u);
+    EXPECT_NEAR(at_cell.overlapTime(), 5 * 0.5, 1e-9);
+}
+
+TEST(PhaseOverlap, SkewWithinGapIsSafe)
+{
+    Simulator sim;
+    Signal phi1_src("phi1@gen"), phi2_src("phi2@gen");
+    Signal phi1_cell("phi1@cell");
+    DelayElement phi1_wire(sim, phi1_src, phi1_cell,
+                           EdgeDelays::same(0.8)); // below the 1.0 gap
+    PhaseOverlapDetector at_cell(phi1_cell, phi2_src);
+    TwoPhaseClock clock(sim, phi1_src, phi2_src, 10.0, 3.0, 1.0, 5);
+    sim.run();
+    EXPECT_EQ(at_cell.overlaps(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the Section V-B lower-bound machinery (Fig 7, Theorem 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clocktree/builders.hh"
+#include "common/fit.hh"
+#include "common/rng.hh"
+#include "core/lower_bound.hh"
+#include "core/skew_analysis.hh"
+#include "layout/generators.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::core;
+
+TEST(Theorem6Bound, FormulaComponents)
+{
+    // Cut case dominates when the cut width is small.
+    EXPECT_NEAR(theorem6Bound(10000, 1.0, 2.0), 2.0 / (2.0 * M_PI),
+                1e-12);
+    // Area case dominates for huge cut widths.
+    EXPECT_NEAR(theorem6Bound(100, 1e9, 1.0),
+                std::sqrt(100.0 / (10.0 * M_PI)), 1e-12);
+    // Scales linearly in beta.
+    EXPECT_NEAR(theorem6Bound(256, 16.0, 3.0),
+                3.0 * theorem6Bound(256, 16.0, 1.0), 1e-12);
+}
+
+TEST(MeshCutWidth, GrowsLinearlyInN)
+{
+    // 2 sqrt(7/30) n ~ 0.966 n: linear, just under the n cap.
+    for (int n : {4, 16, 64, 256}) {
+        EXPECT_LE(meshCutWidth(n), static_cast<double>(n));
+        EXPECT_GE(meshCutWidth(n), 0.9 * n);
+    }
+    // Monotone in n.
+    double prev = 0.0;
+    for (int n : {2, 4, 8, 16, 32, 64}) {
+        EXPECT_GE(meshCutWidth(n), prev);
+        prev = meshCutWidth(n);
+    }
+}
+
+TEST(InstanceLowerBound, MatchesBetaTimesMaxS)
+{
+    const double beta = 0.05;
+    const layout::Layout l = layout::meshLayout(8, 8);
+    const auto t = clocktree::buildHTreeGrid(l, 8, 8);
+    const SkewModel model = SkewModel::summation(1.0, beta);
+    const SkewReport r = analyzeSkew(l, t, model);
+    EXPECT_NEAR(instanceSkewLowerBound(l, t, beta), beta * r.maxS,
+                1e-9);
+}
+
+TEST(CircleArgument, TraceIsStructurallySound)
+{
+    const double beta = 0.05;
+    const layout::Layout l = layout::meshLayout(8, 8);
+    const auto t = clocktree::buildHTreeGrid(l, 8, 8);
+    const auto trace = runCircleArgument(l, t, beta, 1.0);
+
+    const std::size_t n_cells = l.size();
+    // Lemma 5 separator: both sides between 1/3 and 2/3 (ceil'd).
+    const int limit = static_cast<int>((2 * n_cells + 2) / 3);
+    EXPECT_LE(trace.cellsInA, static_cast<std::size_t>(limit));
+    EXPECT_LE(trace.cellsInB, static_cast<std::size_t>(limit));
+    EXPECT_EQ(trace.cellsInA + trace.cellsInB, n_cells);
+    EXPECT_NE(trace.separatorChild, invalidId);
+    EXPECT_DOUBLE_EQ(trace.radius, 1.0 / beta);
+}
+
+TEST(CircleArgument, CutCaseBalanceRespectsProofBound)
+{
+    const double beta = 0.05;
+    const layout::Layout l = layout::meshLayout(10, 10);
+    const auto t = clocktree::buildHTreeGrid(l, 10, 10);
+    // Use a small sigma: few cells inside the circle -> cut case.
+    const auto trace = runCircleArgument(l, t, beta, 0.05);
+    ASSERT_FALSE(trace.areaCase);
+    // The adjusted halves stay within 23/30 of the cells.
+    EXPECT_LE(trace.largerAdjustedHalf,
+              static_cast<std::size_t>(
+                  std::ceil(l.size() * 23.0 / 30.0)));
+    // A tiny sigma cannot admit the mesh's crossing edges.
+    EXPECT_GT(trace.certifiedSigma, 0.0);
+}
+
+TEST(CircleArgument, HugeSigmaTriggersAreaCase)
+{
+    const double beta = 0.05;
+    const layout::Layout l = layout::meshLayout(8, 8);
+    const auto t = clocktree::buildHTreeGrid(l, 8, 8);
+    const auto trace = runCircleArgument(l, t, beta, 1e6);
+    EXPECT_TRUE(trace.areaCase);
+    EXPECT_NEAR(trace.certifiedSigma,
+                beta * std::sqrt(64.0 / (10.0 * M_PI)), 1e-9);
+}
+
+TEST(CircleArgumentLowerBound, CertifiedBelowActual)
+{
+    // Soundness: the certified bound never exceeds the true maximum
+    // skew lower bound beta * maxS for the same instance.
+    const double beta = 0.05;
+    Rng rng(5);
+    for (int n : {6, 8, 12}) {
+        const layout::Layout l = layout::meshLayout(n, n);
+        const auto ht = clocktree::buildHTreeGrid(l, n, n);
+        const auto rt = clocktree::buildRandomTree(l, rng);
+        for (const auto *t : {&ht, &rt}) {
+            const double certified =
+                circleArgumentLowerBound(l, *t, beta);
+            const double actual = instanceSkewLowerBound(l, *t, beta);
+            EXPECT_LE(certified, actual + 1e-9)
+                << "n=" << n << " tree=" << t->name;
+            EXPECT_GT(certified, 0.0);
+        }
+    }
+}
+
+TEST(CircleArgumentLowerBound, GrowsLinearlyOnMeshes)
+{
+    // The Omega(n) shape: certified bounds over H-trees fit a linear
+    // growth law as the mesh side doubles.
+    const double beta = 0.05;
+    std::vector<double> ns, sigmas;
+    for (int n : {4, 8, 16, 32}) {
+        const layout::Layout l = layout::meshLayout(n, n);
+        const auto t = clocktree::buildHTreeGrid(l, n, n);
+        ns.push_back(n);
+        sigmas.push_back(circleArgumentLowerBound(l, t, beta, 128));
+    }
+    EXPECT_EQ(classifyGrowth(ns, sigmas), GrowthLaw::Linear);
+}
+
+TEST(InstanceLowerBound, SpineOnLinearArrayStaysConstant)
+{
+    // Contrast: under the same summation model the 1-D spine's
+    // instance lower bound does not grow (Theorem 3's other half).
+    const double beta = 0.05;
+    std::vector<double> bounds;
+    for (int n : {8, 64, 512}) {
+        const layout::Layout l = layout::linearLayout(n);
+        const auto t = clocktree::buildSpine(l);
+        bounds.push_back(instanceSkewLowerBound(l, t, beta));
+    }
+    EXPECT_DOUBLE_EQ(bounds[0], bounds[1]);
+    EXPECT_DOUBLE_EQ(bounds[1], bounds[2]);
+}
+
+} // namespace

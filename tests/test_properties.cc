@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Cross-module property tests: randomized invariants that must hold
+ * for every layout x clock-tree builder combination, and lock-step
+ * equivalence of the clocked executor across every algorithm in the
+ * library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "clocktree/buffering.hh"
+#include "clocktree/builders.hh"
+#include "clocktree/optimize.hh"
+#include "common/rng.hh"
+#include "core/clock_period.hh"
+#include "core/skew_analysis.hh"
+#include "core/skew_model.hh"
+#include "layout/generators.hh"
+#include "systolic/clocked_executor.hh"
+#include "systolic/fir.hh"
+#include "systolic/horner.hh"
+#include "systolic/jacobi.hh"
+#include "systolic/matmul.hh"
+#include "systolic/matvec.hh"
+#include "systolic/sort.hh"
+#include "systolic/trisolve.hh"
+#include "treemachine/search.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+/** A random layout from the library's generator zoo. */
+layout::Layout
+randomLayout(Rng &rng)
+{
+    switch (rng.uniformInt(5)) {
+      case 0:
+        return layout::linearLayout(
+            2 + static_cast<int>(rng.uniformInt(30)));
+      case 1: {
+          const int n = 2 + static_cast<int>(rng.uniformInt(6));
+          return layout::meshLayout(n, n);
+      }
+      case 2: {
+          const int n = 2 + static_cast<int>(rng.uniformInt(5));
+          return layout::hexLayout(n, n);
+      }
+      case 3:
+        return layout::racetrackRingLayout(
+            3 + static_cast<int>(rng.uniformInt(20)));
+      default:
+        return layout::serpentineLayout(
+            4 + static_cast<int>(rng.uniformInt(30)),
+            1 + static_cast<int>(rng.uniformInt(6)));
+    }
+}
+
+/** A random clock tree over the layout. */
+clocktree::ClockTree
+randomTree(const layout::Layout &l, Rng &rng)
+{
+    switch (rng.uniformInt(4)) {
+      case 0:
+        return clocktree::buildSpine(l);
+      case 1:
+        return clocktree::buildRecursiveBisection(l);
+      case 2:
+        return clocktree::buildGreedyMatching(l);
+      default:
+        return clocktree::buildRandomTree(l, rng);
+    }
+}
+
+class GeometricInvariants
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GeometricInvariants, HoldForRandomLayoutTreePairs)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 12; ++trial) {
+        const layout::Layout l = randomLayout(rng);
+        const clocktree::ClockTree t = randomTree(l, rng);
+        ASSERT_TRUE(t.validate(false)) << t.name;
+        ASSERT_EQ(t.boundCellCount(), l.size()) << t.name;
+
+        const double m = rng.uniform(0.1, 1.0);
+        const double eps = rng.uniform(0.0, m);
+        const auto model = core::SkewModel::summation(m, eps);
+        const auto report = core::analyzeSkew(l, t, model);
+
+        const Length depth = t.maxRootPathLength();
+        for (const core::EdgeSkew &e : report.edges) {
+            // Geometry: 0 <= d <= s <= 2 * max root path.
+            EXPECT_GE(e.d, -1e-9);
+            EXPECT_LE(e.d, e.s + 1e-9);
+            EXPECT_LE(e.s, 2.0 * depth + 1e-9);
+            // Model: lower <= upper.
+            EXPECT_LE(e.lower, e.upper + 1e-9);
+        }
+
+        // Sampled chips respect the per-pair upper bounds.
+        const auto inst = core::sampleSkewInstance(l, t, m, eps, rng);
+        for (std::size_t i = 0; i < report.edges.size(); ++i)
+            EXPECT_LE(inst.edgeSkew[i], report.edges[i].upper + 1e-9)
+                << t.name;
+
+        // The adversarial chip realises at least the A11 bound on its
+        // critical pair (max over pairs of eps * s).
+        const auto adv = core::adversarialSkewInstance(l, t, m, eps);
+        EXPECT_GE(adv.maxCommSkew, report.maxSkewLower - 1e-9)
+            << t.name;
+        EXPECT_LE(adv.maxCommSkew, report.maxSkewUpper + 1e-9)
+            << t.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometricInvariants,
+                         ::testing::Values(101u, 102u, 103u, 104u,
+                                           105u, 106u));
+
+class BufferingInvariants
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BufferingInvariants, PreservePathLengthAndBoundSegments)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 8; ++trial) {
+        const layout::Layout l = randomLayout(rng);
+        const clocktree::ClockTree t = randomTree(l, rng);
+        const Length spacing = rng.uniform(0.5, 8.0);
+        const auto b =
+            clocktree::BufferedClockTree::insertBuffers(t, spacing);
+
+        EXPECT_LE(b.maxSegmentLength(), spacing + 1e-9);
+        EXPECT_EQ(b.sites().size(), t.size() + b.bufferCount());
+
+        // Root-to-node distance preserved for every bound cell.
+        for (CellId c = 0;
+             static_cast<std::size_t>(c) < l.size(); ++c) {
+            const NodeId v = t.nodeOfCell(c);
+            Length total = 0.0;
+            for (NodeId s = b.siteOfNode(v); s != invalidId;
+                 s = b.sites()[s].parent) {
+                total += b.sites()[s].wireFromParent;
+            }
+            EXPECT_NEAR(total, t.rootPathLength(v), 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferingInvariants,
+                         ::testing::Values(111u, 112u, 113u, 114u));
+
+TEST(PeriodMonotonicity, PeriodGrowsWithSkewAndDepth)
+{
+    core::ClockParams cp;
+    const layout::Layout small = layout::linearLayout(8);
+    const layout::Layout large = layout::linearLayout(64);
+    const auto ts = clocktree::buildSpine(small);
+    const auto tl = clocktree::buildSpine(large);
+
+    for (double eps : {0.001, 0.01, 0.02}) {
+        const auto model = core::SkewModel::summation(0.05, eps);
+        cp.m = 0.05;
+        cp.eps = eps;
+        const auto p_small = core::clockPeriod(
+            core::analyzeSkew(small, ts, model), ts, cp,
+            core::ClockingMode::Equipotential);
+        const auto p_large = core::clockPeriod(
+            core::analyzeSkew(large, tl, model), tl, cp,
+            core::ClockingMode::Equipotential);
+        EXPECT_GT(p_large.period, p_small.period);
+    }
+
+    // Period monotone in eps at fixed structure.
+    double prev = 0.0;
+    for (double eps : {0.001, 0.01, 0.02, 0.04}) {
+        const auto model = core::SkewModel::summation(0.05, eps);
+        const auto p = core::clockPeriod(
+            core::analyzeSkew(large, tl, model), tl, cp,
+            core::ClockingMode::Pipelined);
+        EXPECT_GT(p.period, prev);
+        prev = p.period;
+    }
+}
+
+/** Every algorithm in the library, run clocked with zero skew, equals
+ *  its ideal lock-step execution. */
+struct AlgoCase
+{
+    const char *name;
+    systolic::SystolicArray (*build)();
+    systolic::ExternalInputFn (*inputs)();
+    int cycles;
+};
+
+systolic::SystolicArray
+buildFirCase()
+{
+    return systolic::buildFir({1.0, -0.5, 2.0, 0.25});
+}
+systolic::ExternalInputFn
+firIn()
+{
+    return systolic::firInputs({1, 2, 3, 4, 5});
+}
+
+systolic::SystolicArray
+buildMatVecCase()
+{
+    return systolic::buildMatVec({1.0, 2.0, 3.0});
+}
+systolic::ExternalInputFn
+matVecIn()
+{
+    return systolic::matVecInputs({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+}
+
+systolic::SystolicArray
+buildMatMulCase()
+{
+    return systolic::buildMatMul(3);
+}
+systolic::ExternalInputFn
+matMulIn()
+{
+    return systolic::matMulInputs({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}},
+                                  {{9, 8, 7}, {6, 5, 4}, {3, 2, 1}});
+}
+
+systolic::SystolicArray
+buildSortCase()
+{
+    return systolic::buildOESort({5, 2, 8, 1, 9, 3});
+}
+systolic::ExternalInputFn
+sortIn()
+{
+    return nullptr;
+}
+
+systolic::SystolicArray
+buildHornerCase()
+{
+    return systolic::buildHorner({1.0, -2.0, 0.5});
+}
+systolic::ExternalInputFn
+hornerIn()
+{
+    return systolic::hornerInputs({0.5, 1.5, -0.5});
+}
+
+systolic::SystolicArray
+buildJacobiCase()
+{
+    return systolic::buildJacobi(3, 4, 0.5);
+}
+systolic::ExternalInputFn
+jacobiIn()
+{
+    return systolic::jacobiInputs(1.0);
+}
+
+systolic::SystolicArray
+buildSearchCase()
+{
+    return treemachine::buildSearchMachine(3, {10, 20, 30, 40});
+}
+systolic::ExternalInputFn
+searchIn()
+{
+    return treemachine::searchInputs({25, 12, 38});
+}
+
+systolic::SystolicArray
+buildTriSolveCase()
+{
+    return systolic::buildTriSolve(3);
+}
+systolic::ExternalInputFn
+triSolveIn()
+{
+    return systolic::triSolveInputs({{2, 0, 0}, {1, 1, 0}, {3, 2, 4}},
+                                    {4, 3, 25});
+}
+
+class ClockedEqualsIdeal : public ::testing::TestWithParam<AlgoCase>
+{
+};
+
+TEST_P(ClockedEqualsIdeal, ZeroSkewLockStep)
+{
+    const AlgoCase &c = GetParam();
+    systolic::SystolicArray a = c.build();
+    const auto ext = c.inputs();
+    const auto ideal = systolic::runIdeal(a, c.cycles, ext);
+
+    systolic::LinkTiming timing;
+    const std::vector<Time> offsets(a.size(), 0.0);
+    const auto clocked = systolic::runClocked(
+        a, c.cycles, ext, offsets, 10.0, timing);
+    EXPECT_TRUE(clocked.correct) << c.name;
+    EXPECT_TRUE(clocked.trace.matches(ideal)) << c.name;
+
+    // And with a uniform clock shift (common-mode skew is harmless).
+    const std::vector<Time> shifted(a.size(), 3.7);
+    const auto shifted_run = systolic::runClocked(
+        a, c.cycles, ext, shifted, 10.0, timing);
+    EXPECT_TRUE(shifted_run.trace.matches(ideal)) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, ClockedEqualsIdeal,
+    ::testing::Values(
+        AlgoCase{"fir", buildFirCase, firIn, 14},
+        AlgoCase{"matvec", buildMatVecCase, matVecIn, 9},
+        AlgoCase{"matmul", buildMatMulCase, matMulIn, 7},
+        AlgoCase{"sort", buildSortCase, sortIn, 7},
+        AlgoCase{"horner", buildHornerCase, hornerIn, 8},
+        AlgoCase{"jacobi", buildJacobiCase, jacobiIn, 10},
+        AlgoCase{"search", buildSearchCase, searchIn, 9},
+        AlgoCase{"trisolve", buildTriSolveCase, triSolveIn, 5}),
+    [](const ::testing::TestParamInfo<AlgoCase> &info) {
+        return info.param.name;
+    });
+
+} // namespace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the ASCII layout/clock renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "clocktree/builders.hh"
+#include "layout/generators.hh"
+#include "clocktree/render.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::layout;
+using namespace vsync::clocktree;
+
+/** Count occurrences of @p ch. */
+int
+count(const std::string &s, char ch)
+{
+    int n = 0;
+    for (char c : s)
+        n += c == ch ? 1 : 0;
+    return n;
+}
+
+TEST(Render, LinearLayoutShowsEveryCell)
+{
+    const Layout l = linearLayout(8);
+    const std::string art = renderLayout(l);
+    EXPECT_EQ(count(art, 'o'), 8);
+    // One row of cells; the half-cell bounding margin adds a line.
+    EXPECT_EQ(count(art, '\n'), 2);
+}
+
+TEST(Render, MeshIsRectangular)
+{
+    const Layout l = meshLayout(3, 5);
+    const std::string art = renderLayout(l);
+    EXPECT_EQ(count(art, 'o'), 15);
+    EXPECT_EQ(count(art, '\n'), 4);
+}
+
+TEST(Render, ScaleCompressesTheGrid)
+{
+    const Layout l = meshLayout(8, 8);
+    const std::string coarse = renderLayout(l, {2.0, true, 160});
+    // At scale 2 several cells share a character: fewer 'o' glyphs
+    // than cells but still a 5-line picture (8 lambda / 2 + 1).
+    EXPECT_EQ(count(coarse, '\n'), 5);
+    EXPECT_LE(count(coarse, 'o'), 64);
+    EXPECT_GT(count(coarse, 'o'), 0);
+}
+
+TEST(Render, ClockOverlayMarksRootAndTaps)
+{
+    const Layout l = linearLayout(8);
+    const auto tree = clocktree::buildSpine(l);
+    const std::string art = renderWithClock(l, tree);
+    EXPECT_EQ(count(art, 'R'), 1);
+    // Spine taps coincide with cells: rendered as '*'.
+    EXPECT_EQ(count(art, '*'), 8);
+    EXPECT_EQ(count(art, 'o'), 0);
+}
+
+TEST(Render, HTreeWiresAreDrawn)
+{
+    const Layout l = meshLayout(4, 4);
+    const auto tree = clocktree::buildHTreeGrid(l, 4, 4);
+    const std::string art = renderWithClock(l, tree, {0.5, true, 160});
+    EXPECT_GT(count(art, '-') + count(art, '|') + count(art, '+'), 3);
+    EXPECT_EQ(count(art, 'R'), 1);
+    // All 16 cells visible as taps or cells.
+    EXPECT_EQ(count(art, '*') + count(art, 'o'), 16);
+}
+
+TEST(Render, MaxCharsCapsOutputSize)
+{
+    const Layout l = linearLayout(4096);
+    const std::string art = renderLayout(l, {1.0, true, 40});
+    // Grid clamped to 40 columns.
+    std::size_t first_line = art.find('\n');
+    EXPECT_LE(first_line, 40u);
+}
+
+TEST(Render, CellsWinOverWires)
+{
+    const Layout l = linearLayout(3);
+    const auto tree = clocktree::buildSpine(l);
+    const std::string art =
+        renderWithClock(l, tree, {1.0, true, 160});
+    // Along the spine every cell position must show a tap, never a
+    // bare wire character swallowing it.
+    EXPECT_EQ(count(art, '*'), 3);
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the racetrack ring layout and the double-comb clock tree:
+ * the Theorem 3 guarantee extended to rings (wrap link included).
+ */
+
+#include <gtest/gtest.h>
+
+#include "clocktree/builders.hh"
+#include "common/rng.hh"
+#include "core/skew_analysis.hh"
+#include "core/skew_model.hh"
+#include "layout/generators.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+TEST(RacetrackRing, AllRingEdgesShort)
+{
+    for (int n : {4, 7, 16, 33}) {
+        const layout::Layout l = layout::racetrackRingLayout(n);
+        EXPECT_TRUE(l.validate(false)) << n;
+        // Every edge, wrap included, within two pitches.
+        EXPECT_LE(l.maxEdgeLength(), 2.0 + 1e-9) << n;
+    }
+}
+
+TEST(RacetrackRing, EvenRingWrapIsOnePitch)
+{
+    const layout::Layout l = layout::racetrackRingLayout(10);
+    EXPECT_DOUBLE_EQ(
+        geom::manhattan(l.position(0), l.position(9)), 1.0);
+}
+
+TEST(DoubleComb, ValidAndBindsAllCells)
+{
+    for (int n : {4, 9, 32}) {
+        const layout::Layout l = layout::racetrackRingLayout(n);
+        const auto t = clocktree::buildDoubleComb(l);
+        EXPECT_TRUE(t.validate(false)) << n;
+        EXPECT_EQ(t.boundCellCount(), static_cast<std::size_t>(n));
+    }
+}
+
+TEST(DoubleComb, WorksOnFoldedChainsToo)
+{
+    const layout::Layout l = layout::foldedLinearLayout(12);
+    const auto t = clocktree::buildDoubleComb(l);
+    EXPECT_TRUE(t.validate(false));
+    EXPECT_EQ(t.boundCellCount(), 12u);
+}
+
+TEST(DoubleComb, AllCommPairsBoundedTreeDistance)
+{
+    for (int n : {6, 16, 64, 256}) {
+        const layout::Layout l = layout::racetrackRingLayout(n);
+        const auto t = clocktree::buildDoubleComb(l);
+        const auto model = core::SkewModel::summation(0.05, 0.005);
+        const auto report = core::analyzeSkew(l, t, model);
+        // Same column: 1 pitch; adjacent columns: 2 pitches. The odd
+        // wrap column pair can span one extra step.
+        EXPECT_LE(report.maxS, 3.0 + 1e-9) << n;
+    }
+}
+
+TEST(DoubleComb, RingSkewIndependentOfSize)
+{
+    const auto model = core::SkewModel::summation(0.05, 0.005);
+    double sigma16 = 0.0, sigma256 = 0.0;
+    for (int n : {16, 256}) {
+        const layout::Layout l = layout::racetrackRingLayout(n);
+        const auto t = clocktree::buildDoubleComb(l);
+        const auto report = core::analyzeSkew(l, t, model);
+        (n == 16 ? sigma16 : sigma256) = report.maxSkewUpper;
+    }
+    EXPECT_DOUBLE_EQ(sigma16, sigma256);
+}
+
+TEST(DoubleComb, BeatsTheSpineOnRings)
+{
+    // The naive spine around the ring leaves the wrap pair a tree
+    // distance of ~n; the double comb keeps it constant.
+    const int n = 64;
+    const layout::Layout l = layout::racetrackRingLayout(n);
+    const auto comb = clocktree::buildDoubleComb(l);
+    const auto spine = clocktree::buildSpine(l);
+    const auto model = core::SkewModel::summation(0.05, 0.005);
+    const auto comb_report = core::analyzeSkew(l, comb, model);
+    const auto spine_report = core::analyzeSkew(l, spine, model);
+    EXPECT_GT(spine_report.maxS, 10.0 * comb_report.maxS);
+}
+
+TEST(DoubleComb, InstanceSkewsRespectBounds)
+{
+    Rng rng(77);
+    const layout::Layout l = layout::racetrackRingLayout(32);
+    const auto t = clocktree::buildDoubleComb(l);
+    const double m = 0.05, eps = 0.005;
+    const auto model = core::SkewModel::summation(m, eps);
+    const auto report = core::analyzeSkew(l, t, model);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto inst = core::sampleSkewInstance(l, t, m, eps, rng);
+        for (std::size_t i = 0; i < report.edges.size(); ++i)
+            EXPECT_LE(inst.edgeSkew[i], report.edges[i].upper + 1e-9);
+    }
+}
+
+} // namespace

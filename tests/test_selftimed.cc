@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for self-timed execution and the intro's worst-case-path
+ * analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "systolic/fir.hh"
+#include "systolic/selftimed.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::systolic;
+
+TEST(WorstCasePathProbability, Formula)
+{
+    EXPECT_DOUBLE_EQ(worstCasePathProbability(0.9, 0), 0.0);
+    EXPECT_NEAR(worstCasePathProbability(0.9, 1), 0.1, 1e-12);
+    EXPECT_NEAR(worstCasePathProbability(0.9, 22), 1.0 - std::pow(0.9, 22),
+                1e-12);
+    // Approaches 1 for long paths.
+    EXPECT_GT(worstCasePathProbability(0.99, 1000), 0.9999);
+}
+
+TEST(SelfTimed, UniformServiceBehavesLikeClock)
+{
+    SystolicArray a = buildFir({1.0, 1.0, 1.0, 1.0});
+    const auto res = runSelfTimed(
+        a, 50, [](CellId, int) { return 2.0; }, true);
+    // Homogeneous cells: steady cycle equals the service time.
+    EXPECT_NEAR(res.steadyCycle, 2.0, 1e-9);
+    EXPECT_NEAR(res.completionTime, 50.0 * 2.0, 1e-6);
+}
+
+TEST(SelfTimed, SlowestCellDominatesThroughput)
+{
+    SystolicArray a = buildFir({1.0, 1.0, 1.0, 1.0, 1.0});
+    const auto res = runSelfTimed(
+        a, 60,
+        [](CellId c, int) { return c == 2 ? 5.0 : 1.0; }, true);
+    // The intro's claim 2: the path runs at the slowest member's rate.
+    EXPECT_NEAR(res.steadyCycle, 5.0, 1e-9);
+}
+
+TEST(SelfTimed, UnboundedBuffersAlsoRateLimited)
+{
+    SystolicArray a = buildFir({1.0, 1.0, 1.0});
+    const auto res = runSelfTimed(
+        a, 60, [](CellId c, int) { return c == 0 ? 4.0 : 1.0; }, false);
+    EXPECT_NEAR(res.steadyCycle, 4.0, 1e-9);
+}
+
+TEST(SelfTimed, DataDependentVariationAveragesAboveFast)
+{
+    // Per-firing random service: fast 1 with prob p, slow 4 otherwise.
+    SystolicArray a = buildFir({1.0, 1.0, 1.0, 1.0, 1.0, 1.0});
+    Rng rng(71);
+    auto *rng_ptr = &rng;
+    const auto res = runSelfTimed(
+        a, 400,
+        [rng_ptr](CellId, int) {
+            return rng_ptr->bernoulli(0.9) ? 1.0 : 4.0;
+        },
+        true);
+    // Not as slow as always-worst-case, but clearly above the fast
+    // rate: with 6 cells per wavefront some firing is usually slow.
+    EXPECT_GT(res.steadyCycle, 1.3);
+    EXPECT_LT(res.steadyCycle, 4.0);
+}
+
+TEST(SelfTimed, LongerPathsDegradeTowardWorstCase)
+{
+    // Fixed per-cell speeds drawn once per cell: the longer the array,
+    // the likelier a worst-case member (1 - p^k), so the expected
+    // steady cycle rises toward the worst-case service time.
+    Rng rng(73);
+    double short_cycle = 0.0, long_cycle = 0.0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+        for (int n : {3, 48}) {
+            std::vector<double> speed(static_cast<std::size_t>(n));
+            for (double &s : speed)
+                s = rng.bernoulli(0.95) ? 1.0 : 5.0;
+            SystolicArray a =
+                buildFir(std::vector<Word>(
+                    static_cast<std::size_t>(n), 1.0));
+            const auto res = runSelfTimed(
+                a, 30,
+                [&speed](CellId c, int) {
+                    return speed[static_cast<std::size_t>(c)];
+                },
+                true);
+            (n == 3 ? short_cycle : long_cycle) += res.steadyCycle;
+        }
+    }
+    short_cycle /= trials;
+    long_cycle /= trials;
+    EXPECT_GT(long_cycle, short_cycle + 1.0);
+    // 1 - 0.95^48 ~ 0.915: most long arrays contain a slow cell.
+    EXPECT_GT(long_cycle, 4.0);
+}
+
+TEST(SelfTimed, CompletionTimesMonotonePerCell)
+{
+    SystolicArray a = buildFir({1.0, 2.0});
+    const auto res = runSelfTimed(
+        a, 10, [](CellId, int) { return 1.5; }, true);
+    ASSERT_EQ(res.lastFireTime.size(), 2u);
+    for (Time t : res.lastFireTime)
+        EXPECT_GT(t, 0.0);
+    EXPECT_EQ(res.firings, 10);
+}
+
+} // namespace

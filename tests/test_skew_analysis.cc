@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for skew analysis over (layout, clock tree) pairs, including
+ * the Theorem 2 and Theorem 3 shapes and the Monte-Carlo sandwich.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clocktree/builders.hh"
+#include "common/rng.hh"
+#include "core/skew_analysis.hh"
+#include "layout/generators.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::core;
+using clocktree::buildHTreeGrid;
+using clocktree::buildSpine;
+using clocktree::ClockTree;
+
+TEST(AnalyzeSkew, SpineNeighborsConstant)
+{
+    const SkewModel model = SkewModel::summation(0.5, 0.05);
+    for (int n : {4, 32, 256}) {
+        const layout::Layout l = layout::linearLayout(n);
+        const ClockTree t = buildSpine(l);
+        const SkewReport r = analyzeSkew(l, t, model);
+        EXPECT_EQ(r.edges.size(), static_cast<std::size_t>(n - 1));
+        // Theorem 3: every communicating pair one pitch apart on CLK.
+        EXPECT_DOUBLE_EQ(r.maxS, 1.0);
+        EXPECT_DOUBLE_EQ(r.maxSkewUpper, 0.55);
+        EXPECT_DOUBLE_EQ(r.maxSkewLower, 0.05);
+    }
+}
+
+TEST(AnalyzeSkew, HTreeUnderDifferenceModelIsZero)
+{
+    const SkewModel model = SkewModel::difference(0.5);
+    for (int n : {4, 8, 16}) {
+        const layout::Layout l = layout::meshLayout(n, n);
+        const ClockTree t = buildHTreeGrid(l, n, n);
+        const SkewReport r = analyzeSkew(l, t, model);
+        // Theorem 2 / Lemma 1: equidistant taps, d = 0 everywhere.
+        EXPECT_NEAR(r.maxD, 0.0, 1e-9);
+        EXPECT_NEAR(r.maxSkewUpper, 0.0, 1e-9);
+    }
+}
+
+TEST(AnalyzeSkew, HTreeUnderSummationModelGrows)
+{
+    const SkewModel model = SkewModel::summation(0.5, 0.05);
+    double prev = 0.0;
+    for (int n : {4, 8, 16, 32}) {
+        const layout::Layout l = layout::meshLayout(n, n);
+        const ClockTree t = buildHTreeGrid(l, n, n);
+        const SkewReport r = analyzeSkew(l, t, model);
+        // Neighbouring cells in different H-tree halves are far apart
+        // on CLK, and that distance grows with n.
+        EXPECT_GT(r.maxSkewUpper, prev);
+        prev = r.maxSkewUpper;
+    }
+}
+
+TEST(AnalyzeSkew, WorstPairIsReported)
+{
+    const SkewModel model = SkewModel::summation(0.5, 0.05);
+    const layout::Layout l = layout::meshLayout(4, 4);
+    const ClockTree t = buildHTreeGrid(l, 4, 4);
+    const SkewReport r = analyzeSkew(l, t, model);
+    ASSERT_LT(r.worstIndex, r.edges.size());
+    EXPECT_DOUBLE_EQ(r.edges[r.worstIndex].upper, r.maxSkewUpper);
+    // d never exceeds s for any pair.
+    for (const EdgeSkew &e : r.edges)
+        EXPECT_LE(e.d, e.s + 1e-9);
+}
+
+TEST(SampleSkewInstance, ArrivalsAccumulateDownTheTree)
+{
+    Rng rng(4);
+    const layout::Layout l = layout::linearLayout(10);
+    const ClockTree t = buildSpine(l);
+    const SkewInstance inst = sampleSkewInstance(l, t, 1.0, 0.0, rng);
+    // With eps = 0 arrival equals the root path length exactly.
+    for (CellId c = 0; c < 10; ++c) {
+        const NodeId v = t.nodeOfCell(c);
+        EXPECT_NEAR(inst.arrival[v], t.rootPathLength(v), 1e-9);
+    }
+    EXPECT_NEAR(inst.maxCommSkew, 1.0, 1e-9);
+}
+
+/** Property sweep: realised skews never exceed the model's upper
+ *  bound, for many seeds and both builders. */
+class SkewSandwich : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SkewSandwich, InstanceWithinBounds)
+{
+    const double m = 0.5, eps = 0.1;
+    const SkewModel model = SkewModel::summation(m, eps);
+    Rng rng(GetParam());
+
+    const layout::Layout mesh = layout::meshLayout(6, 6);
+    const layout::Layout line = layout::linearLayout(24);
+    struct Case
+    {
+        const layout::Layout *l;
+        ClockTree t;
+    };
+    std::vector<Case> cases;
+    cases.push_back({&mesh, buildHTreeGrid(mesh, 6, 6)});
+    cases.push_back({&line, buildSpine(line)});
+
+    for (const Case &c : cases) {
+        const SkewReport report = analyzeSkew(*c.l, c.t, model);
+        for (int trial = 0; trial < 10; ++trial) {
+            const SkewInstance inst =
+                sampleSkewInstance(*c.l, c.t, m, eps, rng);
+            ASSERT_EQ(inst.edgeSkew.size(), report.edges.size());
+            for (std::size_t i = 0; i < report.edges.size(); ++i) {
+                EXPECT_LE(inst.edgeSkew[i],
+                          report.edges[i].upper + 1e-9);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkewSandwich,
+                         ::testing::Values(10u, 20u, 30u, 40u, 50u));
+
+TEST(SampleSkewInstance, WorstCaseApproachesLowerBoundOnChains)
+{
+    // For a chain, neighbour skew is w * pitch with w in [m-eps, m+eps];
+    // over many draws the max approaches (m+eps) and the min (m-eps),
+    // bracketing the A10/A11 sandwich empirically.
+    const double m = 1.0, eps = 0.25;
+    Rng rng(99);
+    const layout::Layout l = layout::linearLayout(2);
+    const clocktree::ClockTree t = buildSpine(l);
+    double lo = vsync::infinity, hi = 0.0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        const SkewInstance inst = sampleSkewInstance(l, t, m, eps, rng);
+        lo = std::min(lo, inst.maxCommSkew);
+        hi = std::max(hi, inst.maxCommSkew);
+    }
+    EXPECT_NEAR(hi, m + eps, 0.01);
+    EXPECT_NEAR(lo, m - eps, 0.01);
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the Section III skew models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/skew_model.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::core;
+
+TEST(SkewModel, DifferenceIgnoresPathSum)
+{
+    const SkewModel m = SkewModel::difference(0.5);
+    EXPECT_DOUBLE_EQ(m.upperBound(4.0, 100.0), 2.0);
+    EXPECT_DOUBLE_EQ(m.upperBound(0.0, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(m.lowerBound(100.0), 0.0);
+    EXPECT_EQ(m.kind(), SkewModelKind::Difference);
+    EXPECT_DOUBLE_EQ(m.beta(), 0.0);
+}
+
+TEST(SkewModel, SummationSandwich)
+{
+    const SkewModel m = SkewModel::summation(0.5, 0.05);
+    // Upper: (m + eps) * s; lower: eps * s.
+    EXPECT_DOUBLE_EQ(m.upperBound(2.0, 10.0), 5.5);
+    EXPECT_DOUBLE_EQ(m.lowerBound(10.0), 0.5);
+    EXPECT_DOUBLE_EQ(m.beta(), 0.05);
+    EXPECT_EQ(m.kind(), SkewModelKind::Summation);
+}
+
+TEST(SkewModel, SectionThreeDerivation)
+{
+    // sigma = m d + eps s must sit inside [eps s, (m + eps) s]
+    // for every valid geometry (s >= d >= 0).
+    const double m = 0.7, eps = 0.1;
+    const SkewModel model = SkewModel::summation(m, eps);
+    for (double s : {1.0, 5.0, 20.0}) {
+        for (double frac : {0.0, 0.3, 1.0}) {
+            const double d = s * frac;
+            const double sigma = m * d + eps * s;
+            EXPECT_LE(model.lowerBound(s), sigma + 1e-12);
+            EXPECT_GE(model.upperBound(d, s), sigma - 1e-12);
+        }
+    }
+}
+
+TEST(SkewModel, CustomBoundFunctions)
+{
+    // A nonlinear monotone f, e.g. sub-linear skew accumulation.
+    const SkewModel m =
+        SkewModel::difference([](Length d) { return std::sqrt(d); });
+    EXPECT_DOUBLE_EQ(m.upperBound(9.0, 100.0), 3.0);
+
+    const SkewModel s = SkewModel::summation(
+        [](Length x) { return 2.0 * x + 1.0; }, 0.25);
+    EXPECT_DOUBLE_EQ(s.upperBound(0.0, 4.0), 9.0);
+    EXPECT_DOUBLE_EQ(s.lowerBound(4.0), 1.0);
+}
+
+TEST(SkewModel, ZeroEpsSummationDegeneratesToNoLowerBound)
+{
+    const SkewModel m = SkewModel::summation(1.0, 0.0);
+    EXPECT_DOUBLE_EQ(m.lowerBound(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(m.upperBound(0.0, 50.0), 50.0);
+}
+
+TEST(SkewModel, KindNames)
+{
+    EXPECT_EQ(skewModelKindName(SkewModelKind::Difference), "difference");
+    EXPECT_EQ(skewModelKindName(SkewModelKind::Summation), "summation");
+}
+
+TEST(SkewModelDeath, RejectsBadParameters)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    EXPECT_DEATH(SkewModel::difference(-1.0), "positive");
+    EXPECT_DEATH(SkewModel::summation(1.0, 2.0), "eps");
+    EXPECT_DEATH(SkewModel::summation(0.0, 0.0), "positive");
+}
+
+} // namespace

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the systolic array substrate and the four algorithms,
+ * verified against direct reference computations under the ideal
+ * lock-step executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hh"
+#include "systolic/executor.hh"
+#include "systolic/fir.hh"
+#include "systolic/matmul.hh"
+#include "systolic/matvec.hh"
+#include "systolic/sort.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::systolic;
+
+TEST(Array, StructureQueries)
+{
+    SystolicArray a = buildFir({1.0, 2.0, 3.0});
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.connections().size(), 4u);
+    EXPECT_TRUE(a.inputConnected(1, 0));
+    EXPECT_FALSE(a.inputConnected(0, 0));
+    EXPECT_TRUE(a.outputConnected(0, 0));
+    EXPECT_FALSE(a.outputConnected(2, 1));
+    const auto ext = a.externalOutputs();
+    ASSERT_EQ(ext.size(), 2u);
+    EXPECT_EQ(ext[1], (std::pair<CellId, int>{2, 1}));
+    EXPECT_TRUE(a.validate(false));
+}
+
+TEST(Array, CommGraphMirrorsConnections)
+{
+    SystolicArray a = buildFir({1.0, 2.0, 3.0});
+    const auto g = a.commGraph();
+    EXPECT_EQ(g.size(), 3u);
+    EXPECT_EQ(g.edgeCount(), 4u);
+    EXPECT_TRUE(g.connected(0, 1));
+    EXPECT_FALSE(g.connected(0, 2));
+}
+
+TEST(Fir, ImpulseResponseIsTheTaps)
+{
+    const std::vector<Word> w{3.0, -1.0, 2.0};
+    SystolicArray a = buildFir(w);
+    std::vector<Word> xs{1.0}; // unit impulse
+    const int cycles = 10;
+    const Trace tr = runIdeal(a, cycles, firInputs(xs));
+    const auto &y = tr.of(2, 1);
+    const auto expected = firExpectedOutput(w, xs, cycles);
+    for (int t = 0; t < cycles; ++t)
+        EXPECT_NEAR(y[t], expected[t], 1e-12) << "t=" << t;
+    // Spot-check: taps appear starting at cycle k-1 = 2.
+    EXPECT_DOUBLE_EQ(y[2], 3.0);
+    EXPECT_DOUBLE_EQ(y[3], -1.0);
+    EXPECT_DOUBLE_EQ(y[4], 2.0);
+}
+
+/** Property: FIR matches direct convolution for random instances. */
+class FirProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FirProperty, MatchesConvolution)
+{
+    Rng rng(GetParam());
+    const int taps = 1 + static_cast<int>(rng.uniformInt(8));
+    const int len = 4 + static_cast<int>(rng.uniformInt(20));
+    std::vector<Word> w, xs;
+    for (int i = 0; i < taps; ++i)
+        w.push_back(rng.uniform(-2.0, 2.0));
+    for (int i = 0; i < len; ++i)
+        xs.push_back(rng.uniform(-5.0, 5.0));
+
+    SystolicArray a = buildFir(w);
+    const int cycles = len + taps + 4;
+    const Trace tr = runIdeal(a, cycles, firInputs(xs));
+    const auto &y = tr.of(static_cast<CellId>(taps - 1), 1);
+    const auto expected = firExpectedOutput(w, xs, cycles);
+    for (int t = 0; t < cycles; ++t)
+        EXPECT_NEAR(y[t], expected[t], 1e-9) << "t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FirProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u, 9u, 10u));
+
+TEST(MatVec, SmallKnownSystem)
+{
+    const std::vector<std::vector<Word>> a{{1, 2}, {3, 4}};
+    const std::vector<Word> x{10, 100};
+    SystolicArray arr = buildMatVec(x);
+    const int cycles = 8;
+    const Trace tr = runIdeal(arr, cycles, matVecInputs(a));
+    const auto expected = matVecExpectedOutput(a, x, cycles);
+    const auto &s = tr.of(1, 0);
+    // y_0 = 210 at cycle 1; y_1 = 430 at cycle 2.
+    EXPECT_DOUBLE_EQ(s[1], 210.0);
+    EXPECT_DOUBLE_EQ(s[2], 430.0);
+    for (int t = 0; t < cycles; ++t)
+        EXPECT_NEAR(s[t], expected[t], 1e-12);
+}
+
+/** Property: matvec matches the reference for random sizes. */
+class MatVecProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MatVecProperty, MatchesReference)
+{
+    Rng rng(GetParam());
+    const int n = 2 + static_cast<int>(rng.uniformInt(6));
+    const int m = 2 + static_cast<int>(rng.uniformInt(6));
+    std::vector<std::vector<Word>> a(m, std::vector<Word>(n));
+    std::vector<Word> x(n);
+    for (auto &row : a)
+        for (Word &v : row)
+            v = rng.uniform(-3.0, 3.0);
+    for (Word &v : x)
+        v = rng.uniform(-3.0, 3.0);
+
+    SystolicArray arr = buildMatVec(x);
+    const int cycles = m + n + 2;
+    const Trace tr = runIdeal(arr, cycles, matVecInputs(a));
+    const auto expected = matVecExpectedOutput(a, x, cycles);
+    const auto &s = tr.of(static_cast<CellId>(n - 1), 0);
+    for (int t = 0; t < cycles; ++t)
+        EXPECT_NEAR(s[t], expected[t], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatVecProperty,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u,
+                                           16u));
+
+TEST(MatMul, IdentityTimesMatrix)
+{
+    const int n = 3;
+    std::vector<std::vector<Word>> eye(n, std::vector<Word>(n, 0.0));
+    for (int i = 0; i < n; ++i)
+        eye[i][i] = 1.0;
+    std::vector<std::vector<Word>> b{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+
+    SystolicArray arr = buildMatMul(n);
+    const Trace tr =
+        runIdeal(arr, matMulCycles(n), matMulInputs(eye, b));
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            EXPECT_NEAR(tr.finalStates[i * n + j][0], b[i][j], 1e-12);
+}
+
+/** Property: mesh matmul matches the reference product. */
+class MatMulProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MatMulProperty, MatchesReference)
+{
+    const int n = GetParam();
+    Rng rng(static_cast<std::uint64_t>(n) * 101);
+    std::vector<std::vector<Word>> a(n, std::vector<Word>(n));
+    std::vector<std::vector<Word>> b(n, std::vector<Word>(n));
+    for (auto *mat : {&a, &b})
+        for (auto &row : *mat)
+            for (Word &v : row)
+                v = rng.uniform(-2.0, 2.0);
+
+    SystolicArray arr = buildMatMul(n);
+    const Trace tr = runIdeal(arr, matMulCycles(n), matMulInputs(a, b));
+    const auto c = matMulReference(a, b);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            EXPECT_NEAR(tr.finalStates[i * n + j][0], c[i][j], 1e-9)
+                << i << "," << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatMulProperty,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(Sort, SortsAKnownSequence)
+{
+    const std::vector<Word> keys{5, 1, 4, 2, 8, 0, 3, 7};
+    SystolicArray arr = buildOESort(keys);
+    const Trace tr = runIdeal(arr, oeSortCycles(8), nullptr);
+    for (int i = 0; i + 1 < 8; ++i)
+        EXPECT_LE(tr.finalStates[i][0], tr.finalStates[i + 1][0]);
+}
+
+/** Property: sorting random sequences of random lengths. */
+class SortProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SortProperty, SortsRandomKeys)
+{
+    Rng rng(GetParam());
+    const int n = 2 + static_cast<int>(rng.uniformInt(30));
+    std::vector<Word> keys(static_cast<std::size_t>(n));
+    for (Word &k : keys)
+        k = std::floor(rng.uniform(-50.0, 50.0));
+
+    SystolicArray arr = buildOESort(keys);
+    const Trace tr = runIdeal(arr, oeSortCycles(n), nullptr);
+
+    std::vector<Word> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    for (int i = 0; i < n; ++i)
+        EXPECT_DOUBLE_EQ(tr.finalStates[i][0], expected[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortProperty,
+                         ::testing::Values(21u, 22u, 23u, 24u, 25u, 26u,
+                                           27u, 28u));
+
+TEST(Trace, MatchesDetectsDifferences)
+{
+    SystolicArray a = buildFir({1.0});
+    const Trace t1 = runIdeal(a, 4, firInputs({1, 2, 3}));
+    const Trace t2 = runIdeal(a, 4, firInputs({1, 2, 3}));
+    const Trace t3 = runIdeal(a, 4, firInputs({1, 2, 4}));
+    EXPECT_TRUE(t1.matches(t2));
+    EXPECT_FALSE(t1.matches(t3));
+}
+
+} // namespace

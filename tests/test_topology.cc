@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the topology generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.hh"
+
+namespace
+{
+
+using namespace vsync::graph;
+
+TEST(LinearArray, StructureAndCoords)
+{
+    const Topology t = linearArray(5);
+    EXPECT_EQ(t.graph.size(), 5u);
+    EXPECT_EQ(t.graph.edgeCount(), 8u); // 4 pairs, both directions
+    EXPECT_TRUE(t.graph.isConnected());
+    EXPECT_EQ(t.coords[3][0], 3);
+    EXPECT_EQ(t.at(2, 0), 2);
+    EXPECT_EQ(t.at(9, 0), vsync::invalidId);
+}
+
+TEST(LinearArray, SingleCell)
+{
+    const Topology t = linearArray(1);
+    EXPECT_EQ(t.graph.size(), 1u);
+    EXPECT_EQ(t.graph.edgeCount(), 0u);
+}
+
+TEST(Ring, HasWraparound)
+{
+    const Topology t = ring(6);
+    EXPECT_EQ(t.graph.edgeCount(), 12u);
+    EXPECT_TRUE(t.graph.connected(5, 0));
+}
+
+TEST(Mesh, EdgeCount)
+{
+    const Topology t = mesh(3, 4);
+    EXPECT_EQ(t.graph.size(), 12u);
+    // Undirected: 3*3 horizontal + 2*4 vertical = 17; directed 34.
+    EXPECT_EQ(t.graph.edgeCount(), 34u);
+    EXPECT_TRUE(t.graph.isConnected());
+}
+
+TEST(Mesh, CornerAndInteriorDegrees)
+{
+    const Topology t = mesh(3, 3);
+    EXPECT_EQ(t.graph.neighbors(0).size(), 2u);  // corner
+    EXPECT_EQ(t.graph.neighbors(4).size(), 4u);  // center
+    EXPECT_EQ(t.graph.neighbors(1).size(), 3u);  // edge
+}
+
+TEST(Torus, WraparoundDegrees)
+{
+    const Topology t = torus(4, 4);
+    for (vsync::CellId v = 0; v < 16; ++v)
+        EXPECT_EQ(t.graph.neighbors(v).size(), 4u);
+}
+
+TEST(Hex, InteriorHasSixNeighbors)
+{
+    const Topology t = hexArray(4, 4);
+    // Interior cell (1,1) -> id 5: E, W, N, S, NE diag, SW diag.
+    EXPECT_EQ(t.graph.neighbors(t.at(1, 1)).size(), 6u);
+    EXPECT_TRUE(t.graph.isConnected());
+}
+
+TEST(Hex, DiagonalConnectivity)
+{
+    const Topology t = hexArray(3, 3);
+    // (c, r) <-> (c+1, r-1): cell (0,1) and (1,0).
+    EXPECT_TRUE(t.graph.connected(t.at(0, 1), t.at(1, 0)));
+    EXPECT_FALSE(t.graph.connected(t.at(0, 0), t.at(1, 1)));
+}
+
+TEST(BinaryTree, HeapStructure)
+{
+    const Topology t = completeBinaryTree(4);
+    EXPECT_EQ(t.graph.size(), 15u);
+    EXPECT_EQ(t.graph.edgeCount(), 28u); // 14 undirected edges
+    EXPECT_TRUE(t.graph.connected(0, 1));
+    EXPECT_TRUE(t.graph.connected(0, 2));
+    EXPECT_TRUE(t.graph.connected(6, 14));
+    EXPECT_FALSE(t.graph.connected(1, 2));
+}
+
+TEST(BinaryTree, InorderColumnsAreAPermutation)
+{
+    const Topology t = completeBinaryTree(4);
+    std::vector<bool> seen(15, false);
+    for (const auto &c : t.coords) {
+        ASSERT_GE(c[0], 0);
+        ASSERT_LT(c[0], 15);
+        EXPECT_FALSE(seen[c[0]]);
+        seen[c[0]] = true;
+    }
+}
+
+TEST(BinaryTree, DepthsMatchHeapLevel)
+{
+    const Topology t = completeBinaryTree(3);
+    EXPECT_EQ(t.coords[0][1], 0);
+    EXPECT_EQ(t.coords[1][1], 1);
+    EXPECT_EQ(t.coords[2][1], 1);
+    for (int v = 3; v < 7; ++v)
+        EXPECT_EQ(t.coords[v][1], 2);
+}
+
+TEST(ShuffleExchange, DegreesAndConnectivity)
+{
+    const Topology t = shuffleExchange(4); // 16 nodes
+    EXPECT_EQ(t.graph.size(), 16u);
+    EXPECT_TRUE(t.graph.isConnected());
+    // Exchange: 0 <-> 1; shuffle: 5 (0101) -> 10 (1010).
+    EXPECT_TRUE(t.graph.connected(0, 1));
+    EXPECT_TRUE(t.graph.connected(5, 10));
+    // Fixed points 0 and 15 have no shuffle self-loop.
+    for (const auto &e : t.graph.allEdges())
+        EXPECT_NE(e.src, e.dst);
+}
+
+TEST(ShuffleExchange, NodeDegreeAtMostThree)
+{
+    const Topology t = shuffleExchange(5);
+    for (vsync::CellId v = 0; v < 32; ++v)
+        EXPECT_LE(t.graph.neighbors(v).size(), 3u);
+}
+
+TEST(Hypercube, StructureIsCorrect)
+{
+    const Topology t = hypercube(4);
+    EXPECT_EQ(t.graph.size(), 16u);
+    EXPECT_TRUE(t.graph.isConnected());
+    // Every node has degree k.
+    for (vsync::CellId v = 0; v < 16; ++v)
+        EXPECT_EQ(t.graph.neighbors(v).size(), 4u);
+    // 0 connects to all single-bit nodes and nothing else nearby.
+    EXPECT_TRUE(t.graph.connected(0, 8));
+    EXPECT_FALSE(t.graph.connected(0, 3));
+    // Undirected edges: k * 2^(k-1) = 32.
+    EXPECT_EQ(t.graph.undirectedEdges().size(), 32u);
+}
+
+TEST(Hypercube, GridCoordsAreDistinct)
+{
+    const Topology t = hypercube(5);
+    for (std::size_t a = 0; a < t.coords.size(); ++a)
+        for (std::size_t b = a + 1; b < t.coords.size(); ++b)
+            EXPECT_FALSE(t.coords[a][0] == t.coords[b][0] &&
+                         t.coords[a][1] == t.coords[b][1]);
+}
+
+/** Parameterized: every topology is connected and sized correctly. */
+class TopologySizes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TopologySizes, AllGeneratorsConnected)
+{
+    const int n = GetParam();
+    EXPECT_TRUE(linearArray(n * n).graph.isConnected());
+    EXPECT_TRUE(mesh(n, n).graph.isConnected());
+    EXPECT_TRUE(torus(n, n).graph.isConnected());
+    EXPECT_TRUE(hexArray(n, n).graph.isConnected());
+    EXPECT_EQ(mesh(n, n).graph.size(),
+              static_cast<std::size_t>(n) * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopologySizes,
+                         ::testing::Values(3, 4, 5, 8, 16));
+
+} // namespace

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for rooted binary trees and the Lemma 5 separator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "graph/tree.hh"
+
+namespace
+{
+
+using vsync::invalidId;
+using vsync::NodeId;
+using vsync::Rng;
+using vsync::graph::findSeparatorEdge;
+using vsync::graph::RootedTree;
+
+/** A complete binary tree with @p levels levels in heap order. */
+RootedTree
+heapTree(int levels)
+{
+    const int n = (1 << levels) - 1;
+    RootedTree t(static_cast<std::size_t>(n));
+    for (NodeId v = 1; v < n; ++v)
+        t.setParent(v, (v - 1) / 2);
+    return t;
+}
+
+/** A random binary tree built by attaching under random open slots. */
+RootedTree
+randomBinaryTree(int n, Rng &rng)
+{
+    RootedTree t(static_cast<std::size_t>(n));
+    std::vector<NodeId> open{0};
+    for (NodeId v = 1; v < n; ++v) {
+        const std::size_t pick = rng.uniformInt(open.size());
+        const NodeId parent = open[pick];
+        t.setParent(v, parent);
+        if (t.children(parent).size() == 2)
+            open.erase(open.begin() + static_cast<long>(pick));
+        open.push_back(v);
+    }
+    return t;
+}
+
+TEST(RootedTree, StructureBasics)
+{
+    RootedTree t(5);
+    t.setParent(1, 0);
+    t.setParent(2, 0);
+    t.setParent(3, 1);
+    t.setParent(4, 1);
+    EXPECT_TRUE(t.valid());
+    EXPECT_EQ(t.root(), 0);
+    EXPECT_EQ(t.parent(3), 1);
+    EXPECT_EQ(t.depth(0), 0);
+    EXPECT_EQ(t.depth(4), 2);
+    EXPECT_EQ(t.children(0).size(), 2u);
+}
+
+TEST(RootedTree, NcaExamples)
+{
+    const RootedTree t = heapTree(4);
+    EXPECT_EQ(t.nca(7, 8), 3);
+    EXPECT_EQ(t.nca(7, 4), 1);
+    EXPECT_EQ(t.nca(7, 14), 0);
+    EXPECT_EQ(t.nca(5, 5), 5);
+    EXPECT_EQ(t.nca(3, 7), 3); // ancestor case
+}
+
+TEST(RootedTree, SubtreeMarkCounts)
+{
+    const RootedTree t = heapTree(3);
+    std::vector<bool> marked(7, false);
+    marked[3] = marked[4] = marked[2] = true;
+    const auto counts = t.subtreeMarkCounts(marked);
+    EXPECT_EQ(counts[0], 3);
+    EXPECT_EQ(counts[1], 2);
+    EXPECT_EQ(counts[2], 1);
+    EXPECT_EQ(counts[3], 1);
+    EXPECT_EQ(counts[5], 0);
+}
+
+TEST(RootedTree, SubtreeNodes)
+{
+    const RootedTree t = heapTree(3);
+    auto nodes = t.subtreeNodes(1);
+    std::sort(nodes.begin(), nodes.end());
+    EXPECT_EQ(nodes, (std::vector<NodeId>{1, 3, 4}));
+}
+
+TEST(RootedTree, ForestIsInvalid)
+{
+    RootedTree t(3);
+    t.setParent(1, 0);
+    EXPECT_FALSE(t.valid()); // node 2 is a second root
+}
+
+TEST(Lemma5, CompleteTreeAllMarked)
+{
+    const RootedTree t = heapTree(5);
+    std::vector<bool> marked(t.size(), true);
+    const auto sep = findSeparatorEdge(t, marked);
+    const int total = static_cast<int>(t.size());
+    const int limit = (2 * total + 2) / 3;
+    EXPECT_LE(sep.insideCount, limit);
+    EXPECT_LE(sep.outsideCount, limit);
+    EXPECT_EQ(sep.insideCount + sep.outsideCount, total);
+}
+
+TEST(Lemma5, TwoMarksSplit)
+{
+    const RootedTree t = heapTree(3);
+    std::vector<bool> marked(7, false);
+    marked[3] = marked[6] = true;
+    const auto sep = findSeparatorEdge(t, marked);
+    EXPECT_GE(sep.insideCount, 1);
+    EXPECT_LE(sep.insideCount, 2);
+}
+
+TEST(Lemma5, ChainTree)
+{
+    // A degenerate chain (every node one child) with all nodes marked.
+    const int n = 30;
+    RootedTree t(n);
+    for (NodeId v = 1; v < n; ++v)
+        t.setParent(v, v - 1);
+    std::vector<bool> marked(n, true);
+    const auto sep = findSeparatorEdge(t, marked);
+    const int limit = (2 * n + 2) / 3;
+    EXPECT_LE(sep.insideCount, limit);
+    EXPECT_LE(sep.outsideCount, limit);
+}
+
+/** Property sweep: Lemma 5 holds for random trees and random marks. */
+class Lemma5Property : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(Lemma5Property, SeparatorBalanced)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 20; ++trial) {
+        const int n = 2 + static_cast<int>(rng.uniformInt(120));
+        RootedTree t = randomBinaryTree(n, rng);
+        std::vector<bool> marked(t.size(), false);
+        int total = 0;
+        for (std::size_t v = 0; v < t.size(); ++v) {
+            if (rng.bernoulli(0.5)) {
+                marked[v] = true;
+                ++total;
+            }
+        }
+        if (total < 2)
+            continue;
+        const auto sep = findSeparatorEdge(t, marked);
+        const int limit = (2 * total + 2) / 3;
+        EXPECT_LE(sep.insideCount, limit);
+        EXPECT_LE(sep.outsideCount, limit);
+        EXPECT_EQ(sep.insideCount + sep.outsideCount, total);
+        EXPECT_NE(sep.child, invalidId);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma5Property,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));
+
+} // namespace

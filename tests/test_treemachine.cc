@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the Section VIII tree machine: H-tree layout accounting,
+ * clock-along-data-paths skew, pipeline register insertion and the
+ * search workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fit.hh"
+#include "common/rng.hh"
+#include "core/skew_analysis.hh"
+#include "systolic/executor.hh"
+#include "treemachine/htree_machine.hh"
+#include "treemachine/search.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::treemachine;
+
+TEST(HTreeMachine, LayoutIsValidAndCompact)
+{
+    const TreeMachineLayout tm = buildHTreeMachine(6);
+    EXPECT_TRUE(tm.layout.validate(false));
+    EXPECT_EQ(tm.layout.size(), 63u);
+}
+
+TEST(HTreeMachine, AreaLinearInN)
+{
+    std::vector<double> ns, areas;
+    for (int levels : {4, 6, 8, 10, 12}) {
+        const TreeMachineLayout tm = buildHTreeMachine(levels);
+        const double n = static_cast<double>(tm.layout.size());
+        ns.push_back(n);
+        areas.push_back(tm.layout.boundingBox().area());
+    }
+    // O(N) area: area/N stays bounded as N grows 256x.
+    EXPECT_EQ(classifyGrowth(ns, areas), GrowthLaw::Linear);
+}
+
+TEST(HTreeMachine, RootToLeafLengthIsSqrtN)
+{
+    std::vector<double> ns, lens;
+    for (int levels : {4, 6, 8, 10, 12, 14}) {
+        const TreeMachineLayout tm = buildHTreeMachine(levels);
+        Length total = 0.0;
+        for (int l = 1; l < levels; ++l)
+            total += tm.edgeLengthAtLevel[static_cast<std::size_t>(l)];
+        ns.push_back(static_cast<double>(tm.layout.size()));
+        lens.push_back(total);
+    }
+    EXPECT_EQ(classifyGrowth(ns, lens), GrowthLaw::SquareRoot);
+}
+
+TEST(HTreeMachine, EdgeLengthsHalveEveryTwoLevels)
+{
+    const TreeMachineLayout tm = buildHTreeMachine(8);
+    for (int l = 1; l + 2 < 8; ++l) {
+        EXPECT_NEAR(tm.edgeLengthAtLevel[static_cast<std::size_t>(l)],
+                    2.0 * tm.edgeLengthAtLevel[
+                        static_cast<std::size_t>(l + 2)],
+                    1e-12);
+    }
+    // Deepest edges have unit length.
+    EXPECT_DOUBLE_EQ(tm.edgeLengthAtLevel[7], 1.0);
+}
+
+TEST(ClockAlongDataPaths, SkewTracksEdgeLengthNotN)
+{
+    // Under the summation model the parent-child skew equals
+    // g(edge length); the max over edges is set by the root edges,
+    // whose length is O(sqrt N) -- but crucially each cell only ever
+    // synchronises with its tree neighbours, and deeper (shorter)
+    // edges have proportionally less skew.
+    const core::SkewModel model = core::SkewModel::summation(0.5, 0.05);
+    for (int levels : {4, 6, 8}) {
+        const TreeMachineLayout tm = buildHTreeMachine(levels);
+        const auto clk = buildClockAlongDataPaths(tm);
+        EXPECT_TRUE(clk.validate(false));
+        const auto report = analyzeSkew(tm.layout, clk, model);
+        // s for a comm edge equals that edge's physical length.
+        EXPECT_NEAR(report.maxS, tm.edgeLengthAtLevel[1], 1e-9);
+        // Deep neighbours: minimal skew regardless of N.
+        double min_s = vsync::infinity;
+        for (const auto &e : report.edges)
+            min_s = std::min(min_s, e.s);
+        EXPECT_DOUBLE_EQ(min_s, 1.0);
+    }
+}
+
+TEST(PipelineRegisters, BoundedSegmentsAndConstantInterval)
+{
+    std::vector<double> ns, intervals;
+    for (int levels : {4, 6, 8, 10, 12}) {
+        const TreeMachineLayout tm = buildHTreeMachine(levels);
+        const auto stats =
+            insertPipelineRegisters(tm, 2.0, 0.5, 0.1);
+        EXPECT_LE(stats.maxSegment, 2.0 + 1e-12);
+        ns.push_back(static_cast<double>(tm.layout.size()));
+        intervals.push_back(stats.pipelineInterval);
+    }
+    // The Section VIII claim: constant pipeline interval.
+    EXPECT_EQ(classifyGrowth(ns, intervals), GrowthLaw::Constant);
+}
+
+TEST(PipelineRegisters, LatencyIsSqrtNAndAreaConstantFactor)
+{
+    std::vector<double> ns, lats;
+    for (int levels : {6, 8, 10, 12}) {
+        const TreeMachineLayout tm = buildHTreeMachine(levels);
+        const auto stats = insertPipelineRegisters(tm, 2.0, 0.5, 0.1);
+        ns.push_back(static_cast<double>(tm.layout.size()));
+        lats.push_back(stats.rootToLeafLatency);
+        // Registers only thicken wires: constant-factor area.
+        EXPECT_LE(stats.areaWithRegisters, 3.0 * stats.area);
+    }
+    EXPECT_EQ(classifyGrowth(ns, lats), GrowthLaw::SquareRoot);
+}
+
+TEST(PipelineRegisters, SameCountPerLevel)
+{
+    const TreeMachineLayout tm = buildHTreeMachine(10);
+    const auto stats = insertPipelineRegisters(tm, 1.5, 0.5, 0.1);
+    // Register counts are per-level by construction; they must be
+    // non-increasing with depth (edges shrink).
+    for (int l = 1; l + 1 < 10; ++l) {
+        EXPECT_GE(stats.registersPerLevel[static_cast<std::size_t>(l)],
+                  stats.registersPerLevel[
+                      static_cast<std::size_t>(l + 1)]);
+    }
+    EXPECT_GT(stats.totalRegisters, 0);
+}
+
+TEST(SearchMachine, FindsNearestKey)
+{
+    const int levels = 4; // 8 leaves
+    const std::vector<systolic::Word> keys{2, 11, 23, 31, 47, 59, 61,
+                                           73};
+    auto arr = buildSearchMachine(levels, keys);
+    const std::vector<systolic::Word> qs{25.0, 60.0, 2.0};
+    const int cycles = 2 * (levels - 1) + 4;
+    const auto tr =
+        systolic::runIdeal(arr, cycles, searchInputs(qs));
+    const auto expected = searchExpectedOutput(levels, keys, qs, cycles);
+    const auto &out = tr.of(0, 2);
+    for (int t = 0; t < cycles; ++t)
+        EXPECT_NEAR(out[t], expected[t], 1e-12) << "t=" << t;
+    // Query 25 -> nearest key 23 (distance 2).
+    EXPECT_DOUBLE_EQ(out[2 * (levels - 1)], 2.0);
+}
+
+/** Property: the pipelined tree machine answers one query per cycle. */
+class SearchProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SearchProperty, OneResultPerCycleAtAnySize)
+{
+    const int levels = GetParam();
+    const int leaves = 1 << (levels - 1);
+    Rng rng(static_cast<std::uint64_t>(levels));
+    std::vector<systolic::Word> keys(static_cast<std::size_t>(leaves));
+    for (auto &k : keys)
+        k = std::floor(rng.uniform(0.0, 100.0));
+    std::vector<systolic::Word> qs;
+    for (int i = 0; i < 12; ++i)
+        qs.push_back(std::floor(rng.uniform(0.0, 100.0)));
+
+    auto arr = buildSearchMachine(levels, keys);
+    const int cycles = 2 * (levels - 1) + 12;
+    const auto tr = systolic::runIdeal(arr, cycles, searchInputs(qs));
+    const auto expected =
+        searchExpectedOutput(levels, keys, qs, cycles);
+    const auto &out = tr.of(0, 2);
+    for (int t = 0; t < cycles; ++t)
+        EXPECT_NEAR(out[t], expected[t], 1e-9) << "t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, SearchProperty,
+                         ::testing::Values(2, 3, 4, 5, 6, 8));
+
+} // namespace

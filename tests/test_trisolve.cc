@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the systolic triangular solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "systolic/executor.hh"
+#include "systolic/trisolve.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::systolic;
+
+TEST(TriSolve, IdentityReturnsRhs)
+{
+    const int n = 4;
+    std::vector<std::vector<Word>> l(n, std::vector<Word>(n, 0.0));
+    for (int i = 0; i < n; ++i)
+        l[i][i] = 1.0;
+    const std::vector<Word> b{3, -1, 4, 2};
+
+    SystolicArray a = buildTriSolve(n);
+    const Trace tr =
+        runIdeal(a, triSolveCycles(n), triSolveInputs(l, b));
+    for (int j = 0; j < n; ++j)
+        EXPECT_NEAR(tr.finalStates[j][0], b[j], 1e-12);
+}
+
+TEST(TriSolve, KnownSystem)
+{
+    // [2 0 0; 1 1 0; 3 2 4] y = [4; 3; 25] -> y = [2; 1; 4.25].
+    const std::vector<std::vector<Word>> l{
+        {2, 0, 0}, {1, 1, 0}, {3, 2, 4}};
+    const std::vector<Word> b{4, 3, 25};
+    SystolicArray a = buildTriSolve(3);
+    const Trace tr =
+        runIdeal(a, triSolveCycles(3), triSolveInputs(l, b));
+    EXPECT_NEAR(tr.finalStates[0][0], 2.0, 1e-12);
+    EXPECT_NEAR(tr.finalStates[1][0], 1.0, 1e-12);
+    EXPECT_NEAR(tr.finalStates[2][0], 4.25, 1e-12);
+}
+
+TEST(TriSolve, SingleCell)
+{
+    SystolicArray a = buildTriSolve(1);
+    const Trace tr = runIdeal(a, triSolveCycles(1),
+                              triSolveInputs({{5.0}}, {10.0}));
+    EXPECT_NEAR(tr.finalStates[0][0], 2.0, 1e-12);
+}
+
+TEST(TriSolve, ReferenceMatchesHandComputation)
+{
+    const std::vector<std::vector<Word>> l{{4, 0}, {2, 5}};
+    const auto y = triSolveReference(l, {8, 14});
+    EXPECT_DOUBLE_EQ(y[0], 2.0);
+    EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+TEST(TriSolve, UpperTriangleEntriesAreIgnored)
+{
+    // Garbage above the diagonal must not affect the result.
+    std::vector<std::vector<Word>> l{{2, 99, -7}, {1, 1, 42}, {3, 2, 4}};
+    const std::vector<Word> b{4, 3, 25};
+    SystolicArray a = buildTriSolve(3);
+    const Trace tr =
+        runIdeal(a, triSolveCycles(3), triSolveInputs(l, b));
+    EXPECT_NEAR(tr.finalStates[0][0], 2.0, 1e-12);
+    EXPECT_NEAR(tr.finalStates[1][0], 1.0, 1e-12);
+    EXPECT_NEAR(tr.finalStates[2][0], 4.25, 1e-12);
+}
+
+/** Property: random well-conditioned systems match the reference. */
+class TriSolveProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TriSolveProperty, MatchesReference)
+{
+    Rng rng(GetParam());
+    const int n = 1 + static_cast<int>(rng.uniformInt(12));
+    std::vector<std::vector<Word>> l(n, std::vector<Word>(n, 0.0));
+    std::vector<Word> b(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < i; ++j)
+            l[i][j] = rng.uniform(-1.0, 1.0);
+        // Diagonally dominant for numerical sanity.
+        l[i][i] = rng.uniform(1.0, 3.0) *
+                  (rng.bernoulli(0.5) ? 1.0 : -1.0);
+        b[static_cast<std::size_t>(i)] = rng.uniform(-5.0, 5.0);
+    }
+
+    SystolicArray a = buildTriSolve(n);
+    const Trace tr =
+        runIdeal(a, triSolveCycles(n), triSolveInputs(l, b));
+    const auto y = triSolveReference(l, b);
+    for (int j = 0; j < n; ++j)
+        EXPECT_NEAR(tr.finalStates[j][0], y[j], 1e-9) << "j=" << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriSolveProperty,
+                         ::testing::Values(51u, 52u, 53u, 54u, 55u,
+                                           56u, 57u, 58u));
+
+} // namespace

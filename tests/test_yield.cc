@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the Section VII yield analysis: the sqrt(n) fixed-yield law
+ * for unbiased strings and the bias-dominated linear law.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/yield.hh"
+#include "common/fit.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace vsync;
+using namespace vsync::circuit;
+
+ProcessParams
+unbiasedProcess()
+{
+    ProcessParams p = ProcessParams::nmos1983();
+    p.pairBias = 0.0;               // balanced odd/even impedances
+    p.pairDiscrepancySigma = 0.5;   // randomness only
+    return p;
+}
+
+TEST(Yield, CycleTimeMonotoneInYield)
+{
+    const ProcessParams p = unbiasedProcess();
+    double prev = 0.0;
+    for (double y : {0.5, 0.9, 0.99, 0.999}) {
+        const double t = cycleTimeAtYield(p, 2048, y);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Yield, FixedYieldCycleGrowsAsSqrtN)
+{
+    const ProcessParams p = unbiasedProcess();
+    std::vector<double> ns, cycles;
+    for (int n : {256, 1024, 4096, 16384, 65536}) {
+        ns.push_back(n);
+        // Subtract the constant pulse-width floor to expose the
+        // discrepancy term's growth.
+        cycles.push_back(cycleTimeAtYield(p, n, 0.9) -
+                         2.0 * p.minPulseWidth);
+    }
+    EXPECT_EQ(classifyGrowth(ns, cycles), GrowthLaw::SquareRoot);
+}
+
+TEST(Yield, BiasDominatedCycleGrowsLinearly)
+{
+    const ProcessParams p = ProcessParams::nmos1983(); // biased
+    std::vector<double> ns, cycles;
+    for (int n : {256, 1024, 4096, 16384}) {
+        ns.push_back(n);
+        cycles.push_back(cycleTimeAtYield(p, n, 0.9) -
+                         2.0 * p.minPulseWidth);
+    }
+    EXPECT_EQ(classifyGrowth(ns, cycles), GrowthLaw::Linear);
+}
+
+TEST(Yield, YieldAtCycleTimeInverts)
+{
+    const ProcessParams p = unbiasedProcess();
+    for (double y : {0.6, 0.9, 0.99}) {
+        const double t = cycleTimeAtYield(p, 1024, y);
+        EXPECT_NEAR(yieldAtCycleTime(p, 1024, t), y, 0.01) << y;
+    }
+}
+
+TEST(Yield, ZeroBudgetMeansZeroYield)
+{
+    const ProcessParams p = unbiasedProcess();
+    EXPECT_DOUBLE_EQ(yieldAtCycleTime(p, 1024, p.minPulseWidth), 0.0);
+}
+
+TEST(Yield, DeterministicProcessIsAllOrNothing)
+{
+    ProcessParams p = ProcessParams::nmos1983();
+    p.pairDiscrepancySigma = 0.0;
+    const double need = 2.0 * (p.minPulseWidth +
+                               1024.0 / 2.0 * p.pairBias);
+    EXPECT_DOUBLE_EQ(yieldAtCycleTime(p, 1024, need * 1.01), 1.0);
+    EXPECT_DOUBLE_EQ(yieldAtCycleTime(p, 1024, need * 0.9), 0.0);
+}
+
+TEST(Yield, MonteCarloMatchesAnalyticQuantiles)
+{
+    const ProcessParams p = unbiasedProcess();
+    Rng rng(31);
+    const int n = 512;
+    const SampleSet cycles = sampleChipCycleTimes(p, n, 600, rng);
+    // The analytic 90%-yield cycle should cover ~90% of sampled chips.
+    const double t90 = cycleTimeAtYield(p, n, 0.9);
+    std::size_t ok = 0;
+    for (double c : cycles.values())
+        ok += c <= t90 ? 1 : 0;
+    const double frac = static_cast<double>(ok) /
+                        static_cast<double>(cycles.count());
+    // The analytic model uses the end-to-end discrepancy while chips
+    // are gated by the worst prefix, so the analytic yield is an
+    // optimistic bound; allow a tolerant band around 0.9.
+    EXPECT_GT(frac, 0.7);
+    EXPECT_LE(frac, 0.95);
+}
+
+TEST(Yield, MonteCarloCyclesScaleWithSqrtN)
+{
+    const ProcessParams p = unbiasedProcess();
+    Rng rng(37);
+    const SampleSet small = sampleChipCycleTimes(p, 256, 300, rng);
+    const SampleSet large = sampleChipCycleTimes(p, 4096, 300, rng);
+    const double g_small = small.stat().mean() - 2.0 * p.minPulseWidth;
+    const double g_large = large.stat().mean() - 2.0 * p.minPulseWidth;
+    // 16x the stages -> ~4x the discrepancy term.
+    EXPECT_NEAR(g_large / g_small, 4.0, 1.0);
+}
+
+} // namespace
