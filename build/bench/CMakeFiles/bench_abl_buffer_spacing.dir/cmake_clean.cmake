@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_buffer_spacing.dir/bench_abl_buffer_spacing.cc.o"
+  "CMakeFiles/bench_abl_buffer_spacing.dir/bench_abl_buffer_spacing.cc.o.d"
+  "bench_abl_buffer_spacing"
+  "bench_abl_buffer_spacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_buffer_spacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_buffer_spacing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_equipotential_rc.dir/bench_abl_equipotential_rc.cc.o"
+  "CMakeFiles/bench_abl_equipotential_rc.dir/bench_abl_equipotential_rc.cc.o.d"
+  "bench_abl_equipotential_rc"
+  "bench_abl_equipotential_rc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_equipotential_rc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_jitter.dir/bench_abl_jitter.cc.o"
+  "CMakeFiles/bench_abl_jitter.dir/bench_abl_jitter.cc.o.d"
+  "bench_abl_jitter"
+  "bench_abl_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

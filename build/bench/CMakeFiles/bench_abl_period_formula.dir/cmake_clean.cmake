@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_period_formula.dir/bench_abl_period_formula.cc.o"
+  "CMakeFiles/bench_abl_period_formula.dir/bench_abl_period_formula.cc.o.d"
+  "bench_abl_period_formula"
+  "bench_abl_period_formula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_period_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_htree.dir/bench_fig3_htree.cc.o"
+  "CMakeFiles/bench_fig3_htree.dir/bench_fig3_htree.cc.o.d"
+  "bench_fig3_htree"
+  "bench_fig3_htree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_htree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_linear_spine.dir/bench_fig4_linear_spine.cc.o"
+  "CMakeFiles/bench_fig4_linear_spine.dir/bench_fig4_linear_spine.cc.o.d"
+  "bench_fig4_linear_spine"
+  "bench_fig4_linear_spine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_linear_spine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_folded.dir/bench_fig5_folded.cc.o"
+  "CMakeFiles/bench_fig5_folded.dir/bench_fig5_folded.cc.o.d"
+  "bench_fig5_folded"
+  "bench_fig5_folded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_folded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_comb.dir/bench_fig6_comb.cc.o"
+  "CMakeFiles/bench_fig6_comb.dir/bench_fig6_comb.cc.o.d"
+  "bench_fig6_comb"
+  "bench_fig6_comb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_comb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_selftimed.dir/bench_intro_selftimed.cc.o"
+  "CMakeFiles/bench_intro_selftimed.dir/bench_intro_selftimed.cc.o.d"
+  "bench_intro_selftimed"
+  "bench_intro_selftimed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_selftimed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

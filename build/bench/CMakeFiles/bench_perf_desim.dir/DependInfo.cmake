@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_perf_desim.cc" "bench/CMakeFiles/bench_perf_desim.dir/bench_perf_desim.cc.o" "gcc" "bench/CMakeFiles/bench_perf_desim.dir/bench_perf_desim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/treemachine/CMakeFiles/vs_treemachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/vs_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/vs_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/vs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/desim/CMakeFiles/vs_desim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/vs_clocktree.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/vs_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/vs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_desim.dir/bench_perf_desim.cc.o"
+  "CMakeFiles/bench_perf_desim.dir/bench_perf_desim.cc.o.d"
+  "bench_perf_desim"
+  "bench_perf_desim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_desim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

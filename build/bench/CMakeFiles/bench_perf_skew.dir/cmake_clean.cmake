@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_skew.dir/bench_perf_skew.cc.o"
+  "CMakeFiles/bench_perf_skew.dir/bench_perf_skew.cc.o.d"
+  "bench_perf_skew"
+  "bench_perf_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_treemachine.dir/bench_sec8_treemachine.cc.o"
+  "CMakeFiles/bench_sec8_treemachine.dir/bench_sec8_treemachine.cc.o.d"
+  "bench_sec8_treemachine"
+  "bench_sec8_treemachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_treemachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

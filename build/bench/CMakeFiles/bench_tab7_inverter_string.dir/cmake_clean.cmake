@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab7_inverter_string.dir/bench_tab7_inverter_string.cc.o"
+  "CMakeFiles/bench_tab7_inverter_string.dir/bench_tab7_inverter_string.cc.o.d"
+  "bench_tab7_inverter_string"
+  "bench_tab7_inverter_string.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab7_inverter_string.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

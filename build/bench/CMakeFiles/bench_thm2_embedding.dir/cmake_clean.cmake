@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_embedding.dir/bench_thm2_embedding.cc.o"
+  "CMakeFiles/bench_thm2_embedding.dir/bench_thm2_embedding.cc.o.d"
+  "bench_thm2_embedding"
+  "bench_thm2_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm6_general.dir/bench_thm6_general.cc.o"
+  "CMakeFiles/bench_thm6_general.dir/bench_thm6_general.cc.o.d"
+  "bench_thm6_general"
+  "bench_thm6_general.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm6_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

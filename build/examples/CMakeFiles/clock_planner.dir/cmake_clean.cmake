@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_planner.dir/clock_planner.cpp.o"
+  "CMakeFiles/clock_planner.dir/clock_planner.cpp.o.d"
+  "clock_planner"
+  "clock_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_linear_array.dir/fir_linear_array.cpp.o"
+  "CMakeFiles/fir_linear_array.dir/fir_linear_array.cpp.o.d"
+  "fir_linear_array"
+  "fir_linear_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_linear_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverter_string_demo.dir/inverter_string_demo.cpp.o"
+  "CMakeFiles/inverter_string_demo.dir/inverter_string_demo.cpp.o.d"
+  "inverter_string_demo"
+  "inverter_string_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverter_string_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_matmul_hybrid.dir/mesh_matmul_hybrid.cpp.o"
+  "CMakeFiles/mesh_matmul_hybrid.dir/mesh_matmul_hybrid.cpp.o.d"
+  "mesh_matmul_hybrid"
+  "mesh_matmul_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_matmul_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

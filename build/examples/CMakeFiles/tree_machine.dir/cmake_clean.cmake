@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_machine.dir/tree_machine.cpp.o"
+  "CMakeFiles/tree_machine.dir/tree_machine.cpp.o.d"
+  "tree_machine"
+  "tree_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/clocked_chain.cc" "src/circuit/CMakeFiles/vs_circuit.dir/clocked_chain.cc.o" "gcc" "src/circuit/CMakeFiles/vs_circuit.dir/clocked_chain.cc.o.d"
+  "/root/repo/src/circuit/elmore.cc" "src/circuit/CMakeFiles/vs_circuit.dir/elmore.cc.o" "gcc" "src/circuit/CMakeFiles/vs_circuit.dir/elmore.cc.o.d"
+  "/root/repo/src/circuit/inverter_string.cc" "src/circuit/CMakeFiles/vs_circuit.dir/inverter_string.cc.o" "gcc" "src/circuit/CMakeFiles/vs_circuit.dir/inverter_string.cc.o.d"
+  "/root/repo/src/circuit/process.cc" "src/circuit/CMakeFiles/vs_circuit.dir/process.cc.o" "gcc" "src/circuit/CMakeFiles/vs_circuit.dir/process.cc.o.d"
+  "/root/repo/src/circuit/yield.cc" "src/circuit/CMakeFiles/vs_circuit.dir/yield.cc.o" "gcc" "src/circuit/CMakeFiles/vs_circuit.dir/yield.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/desim/CMakeFiles/vs_desim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/vs_clocktree.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/vs_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/vs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_circuit.dir/clocked_chain.cc.o"
+  "CMakeFiles/vs_circuit.dir/clocked_chain.cc.o.d"
+  "CMakeFiles/vs_circuit.dir/elmore.cc.o"
+  "CMakeFiles/vs_circuit.dir/elmore.cc.o.d"
+  "CMakeFiles/vs_circuit.dir/inverter_string.cc.o"
+  "CMakeFiles/vs_circuit.dir/inverter_string.cc.o.d"
+  "CMakeFiles/vs_circuit.dir/process.cc.o"
+  "CMakeFiles/vs_circuit.dir/process.cc.o.d"
+  "CMakeFiles/vs_circuit.dir/yield.cc.o"
+  "CMakeFiles/vs_circuit.dir/yield.cc.o.d"
+  "libvs_circuit.a"
+  "libvs_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clocktree/buffering.cc" "src/clocktree/CMakeFiles/vs_clocktree.dir/buffering.cc.o" "gcc" "src/clocktree/CMakeFiles/vs_clocktree.dir/buffering.cc.o.d"
+  "/root/repo/src/clocktree/builders.cc" "src/clocktree/CMakeFiles/vs_clocktree.dir/builders.cc.o" "gcc" "src/clocktree/CMakeFiles/vs_clocktree.dir/builders.cc.o.d"
+  "/root/repo/src/clocktree/clock_tree.cc" "src/clocktree/CMakeFiles/vs_clocktree.dir/clock_tree.cc.o" "gcc" "src/clocktree/CMakeFiles/vs_clocktree.dir/clock_tree.cc.o.d"
+  "/root/repo/src/clocktree/optimize.cc" "src/clocktree/CMakeFiles/vs_clocktree.dir/optimize.cc.o" "gcc" "src/clocktree/CMakeFiles/vs_clocktree.dir/optimize.cc.o.d"
+  "/root/repo/src/clocktree/render.cc" "src/clocktree/CMakeFiles/vs_clocktree.dir/render.cc.o" "gcc" "src/clocktree/CMakeFiles/vs_clocktree.dir/render.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/vs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/vs_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_clocktree.dir/buffering.cc.o"
+  "CMakeFiles/vs_clocktree.dir/buffering.cc.o.d"
+  "CMakeFiles/vs_clocktree.dir/builders.cc.o"
+  "CMakeFiles/vs_clocktree.dir/builders.cc.o.d"
+  "CMakeFiles/vs_clocktree.dir/clock_tree.cc.o"
+  "CMakeFiles/vs_clocktree.dir/clock_tree.cc.o.d"
+  "CMakeFiles/vs_clocktree.dir/optimize.cc.o"
+  "CMakeFiles/vs_clocktree.dir/optimize.cc.o.d"
+  "CMakeFiles/vs_clocktree.dir/render.cc.o"
+  "CMakeFiles/vs_clocktree.dir/render.cc.o.d"
+  "libvs_clocktree.a"
+  "libvs_clocktree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_clocktree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_common.dir/fit.cc.o"
+  "CMakeFiles/vs_common.dir/fit.cc.o.d"
+  "CMakeFiles/vs_common.dir/logging.cc.o"
+  "CMakeFiles/vs_common.dir/logging.cc.o.d"
+  "CMakeFiles/vs_common.dir/rng.cc.o"
+  "CMakeFiles/vs_common.dir/rng.cc.o.d"
+  "CMakeFiles/vs_common.dir/stats.cc.o"
+  "CMakeFiles/vs_common.dir/stats.cc.o.d"
+  "CMakeFiles/vs_common.dir/table.cc.o"
+  "CMakeFiles/vs_common.dir/table.cc.o.d"
+  "libvs_common.a"
+  "libvs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

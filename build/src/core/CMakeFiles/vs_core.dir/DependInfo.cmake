@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/vs_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/vs_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/clock_period.cc" "src/core/CMakeFiles/vs_core.dir/clock_period.cc.o" "gcc" "src/core/CMakeFiles/vs_core.dir/clock_period.cc.o.d"
+  "/root/repo/src/core/lower_bound.cc" "src/core/CMakeFiles/vs_core.dir/lower_bound.cc.o" "gcc" "src/core/CMakeFiles/vs_core.dir/lower_bound.cc.o.d"
+  "/root/repo/src/core/skew_analysis.cc" "src/core/CMakeFiles/vs_core.dir/skew_analysis.cc.o" "gcc" "src/core/CMakeFiles/vs_core.dir/skew_analysis.cc.o.d"
+  "/root/repo/src/core/skew_model.cc" "src/core/CMakeFiles/vs_core.dir/skew_model.cc.o" "gcc" "src/core/CMakeFiles/vs_core.dir/skew_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/vs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/vs_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/vs_clocktree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

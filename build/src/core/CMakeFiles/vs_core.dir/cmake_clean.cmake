@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_core.dir/advisor.cc.o"
+  "CMakeFiles/vs_core.dir/advisor.cc.o.d"
+  "CMakeFiles/vs_core.dir/clock_period.cc.o"
+  "CMakeFiles/vs_core.dir/clock_period.cc.o.d"
+  "CMakeFiles/vs_core.dir/lower_bound.cc.o"
+  "CMakeFiles/vs_core.dir/lower_bound.cc.o.d"
+  "CMakeFiles/vs_core.dir/skew_analysis.cc.o"
+  "CMakeFiles/vs_core.dir/skew_analysis.cc.o.d"
+  "CMakeFiles/vs_core.dir/skew_model.cc.o"
+  "CMakeFiles/vs_core.dir/skew_model.cc.o.d"
+  "libvs_core.a"
+  "libvs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/desim/clock_net.cc" "src/desim/CMakeFiles/vs_desim.dir/clock_net.cc.o" "gcc" "src/desim/CMakeFiles/vs_desim.dir/clock_net.cc.o.d"
+  "/root/repo/src/desim/clock_source.cc" "src/desim/CMakeFiles/vs_desim.dir/clock_source.cc.o" "gcc" "src/desim/CMakeFiles/vs_desim.dir/clock_source.cc.o.d"
+  "/root/repo/src/desim/elements.cc" "src/desim/CMakeFiles/vs_desim.dir/elements.cc.o" "gcc" "src/desim/CMakeFiles/vs_desim.dir/elements.cc.o.d"
+  "/root/repo/src/desim/latch.cc" "src/desim/CMakeFiles/vs_desim.dir/latch.cc.o" "gcc" "src/desim/CMakeFiles/vs_desim.dir/latch.cc.o.d"
+  "/root/repo/src/desim/register.cc" "src/desim/CMakeFiles/vs_desim.dir/register.cc.o" "gcc" "src/desim/CMakeFiles/vs_desim.dir/register.cc.o.d"
+  "/root/repo/src/desim/signal.cc" "src/desim/CMakeFiles/vs_desim.dir/signal.cc.o" "gcc" "src/desim/CMakeFiles/vs_desim.dir/signal.cc.o.d"
+  "/root/repo/src/desim/simulator.cc" "src/desim/CMakeFiles/vs_desim.dir/simulator.cc.o" "gcc" "src/desim/CMakeFiles/vs_desim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/vs_clocktree.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/vs_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/vs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

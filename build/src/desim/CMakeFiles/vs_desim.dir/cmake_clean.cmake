@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_desim.dir/clock_net.cc.o"
+  "CMakeFiles/vs_desim.dir/clock_net.cc.o.d"
+  "CMakeFiles/vs_desim.dir/clock_source.cc.o"
+  "CMakeFiles/vs_desim.dir/clock_source.cc.o.d"
+  "CMakeFiles/vs_desim.dir/elements.cc.o"
+  "CMakeFiles/vs_desim.dir/elements.cc.o.d"
+  "CMakeFiles/vs_desim.dir/latch.cc.o"
+  "CMakeFiles/vs_desim.dir/latch.cc.o.d"
+  "CMakeFiles/vs_desim.dir/register.cc.o"
+  "CMakeFiles/vs_desim.dir/register.cc.o.d"
+  "CMakeFiles/vs_desim.dir/signal.cc.o"
+  "CMakeFiles/vs_desim.dir/signal.cc.o.d"
+  "CMakeFiles/vs_desim.dir/simulator.cc.o"
+  "CMakeFiles/vs_desim.dir/simulator.cc.o.d"
+  "libvs_desim.a"
+  "libvs_desim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_desim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

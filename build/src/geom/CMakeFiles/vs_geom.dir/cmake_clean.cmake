@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_geom.dir/path.cc.o"
+  "CMakeFiles/vs_geom.dir/path.cc.o.d"
+  "libvs_geom.a"
+  "libvs_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_graph.dir/bisection.cc.o"
+  "CMakeFiles/vs_graph.dir/bisection.cc.o.d"
+  "CMakeFiles/vs_graph.dir/graph.cc.o"
+  "CMakeFiles/vs_graph.dir/graph.cc.o.d"
+  "CMakeFiles/vs_graph.dir/topology.cc.o"
+  "CMakeFiles/vs_graph.dir/topology.cc.o.d"
+  "CMakeFiles/vs_graph.dir/tree.cc.o"
+  "CMakeFiles/vs_graph.dir/tree.cc.o.d"
+  "libvs_graph.a"
+  "libvs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

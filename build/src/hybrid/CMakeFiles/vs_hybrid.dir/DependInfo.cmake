@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hybrid/executor.cc" "src/hybrid/CMakeFiles/vs_hybrid.dir/executor.cc.o" "gcc" "src/hybrid/CMakeFiles/vs_hybrid.dir/executor.cc.o.d"
+  "/root/repo/src/hybrid/handshake.cc" "src/hybrid/CMakeFiles/vs_hybrid.dir/handshake.cc.o" "gcc" "src/hybrid/CMakeFiles/vs_hybrid.dir/handshake.cc.o.d"
+  "/root/repo/src/hybrid/network.cc" "src/hybrid/CMakeFiles/vs_hybrid.dir/network.cc.o" "gcc" "src/hybrid/CMakeFiles/vs_hybrid.dir/network.cc.o.d"
+  "/root/repo/src/hybrid/partition.cc" "src/hybrid/CMakeFiles/vs_hybrid.dir/partition.cc.o" "gcc" "src/hybrid/CMakeFiles/vs_hybrid.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/desim/CMakeFiles/vs_desim.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/vs_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/vs_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/vs_clocktree.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/vs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

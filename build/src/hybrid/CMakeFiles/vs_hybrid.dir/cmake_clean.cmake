@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_hybrid.dir/executor.cc.o"
+  "CMakeFiles/vs_hybrid.dir/executor.cc.o.d"
+  "CMakeFiles/vs_hybrid.dir/handshake.cc.o"
+  "CMakeFiles/vs_hybrid.dir/handshake.cc.o.d"
+  "CMakeFiles/vs_hybrid.dir/network.cc.o"
+  "CMakeFiles/vs_hybrid.dir/network.cc.o.d"
+  "CMakeFiles/vs_hybrid.dir/partition.cc.o"
+  "CMakeFiles/vs_hybrid.dir/partition.cc.o.d"
+  "libvs_hybrid.a"
+  "libvs_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/embed.cc" "src/layout/CMakeFiles/vs_layout.dir/embed.cc.o" "gcc" "src/layout/CMakeFiles/vs_layout.dir/embed.cc.o.d"
+  "/root/repo/src/layout/generators.cc" "src/layout/CMakeFiles/vs_layout.dir/generators.cc.o" "gcc" "src/layout/CMakeFiles/vs_layout.dir/generators.cc.o.d"
+  "/root/repo/src/layout/layout.cc" "src/layout/CMakeFiles/vs_layout.dir/layout.cc.o" "gcc" "src/layout/CMakeFiles/vs_layout.dir/layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/vs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_layout.dir/embed.cc.o"
+  "CMakeFiles/vs_layout.dir/embed.cc.o.d"
+  "CMakeFiles/vs_layout.dir/generators.cc.o"
+  "CMakeFiles/vs_layout.dir/generators.cc.o.d"
+  "CMakeFiles/vs_layout.dir/layout.cc.o"
+  "CMakeFiles/vs_layout.dir/layout.cc.o.d"
+  "libvs_layout.a"
+  "libvs_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systolic/array.cc" "src/systolic/CMakeFiles/vs_systolic.dir/array.cc.o" "gcc" "src/systolic/CMakeFiles/vs_systolic.dir/array.cc.o.d"
+  "/root/repo/src/systolic/clocked_executor.cc" "src/systolic/CMakeFiles/vs_systolic.dir/clocked_executor.cc.o" "gcc" "src/systolic/CMakeFiles/vs_systolic.dir/clocked_executor.cc.o.d"
+  "/root/repo/src/systolic/executor.cc" "src/systolic/CMakeFiles/vs_systolic.dir/executor.cc.o" "gcc" "src/systolic/CMakeFiles/vs_systolic.dir/executor.cc.o.d"
+  "/root/repo/src/systolic/fir.cc" "src/systolic/CMakeFiles/vs_systolic.dir/fir.cc.o" "gcc" "src/systolic/CMakeFiles/vs_systolic.dir/fir.cc.o.d"
+  "/root/repo/src/systolic/horner.cc" "src/systolic/CMakeFiles/vs_systolic.dir/horner.cc.o" "gcc" "src/systolic/CMakeFiles/vs_systolic.dir/horner.cc.o.d"
+  "/root/repo/src/systolic/jacobi.cc" "src/systolic/CMakeFiles/vs_systolic.dir/jacobi.cc.o" "gcc" "src/systolic/CMakeFiles/vs_systolic.dir/jacobi.cc.o.d"
+  "/root/repo/src/systolic/matmul.cc" "src/systolic/CMakeFiles/vs_systolic.dir/matmul.cc.o" "gcc" "src/systolic/CMakeFiles/vs_systolic.dir/matmul.cc.o.d"
+  "/root/repo/src/systolic/matvec.cc" "src/systolic/CMakeFiles/vs_systolic.dir/matvec.cc.o" "gcc" "src/systolic/CMakeFiles/vs_systolic.dir/matvec.cc.o.d"
+  "/root/repo/src/systolic/selftimed.cc" "src/systolic/CMakeFiles/vs_systolic.dir/selftimed.cc.o" "gcc" "src/systolic/CMakeFiles/vs_systolic.dir/selftimed.cc.o.d"
+  "/root/repo/src/systolic/sort.cc" "src/systolic/CMakeFiles/vs_systolic.dir/sort.cc.o" "gcc" "src/systolic/CMakeFiles/vs_systolic.dir/sort.cc.o.d"
+  "/root/repo/src/systolic/trisolve.cc" "src/systolic/CMakeFiles/vs_systolic.dir/trisolve.cc.o" "gcc" "src/systolic/CMakeFiles/vs_systolic.dir/trisolve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

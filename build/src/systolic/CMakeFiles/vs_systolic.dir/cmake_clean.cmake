@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_systolic.dir/array.cc.o"
+  "CMakeFiles/vs_systolic.dir/array.cc.o.d"
+  "CMakeFiles/vs_systolic.dir/clocked_executor.cc.o"
+  "CMakeFiles/vs_systolic.dir/clocked_executor.cc.o.d"
+  "CMakeFiles/vs_systolic.dir/executor.cc.o"
+  "CMakeFiles/vs_systolic.dir/executor.cc.o.d"
+  "CMakeFiles/vs_systolic.dir/fir.cc.o"
+  "CMakeFiles/vs_systolic.dir/fir.cc.o.d"
+  "CMakeFiles/vs_systolic.dir/horner.cc.o"
+  "CMakeFiles/vs_systolic.dir/horner.cc.o.d"
+  "CMakeFiles/vs_systolic.dir/jacobi.cc.o"
+  "CMakeFiles/vs_systolic.dir/jacobi.cc.o.d"
+  "CMakeFiles/vs_systolic.dir/matmul.cc.o"
+  "CMakeFiles/vs_systolic.dir/matmul.cc.o.d"
+  "CMakeFiles/vs_systolic.dir/matvec.cc.o"
+  "CMakeFiles/vs_systolic.dir/matvec.cc.o.d"
+  "CMakeFiles/vs_systolic.dir/selftimed.cc.o"
+  "CMakeFiles/vs_systolic.dir/selftimed.cc.o.d"
+  "CMakeFiles/vs_systolic.dir/sort.cc.o"
+  "CMakeFiles/vs_systolic.dir/sort.cc.o.d"
+  "CMakeFiles/vs_systolic.dir/trisolve.cc.o"
+  "CMakeFiles/vs_systolic.dir/trisolve.cc.o.d"
+  "libvs_systolic.a"
+  "libvs_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

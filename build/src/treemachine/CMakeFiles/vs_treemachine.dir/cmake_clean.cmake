@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_treemachine.dir/htree_machine.cc.o"
+  "CMakeFiles/vs_treemachine.dir/htree_machine.cc.o.d"
+  "CMakeFiles/vs_treemachine.dir/search.cc.o"
+  "CMakeFiles/vs_treemachine.dir/search.cc.o.d"
+  "libvs_treemachine.a"
+  "libvs_treemachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_treemachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clock_period.dir/test_clock_period.cc.o"
+  "CMakeFiles/test_clock_period.dir/test_clock_period.cc.o.d"
+  "test_clock_period"
+  "test_clock_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clock_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_clock_period.
+# This may be replaced when dependencies are built.

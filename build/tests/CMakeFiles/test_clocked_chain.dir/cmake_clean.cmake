@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clocked_chain.dir/test_clocked_chain.cc.o"
+  "CMakeFiles/test_clocked_chain.dir/test_clocked_chain.cc.o.d"
+  "test_clocked_chain"
+  "test_clocked_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clocked_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clocktree.dir/test_clocktree.cc.o"
+  "CMakeFiles/test_clocktree.dir/test_clocktree.cc.o.d"
+  "test_clocktree"
+  "test_clocktree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clocktree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

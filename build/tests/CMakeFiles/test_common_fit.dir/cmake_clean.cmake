@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_fit.dir/test_common_fit.cc.o"
+  "CMakeFiles/test_common_fit.dir/test_common_fit.cc.o.d"
+  "test_common_fit"
+  "test_common_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

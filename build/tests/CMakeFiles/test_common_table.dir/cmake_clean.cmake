@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_table.dir/test_common_table.cc.o"
+  "CMakeFiles/test_common_table.dir/test_common_table.cc.o.d"
+  "test_common_table"
+  "test_common_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

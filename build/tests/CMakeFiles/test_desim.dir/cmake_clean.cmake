@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_desim.dir/test_desim.cc.o"
+  "CMakeFiles/test_desim.dir/test_desim.cc.o.d"
+  "test_desim"
+  "test_desim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_desim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_horner_jacobi.dir/test_horner_jacobi.cc.o"
+  "CMakeFiles/test_horner_jacobi.dir/test_horner_jacobi.cc.o.d"
+  "test_horner_jacobi"
+  "test_horner_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_horner_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latch.dir/test_latch.cc.o"
+  "CMakeFiles/test_latch.dir/test_latch.cc.o.d"
+  "test_latch"
+  "test_latch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_comb.dir/test_ring_comb.cc.o"
+  "CMakeFiles/test_ring_comb.dir/test_ring_comb.cc.o.d"
+  "test_ring_comb"
+  "test_ring_comb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_comb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

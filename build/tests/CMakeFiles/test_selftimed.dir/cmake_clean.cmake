@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selftimed.dir/test_selftimed.cc.o"
+  "CMakeFiles/test_selftimed.dir/test_selftimed.cc.o.d"
+  "test_selftimed"
+  "test_selftimed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selftimed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

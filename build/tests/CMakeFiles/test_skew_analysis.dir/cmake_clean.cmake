@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skew_analysis.dir/test_skew_analysis.cc.o"
+  "CMakeFiles/test_skew_analysis.dir/test_skew_analysis.cc.o.d"
+  "test_skew_analysis"
+  "test_skew_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skew_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skew_model.dir/test_skew_model.cc.o"
+  "CMakeFiles/test_skew_model.dir/test_skew_model.cc.o.d"
+  "test_skew_model"
+  "test_skew_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skew_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systolic_algorithms.dir/test_systolic_algorithms.cc.o"
+  "CMakeFiles/test_systolic_algorithms.dir/test_systolic_algorithms.cc.o.d"
+  "test_systolic_algorithms"
+  "test_systolic_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systolic_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_treemachine.dir/test_treemachine.cc.o"
+  "CMakeFiles/test_treemachine.dir/test_treemachine.cc.o.d"
+  "test_treemachine"
+  "test_treemachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_treemachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

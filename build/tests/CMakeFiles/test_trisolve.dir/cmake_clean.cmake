@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trisolve.dir/test_trisolve.cc.o"
+  "CMakeFiles/test_trisolve.dir/test_trisolve.cc.o.d"
+  "test_trisolve"
+  "test_trisolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trisolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yield.dir/test_yield.cc.o"
+  "CMakeFiles/test_yield.dir/test_yield.cc.o.d"
+  "test_yield"
+  "test_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
