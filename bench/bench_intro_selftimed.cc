@@ -15,6 +15,7 @@
 
 #include "bench_util.hh"
 #include "common/rng.hh"
+#include "mc/sweeps.hh"
 #include "systolic/fir.hh"
 #include "systolic/selftimed.hh"
 
@@ -38,29 +39,34 @@ main(int argc, char **argv)
                  "measured P(slow on path)", "mean cycle (ns)",
                  "clocked worst-case (ns)"});
 
-    Rng rng(seed);
     for (double p : {0.9, 0.99, 0.999}) {
         for (int k : {4, 16, 64, 256}) {
+            const SystolicArray arr = buildFir(
+                std::vector<Word>(static_cast<std::size_t>(k), 1.0));
+            // One Monte-Carlo sweep per (p, k): each trial fabricates
+            // an array (bernoulliServiceTimes) and measures its steady
+            // self-timed cycle. Trials fan across cores.
+            mc::McConfig cfg;
+            cfg.seed = seed ^ (static_cast<std::uint64_t>(k) << 10) ^
+                       static_cast<std::uint64_t>(p * 1000);
+            cfg.trials = 40;
+            cfg.grain = 4;
+            const mc::McResult cycle =
+                mc::selfTimedCycleSweep(arr, 24, p, fast, slow, cfg);
+
+            // Re-derive the per-trial speed draws to count arrays that
+            // contained at least one slow cell (same substreams the
+            // sweep used, so the count matches what was measured).
             int slow_paths = 0;
-            RunningStat cycle;
-            for (int trial = 0; trial < 40; ++trial) {
-                std::vector<Time> speed(static_cast<std::size_t>(k));
-                bool any_slow = false;
-                for (Time &s : speed) {
-                    s = rng.bernoulli(p) ? fast : slow;
-                    any_slow = any_slow || s == slow;
-                }
-                slow_paths += any_slow ? 1 : 0;
-                SystolicArray arr = buildFir(
-                    std::vector<Word>(static_cast<std::size_t>(k),
-                                      1.0));
-                const auto res = runSelfTimed(
-                    arr, 24,
-                    [&speed](CellId c, int) {
-                        return speed[static_cast<std::size_t>(c)];
-                    },
-                    true);
-                cycle.add(res.steadyCycle);
+            for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+                Rng rng = Rng::forTrial(cfg.seed, trial);
+                const auto speed = bernoulliServiceTimes(
+                    arr.size(), p, fast, slow, rng);
+                for (const Time s : speed)
+                    if (s == slow) {
+                        ++slow_paths;
+                        break;
+                    }
             }
             table.addRow(
                 {Table::num(p), Table::integer(k),

@@ -12,6 +12,7 @@
 #include "core/skew_analysis.hh"
 #include "core/skew_model.hh"
 #include "layout/generators.hh"
+#include "mc/sweeps.hh"
 
 namespace
 {
@@ -61,6 +62,49 @@ BM_SampleSkewInstance(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * tree.size());
 }
 BENCHMARK(BM_SampleSkewInstance)->Arg(8)->Arg(32);
+
+void
+BM_SampleMaxCommSkew(benchmark::State &state)
+{
+    // The engine's per-trial hot path: precomputed pairs, reused
+    // scratch, no SkewInstance allocation.
+    const int n = static_cast<int>(state.range(0));
+    const layout::Layout l = layout::meshLayout(n, n);
+    const auto tree = clocktree::buildHTreeGrid(l, n, n);
+    tree.warmCaches();
+    const auto pairs = core::commNodePairs(l, tree);
+    Rng rng(4242);
+    std::vector<Time> arrival;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::sampleMaxCommSkew(
+            tree, pairs, 0.05, 0.005, rng, arrival));
+    }
+    state.SetItemsProcessed(state.iterations() * tree.size());
+}
+BENCHMARK(BM_SampleMaxCommSkew)->Arg(8)->Arg(32);
+
+void
+BM_McSkewSweep(benchmark::State &state)
+{
+    // Whole-sweep throughput vs thread count (64 chips on a 32x32
+    // mesh per iteration). Statistics are bit-identical across the
+    // thread-count args; only wall time may change.
+    const int n = 32;
+    const layout::Layout l = layout::meshLayout(n, n);
+    const auto tree = clocktree::buildHTreeGrid(l, n, n);
+    mc::McConfig cfg;
+    cfg.seed = 4242;
+    cfg.trials = 64;
+    cfg.threads = static_cast<unsigned>(state.range(0));
+    cfg.grain = 4;
+    for (auto _ : state) {
+        const auto r = mc::skewSweep(l, tree, 0.05, 0.005, cfg);
+        benchmark::DoNotOptimize(r.stat.mean());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(cfg.trials));
+}
+BENCHMARK(BM_McSkewSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void
 BM_CircleArgument(benchmark::State &state)

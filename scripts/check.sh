@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a ThreadSanitizer pass over the parallel
+# Monte-Carlo engine. Run from the repo root:
+#
+#   scripts/check.sh          # full tier-1 + TSan engine tests
+#   scripts/check.sh --fast   # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+
+echo "== tier-1: configure, build, ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+(cd build && ctest --output-on-failure -j"$JOBS")
+
+if [[ "${1:-}" == "--fast" ]]; then
+    exit 0
+fi
+
+echo "== TSan: parallel Monte-Carlo engine =="
+cmake -B build-tsan -S . -DVSYNC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$JOBS" --target test_parallel_mc
+(cd build-tsan && ctest --output-on-failure -R '^test_parallel_mc$')
+
+echo "== all checks passed =="

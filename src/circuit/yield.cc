@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "circuit/inverter_string.hh"
 
@@ -83,6 +84,26 @@ sampleChipCycleTimes(const ProcessParams &process, int n, int chips,
                          rng.deriveStream(static_cast<std::uint64_t>(chip)));
         cycles.add(s.pipelinedCycleAnalytic());
     }
+    return cycles;
+}
+
+SampleSet
+sampleChipCycleTimes(const ProcessParams &process, int n, int chips,
+                     std::uint64_t seed, ThreadPool &pool)
+{
+    VSYNC_ASSERT(chips >= 1, "need at least one chip");
+    std::vector<double> perChip(static_cast<std::size_t>(chips), 0.0);
+    pool.parallelForRange(
+        perChip.size(), 8,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t chip = begin; chip < end; ++chip) {
+                InverterString s(n, process, Rng::forTrial(seed, chip));
+                perChip[chip] = s.pipelinedCycleAnalytic();
+            }
+        });
+    SampleSet cycles;
+    for (const double c : perChip)
+        cycles.add(c);
     return cycles;
 }
 

@@ -14,12 +14,15 @@
 #ifndef VSYNC_CIRCUIT_YIELD_HH
 #define VSYNC_CIRCUIT_YIELD_HH
 
+#include <cstdint>
+
 #include "circuit/process.hh"
 #include "common/stats.hh"
 
 namespace vsync
 {
 class Rng;
+class ThreadPool;
 } // namespace vsync
 
 namespace vsync::circuit
@@ -47,6 +50,16 @@ double yieldAtCycleTime(const ProcessParams &process, int n, Time period);
  */
 SampleSet sampleChipCycleTimes(const ProcessParams &process, int n,
                                int chips, Rng &rng);
+
+/**
+ * Deterministic parallel counterpart: chip i is fabricated from the
+ * counter-based substream Rng::forTrial(seed, i) and its cycle written
+ * to slot i, so the returned samples are bit-identical for any pool
+ * size (including 1). Fans fabrication across @p pool.
+ */
+SampleSet sampleChipCycleTimes(const ProcessParams &process, int n,
+                               int chips, std::uint64_t seed,
+                               ThreadPool &pool);
 
 } // namespace vsync::circuit
 

@@ -110,6 +110,15 @@ class ClockTree
      */
     bool validate(bool die = true) const;
 
+    /**
+     * Fill the lazy root-path-length cache now. The geometric queries
+     * (rootPathLength, pathDifference, treeDistance, maxRootPathLength)
+     * populate it on first use through a mutable member, which races if
+     * the first callers are concurrent; warm it from one thread before
+     * sharing a tree read-only across Monte-Carlo workers.
+     */
+    void warmCaches() const { fillCache(); }
+
     /** Optional builder-assigned name. */
     std::string name;
 

@@ -1,0 +1,177 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace vsync
+{
+
+JsonWriter::JsonWriter(std::ostream &stream) : os(stream)
+{
+    stack.push_back({Scope::Top});
+}
+
+void
+JsonWriter::indent()
+{
+    os << '\n';
+    for (std::size_t i = 1; i < stack.size(); ++i)
+        os << "  ";
+}
+
+void
+JsonWriter::beforeValue()
+{
+    Level &top = stack.back();
+    VSYNC_ASSERT(top.scope != Scope::Object || top.keyPending,
+                 "json: value inside an object needs a key first");
+    if (top.scope == Scope::Array) {
+        if (top.items > 0)
+            os << ',';
+        indent();
+    } else if (top.scope == Scope::Top) {
+        VSYNC_ASSERT(top.items == 0, "json: multiple top-level values");
+    }
+    top.keyPending = false;
+    ++top.items;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    Level &top = stack.back();
+    VSYNC_ASSERT(top.scope == Scope::Object,
+                 "json: key() outside an object");
+    VSYNC_ASSERT(!top.keyPending, "json: two keys in a row");
+    if (top.items > 0)
+        os << ',';
+    indent();
+    os << '"' << escape(k) << "\": ";
+    top.keyPending = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os << '{';
+    stack.push_back({Scope::Object});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    VSYNC_ASSERT(stack.back().scope == Scope::Object &&
+                     !stack.back().keyPending,
+                 "json: mismatched endObject");
+    const bool empty = stack.back().items == 0;
+    stack.pop_back();
+    if (!empty)
+        indent();
+    os << '}';
+    if (stack.back().scope == Scope::Top)
+        os << '\n';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os << '[';
+    stack.push_back({Scope::Array});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    VSYNC_ASSERT(stack.back().scope == Scope::Array,
+                 "json: mismatched endArray");
+    const bool empty = stack.back().items == 0;
+    stack.pop_back();
+    if (!empty)
+        indent();
+    os << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; null is the conventional stand-in.
+        os << "null";
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    os << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    os << '"' << escape(v) << '"';
+    return *this;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace vsync

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for bench result files.
+ *
+ * Benches emit machine-readable results as BENCH_<name>.json next to
+ * their stdout tables so perf trajectories can be tracked across PRs.
+ * The writer covers exactly what those files need: nested objects and
+ * arrays, string/number/bool values, round-trip-exact doubles.
+ */
+
+#ifndef VSYNC_COMMON_JSON_HH
+#define VSYNC_COMMON_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vsync
+{
+
+/**
+ * Streaming writer producing pretty-printed JSON. Calls must form a
+ * valid document: values at the top level or inside arrays, key()
+ * before every value inside objects. Misuse fatal()s.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Name the next value; only valid inside an object. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(double v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+    JsonWriter &value(bool v);
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v) { return value(std::string(v)); }
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    keyValue(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** JSON string escaping (quotes not included). */
+    static std::string escape(const std::string &s);
+
+  private:
+    enum class Scope { Top, Object, Array };
+    struct Level
+    {
+        Scope scope;
+        std::size_t items = 0;
+        bool keyPending = false;
+    };
+
+    void beforeValue();
+    void indent();
+
+    std::ostream &os;
+    std::vector<Level> stack;
+};
+
+} // namespace vsync
+
+#endif // VSYNC_COMMON_JSON_HH

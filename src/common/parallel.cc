@@ -1,0 +1,128 @@
+#include "common/parallel.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace vsync
+{
+
+unsigned
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("VSYNC_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : count(threads ? threads : defaultThreadCount())
+{
+    workers.reserve(count - 1);
+    for (unsigned i = 0; i + 1 < count; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    cvWork.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+        cvWork.wait(lock,
+                    [&] { return stopping || generation != seen; });
+        if (stopping)
+            return;
+        seen = generation;
+        lock.unlock();
+        runChunks();
+        lock.lock();
+        if (--workersBusy == 0)
+            cvDone.notify_all();
+    }
+}
+
+void
+ThreadPool::runChunks()
+{
+    for (;;) {
+        const std::size_t begin = nextIndex.fetch_add(jobGrain);
+        if (begin >= jobSize)
+            return;
+        const std::size_t end = std::min(jobSize, begin + jobGrain);
+        try {
+            (*jobFn)(begin, end);
+        } catch (...) {
+            recordException();
+        }
+    }
+}
+
+void
+ThreadPool::recordException()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!firstError)
+        firstError = std::current_exception();
+}
+
+void
+ThreadPool::parallelForRange(std::size_t n, std::size_t grain,
+                             const RangeFn &fn)
+{
+    VSYNC_ASSERT(grain >= 1, "grain must be positive");
+    if (n == 0)
+        return;
+    if (count == 1 || n <= grain) {
+        fn(0, n);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        jobFn = &fn;
+        jobSize = n;
+        jobGrain = grain;
+        nextIndex.store(0, std::memory_order_relaxed);
+        firstError = nullptr;
+        workersBusy = static_cast<unsigned>(workers.size());
+        ++generation;
+    }
+    cvWork.notify_all();
+    runChunks(); // the caller is a compute thread too
+    std::unique_lock<std::mutex> lock(mutex);
+    cvDone.wait(lock, [&] { return workersBusy == 0; });
+    jobFn = nullptr;
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+void
+ThreadPool::parallelFor(std::size_t n, const IndexFn &fn)
+{
+    // Aim for several chunks per thread so dynamic scheduling can
+    // balance uneven trial costs.
+    const std::size_t grain =
+        std::max<std::size_t>(1, n / (8 * static_cast<std::size_t>(count)));
+    parallelForRange(n, grain, [&fn](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+            fn(i);
+    });
+}
+
+} // namespace vsync

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A small reusable thread pool with a blocking parallel-for.
+ *
+ * The pool exists to fan deterministic Monte-Carlo trials across cores:
+ * work is identified by index, each index derives its own RNG substream
+ * (see Rng::forTrial), and results are written into per-index slots, so
+ * the *values* produced are independent of the thread count and of the
+ * dynamic chunk schedule. Only wall-clock time changes with threads.
+ *
+ * A pool of size 1 runs everything inline on the caller; a pool of size
+ * k uses the caller plus k-1 workers, so "1 thread" benchmarks measure
+ * the true serial cost with no pool overhead.
+ */
+
+#ifndef VSYNC_COMMON_PARALLEL_HH
+#define VSYNC_COMMON_PARALLEL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vsync
+{
+
+/**
+ * Default worker count: the VSYNC_THREADS environment variable when set
+ * to a positive integer, else std::thread::hardware_concurrency(),
+ * never less than 1.
+ */
+unsigned defaultThreadCount();
+
+/** A fixed-size thread pool. Not reentrant: parallelFor may not be
+ *  called from inside a task running on the same pool. */
+class ThreadPool
+{
+  public:
+    /** @param threads total compute threads (caller included);
+     *  0 means defaultThreadCount(). */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total compute threads (the caller counts as one). */
+    unsigned threadCount() const { return count; }
+
+    /** Invoked as fn(begin, end) on half-open index ranges. */
+    using RangeFn = std::function<void(std::size_t, std::size_t)>;
+
+    /** Invoked as fn(i) on single indices. */
+    using IndexFn = std::function<void(std::size_t)>;
+
+    /**
+     * Run fn over [0, n) split into chunks of at most @p grain indices,
+     * blocking until every chunk completed. Chunks are scheduled
+     * dynamically; callers must make per-index results independent of
+     * the schedule (index-derived RNG streams, per-index output slots).
+     * The first exception thrown by a chunk is rethrown here.
+     */
+    void parallelForRange(std::size_t n, std::size_t grain,
+                          const RangeFn &fn);
+
+    /** Run fn(i) for every i in [0, n) with an automatic grain. */
+    void parallelFor(std::size_t n, const IndexFn &fn);
+
+  private:
+    void workerLoop();
+    void runChunks();
+    void recordException();
+
+    unsigned count;
+    std::vector<std::thread> workers;
+    std::mutex mutex;
+    std::condition_variable cvWork;
+    std::condition_variable cvDone;
+    std::uint64_t generation = 0;
+    unsigned workersBusy = 0;
+    bool stopping = false;
+
+    // Current job; valid only while a parallelForRange call is active.
+    const RangeFn *jobFn = nullptr;
+    std::size_t jobSize = 0;
+    std::size_t jobGrain = 1;
+    std::atomic<std::size_t> nextIndex{0};
+    std::exception_ptr firstError;
+};
+
+} // namespace vsync
+
+#endif // VSYNC_COMMON_PARALLEL_HH

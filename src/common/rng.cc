@@ -112,6 +112,19 @@ Rng::exponential(double mean)
 }
 
 Rng
+Rng::forTrial(std::uint64_t seed, std::uint64_t trial)
+{
+    // Two SplitMix64 passes: the first whitens the user seed, the
+    // second folds in the trial counter. Consecutive trial indices end
+    // up in unrelated regions of the xoshiro seed space.
+    SplitMix64 whiten(seed);
+    const std::uint64_t base = whiten.next();
+    SplitMix64 mix(base ^
+                   (trial * 0x9e3779b97f4a7c15ULL + 0xd1b54a32d192ed03ULL));
+    return Rng(mix.next());
+}
+
+Rng
 Rng::deriveStream(std::uint64_t salt) const
 {
     // Mix the original seed with the salt through SplitMix64 so that

@@ -87,6 +87,17 @@ class Rng
      */
     Rng deriveStream(std::uint64_t salt) const;
 
+    /**
+     * Counter-based substream derivation: the independent stream for
+     * trial @p trial of the experiment seeded with @p seed.
+     *
+     * This is the Monte-Carlo engine's determinism contract: the stream
+     * is a pure function of (seed, trial) — no shared generator state,
+     * no dependence on which thread runs the trial or in what order —
+     * so a parallel sweep is bit-identical to a serial one.
+     */
+    static Rng forTrial(std::uint64_t seed, std::uint64_t trial);
+
   private:
     std::array<std::uint64_t, 4> s;
     double cachedNormal;

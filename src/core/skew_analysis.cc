@@ -43,6 +43,42 @@ analyzeSkew(const layout::Layout &l, const clocktree::ClockTree &t,
     return report;
 }
 
+std::vector<std::pair<NodeId, NodeId>>
+commNodePairs(const layout::Layout &l, const clocktree::ClockTree &t)
+{
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    const auto edges = l.comm().undirectedEdges();
+    pairs.reserve(edges.size());
+    for (const graph::Edge &pair : edges) {
+        const NodeId na = t.nodeOfCell(pair.src);
+        const NodeId nb = t.nodeOfCell(pair.dst);
+        VSYNC_ASSERT(na != invalidId && nb != invalidId,
+                     "cells %d/%d not clocked by the tree (A4)",
+                     pair.src, pair.dst);
+        pairs.emplace_back(na, nb);
+    }
+    return pairs;
+}
+
+namespace
+{
+
+/** Accumulate sampled arrival times down the tree into @p arrival. */
+void
+sampleArrivals(const clocktree::ClockTree &t, double m, double eps,
+               Rng &rng, std::vector<Time> &arrival)
+{
+    arrival.assign(t.size(), 0.0);
+    // Wires were created parent-before-child; accumulate forward.
+    for (NodeId v = 1; static_cast<std::size_t>(v) < t.size(); ++v) {
+        const NodeId p = t.structure().parent(v);
+        const double unit_delay = rng.uniform(m - eps, m + eps);
+        arrival[v] = arrival[p] + unit_delay * t.wireLength(v);
+    }
+}
+
+} // namespace
+
 SkewInstance
 sampleSkewInstance(const layout::Layout &l, const clocktree::ClockTree &t,
                    double m, double eps, Rng &rng)
@@ -50,26 +86,31 @@ sampleSkewInstance(const layout::Layout &l, const clocktree::ClockTree &t,
     VSYNC_ASSERT(m > 0.0 && eps >= 0.0 && eps <= m,
                  "bad delay parameters m=%g eps=%g", m, eps);
     SkewInstance inst;
-    inst.arrival.assign(t.size(), 0.0);
+    sampleArrivals(t, m, eps, rng, inst.arrival);
 
-    // Wires were created parent-before-child; accumulate forward.
-    for (NodeId v = 1; static_cast<std::size_t>(v) < t.size(); ++v) {
-        const NodeId p = t.structure().parent(v);
-        const double unit_delay = rng.uniform(m - eps, m + eps);
-        inst.arrival[v] = inst.arrival[p] + unit_delay * t.wireLength(v);
-    }
-
-    for (const graph::Edge &pair : l.comm().undirectedEdges()) {
-        const NodeId na = t.nodeOfCell(pair.src);
-        const NodeId nb = t.nodeOfCell(pair.dst);
-        VSYNC_ASSERT(na != invalidId && nb != invalidId,
-                     "cells %d/%d not clocked by the tree (A4)",
-                     pair.src, pair.dst);
+    const auto pairs = commNodePairs(l, t);
+    inst.edgeSkew.reserve(pairs.size());
+    for (const auto &[na, nb] : pairs) {
         const Time skew = std::fabs(inst.arrival[na] - inst.arrival[nb]);
         inst.edgeSkew.push_back(skew);
         inst.maxCommSkew = std::max(inst.maxCommSkew, skew);
     }
     return inst;
+}
+
+Time
+sampleMaxCommSkew(const clocktree::ClockTree &t,
+                  const std::vector<std::pair<NodeId, NodeId>> &pairs,
+                  double m, double eps, Rng &rng,
+                  std::vector<Time> &arrival)
+{
+    VSYNC_ASSERT(m > 0.0 && eps >= 0.0 && eps <= m,
+                 "bad delay parameters m=%g eps=%g", m, eps);
+    sampleArrivals(t, m, eps, rng, arrival);
+    Time worst = 0.0;
+    for (const auto &[na, nb] : pairs)
+        worst = std::max(worst, std::fabs(arrival[na] - arrival[nb]));
+    return worst;
 }
 
 SkewInstance

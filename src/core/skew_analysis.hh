@@ -13,6 +13,7 @@
 #ifndef VSYNC_CORE_SKEW_ANALYSIS_HH
 #define VSYNC_CORE_SKEW_ANALYSIS_HH
 
+#include <utility>
 #include <vector>
 
 #include "clocktree/clock_tree.hh"
@@ -88,6 +89,29 @@ struct SkewInstance
 SkewInstance sampleSkewInstance(const layout::Layout &l,
                                 const clocktree::ClockTree &t,
                                 double m, double eps, Rng &rng);
+
+/**
+ * Tree-node endpoints (na, nb) of every communicating cell pair, in
+ * the same order as SkewReport::edges. Checks A4 once so the per-trial
+ * samplers can skip the lookup and assertion; the Monte-Carlo sweeps
+ * precompute this before fanning trials across threads.
+ */
+std::vector<std::pair<NodeId, NodeId>>
+commNodePairs(const layout::Layout &l, const clocktree::ClockTree &t);
+
+/**
+ * Sample one chip and return only its maximum communicating skew: the
+ * allocation-free hot path behind mc::skewSweep. Draws exactly the
+ * same per-wire delays as sampleSkewInstance given the same rng state.
+ *
+ * @param pairs   precomputed commNodePairs(l, t).
+ * @param arrival scratch buffer, resized as needed and reusable across
+ *                calls on the same thread.
+ */
+Time sampleMaxCommSkew(const clocktree::ClockTree &t,
+                       const std::vector<std::pair<NodeId, NodeId>> &pairs,
+                       double m, double eps, Rng &rng,
+                       std::vector<Time> &arrival);
 
 /**
  * The worst-case chip permitted by the Section III wire-delay model:

@@ -1,0 +1,69 @@
+#include "mc/montecarlo.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace vsync::mc
+{
+
+double
+McResult::quantile(double q) const
+{
+    VSYNC_ASSERT(!samples.empty(), "quantile of an empty result");
+    VSYNC_ASSERT(q >= 0.0 && q <= 1.0, "quantile %g out of [0,1]", q);
+    std::vector<double> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+bool
+McResult::bitIdentical(const McResult &other) const
+{
+    if (samples.size() != other.samples.size())
+        return false;
+    return samples.empty() ||
+           std::memcmp(samples.data(), other.samples.data(),
+                       samples.size() * sizeof(double)) == 0;
+}
+
+void
+reduceInTrialOrder(McResult &r)
+{
+    r.stat.reset();
+    for (const double x : r.samples)
+        r.stat.add(x);
+}
+
+McResult
+runTrials(ThreadPool &pool, const McConfig &cfg, const TrialFn &fn)
+{
+    VSYNC_ASSERT(static_cast<bool>(fn), "null trial function");
+    McResult r;
+    r.samples.assign(cfg.trials, 0.0);
+    pool.parallelForRange(
+        cfg.trials, cfg.grain,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                Rng rng = Rng::forTrial(cfg.seed, i);
+                r.samples[i] = fn(i, rng);
+            }
+        });
+    reduceInTrialOrder(r);
+    return r;
+}
+
+McResult
+runTrials(const McConfig &cfg, const TrialFn &fn)
+{
+    ThreadPool pool(cfg.threads);
+    return runTrials(pool, cfg, fn);
+}
+
+} // namespace vsync::mc

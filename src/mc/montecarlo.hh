@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic parallel Monte-Carlo engine.
+ *
+ * The engine runs N independent trials of a stochastic experiment and
+ * reduces them to summary statistics. Determinism contract:
+ *
+ *  - trial i draws randomness only from Rng::forTrial(cfg.seed, i),
+ *  - trial i writes its observable only to samples[i],
+ *  - the reduction folds samples in trial order after all trials done,
+ *
+ * so the full result — every sample bit, every statistic — is a pure
+ * function of (seed, trials, the trial function) and is identical for
+ * any thread count and any dynamic schedule. Thread count changes only
+ * wall-clock time.
+ */
+
+#ifndef VSYNC_MC_MONTECARLO_HH
+#define VSYNC_MC_MONTECARLO_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace vsync::mc
+{
+
+/** Parameters shared by every Monte-Carlo sweep. */
+struct McConfig
+{
+    /** Experiment seed; trial i uses Rng::forTrial(seed, i). */
+    std::uint64_t seed = 0x5eed5eed5eed5eedULL;
+
+    /** Number of independent trials. */
+    std::size_t trials = 1024;
+
+    /** Compute threads (caller included); 0 = defaultThreadCount(). */
+    unsigned threads = 0;
+
+    /** Trials per scheduling chunk (amortises per-chunk scratch). */
+    std::size_t grain = 16;
+};
+
+/** One trial: map (trial index, its private rng) to one observable. */
+using TrialFn = std::function<double(std::uint64_t trial, Rng &rng)>;
+
+/** Reduced result of a sweep. */
+struct McResult
+{
+    /** Per-trial observables, indexed by trial. */
+    std::vector<double> samples;
+
+    /** Mean/stddev/min/max over samples, folded in trial order. */
+    RunningStat stat;
+
+    /** Quantile by linear interpolation (sorts a copy). @pre samples
+     *  non-empty and 0 <= q <= 1. */
+    double quantile(double q) const;
+
+    double mean() const { return stat.mean(); }
+    double stddev() const { return stat.stddev(); }
+    double min() const { return stat.min(); }
+    double max() const { return stat.max(); }
+
+    /** True when every sample is bitwise equal to @p other's. */
+    bool bitIdentical(const McResult &other) const;
+};
+
+/** Fold a filled samples vector into @p r.stat (trial order). */
+void reduceInTrialOrder(McResult &r);
+
+/** Run cfg.trials trials of @p fn on @p pool. */
+McResult runTrials(ThreadPool &pool, const McConfig &cfg,
+                   const TrialFn &fn);
+
+/** Convenience overload owning a pool of cfg.threads threads. */
+McResult runTrials(const McConfig &cfg, const TrialFn &fn);
+
+} // namespace vsync::mc
+
+#endif // VSYNC_MC_MONTECARLO_HH

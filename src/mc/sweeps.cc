@@ -1,0 +1,93 @@
+#include "mc/sweeps.hh"
+
+#include <algorithm>
+
+#include "circuit/inverter_string.hh"
+#include "circuit/yield.hh"
+#include "common/logging.hh"
+#include "core/skew_analysis.hh"
+#include "systolic/selftimed.hh"
+
+namespace vsync::mc
+{
+
+McResult
+skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
+          double m, double eps, const McConfig &cfg)
+{
+    // Shared read-only state: warm the lazy geometry cache and resolve
+    // the communicating pairs before any worker touches the tree.
+    t.warmCaches();
+    const auto pairs = core::commNodePairs(l, t);
+
+    ThreadPool pool(cfg.threads);
+    McResult r;
+    r.samples.assign(cfg.trials, 0.0);
+    pool.parallelForRange(
+        cfg.trials, cfg.grain,
+        [&](std::size_t begin, std::size_t end) {
+            std::vector<Time> arrival; // scratch, reused per chunk
+            for (std::size_t i = begin; i < end; ++i) {
+                Rng rng = Rng::forTrial(cfg.seed, i);
+                r.samples[i] = core::sampleMaxCommSkew(t, pairs, m, eps,
+                                                       rng, arrival);
+            }
+        });
+    reduceInTrialOrder(r);
+    return r;
+}
+
+McResult
+chipCycleSweep(const circuit::ProcessParams &process, int n,
+               const McConfig &cfg)
+{
+    ThreadPool pool(cfg.threads);
+    return runTrials(pool, cfg, [&](std::uint64_t, Rng &rng) {
+        circuit::InverterString s(n, process, rng);
+        return s.pipelinedCycleAnalytic();
+    });
+}
+
+double
+yieldAtCycleTimeMc(const circuit::ProcessParams &process, int n,
+                   Time period, const McConfig &cfg)
+{
+    VSYNC_ASSERT(cfg.trials >= 1, "need at least one chip");
+    const McResult cycles = chipCycleSweep(process, n, cfg);
+    const std::size_t good = static_cast<std::size_t>(std::count_if(
+        cycles.samples.begin(), cycles.samples.end(),
+        [period](double c) { return c <= period; }));
+    return static_cast<double>(good) /
+           static_cast<double>(cycles.samples.size());
+}
+
+McResult
+selfTimedCycleSweep(const systolic::SystolicArray &array, int firings,
+                    double p_fast, Time fast, Time slow,
+                    const McConfig &cfg)
+{
+    array.validate(); // validate once, not per trial per thread
+    ThreadPool pool(cfg.threads);
+    return runTrials(pool, cfg, [&](std::uint64_t, Rng &rng) {
+        const auto speeds = systolic::bernoulliServiceTimes(
+            array.size(), p_fast, fast, slow, rng);
+        const auto res = systolic::runSelfTimed(
+            array, firings, systolic::serviceFromSpeeds(speeds), true);
+        return res.steadyCycle;
+    });
+}
+
+McResult
+hybridCycleSweep(const hybrid::HybridNetwork &net, int rounds,
+                 const McConfig &cfg)
+{
+    VSYNC_ASSERT(net.params().jitterAmplitude > 0.0,
+                 "jitter-free hybrid runs are deterministic; call "
+                 "simulate() once instead");
+    ThreadPool pool(cfg.threads);
+    return runTrials(pool, cfg, [&](std::uint64_t, Rng &rng) {
+        return net.simulate(rounds, &rng).steadyCycle;
+    });
+}
+
+} // namespace vsync::mc

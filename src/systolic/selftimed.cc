@@ -5,6 +5,7 @@
 
 #include "common/fit.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 
 namespace vsync::systolic
 {
@@ -84,6 +85,26 @@ worstCasePathProbability(double p, int k)
     VSYNC_ASSERT(p >= 0.0 && p <= 1.0, "probability %g out of [0,1]", p);
     VSYNC_ASSERT(k >= 0, "negative path length %d", k);
     return 1.0 - std::pow(p, k);
+}
+
+std::vector<Time>
+bernoulliServiceTimes(std::size_t cells, double p_fast, Time fast,
+                      Time slow, Rng &rng)
+{
+    VSYNC_ASSERT(fast > 0.0 && slow > 0.0,
+                 "service times must be positive");
+    std::vector<Time> speeds(cells);
+    for (Time &s : speeds)
+        s = rng.bernoulli(p_fast) ? fast : slow;
+    return speeds;
+}
+
+ServiceFn
+serviceFromSpeeds(std::vector<Time> speeds)
+{
+    return [speeds = std::move(speeds)](CellId c, int) {
+        return speeds.at(static_cast<std::size_t>(c));
+    };
 }
 
 } // namespace vsync::systolic

@@ -19,6 +19,11 @@
 
 #include "systolic/array.hh"
 
+namespace vsync
+{
+class Rng;
+} // namespace vsync
+
 namespace vsync::systolic
 {
 
@@ -64,6 +69,22 @@ SelfTimedResult runSelfTimed(const SystolicArray &array, int firings,
  * avoids the worst case with probability @p p: 1 - p^k.
  */
 double worstCasePathProbability(double p, int k);
+
+/**
+ * Sample the intro's two-speed fabrication model: each cell is
+ * independently "fast" with probability @p p_fast (service time
+ * @p fast) and "slow" otherwise (@p slow). One draw per cell, in cell
+ * order, so a given rng state maps to one well-defined array.
+ */
+std::vector<Time> bernoulliServiceTimes(std::size_t cells, double p_fast,
+                                        Time fast, Time slow, Rng &rng);
+
+/**
+ * Wrap fixed per-cell service times as a (firing-independent)
+ * ServiceFn. The vector is captured by value; the function is safe to
+ * call from any thread.
+ */
+ServiceFn serviceFromSpeeds(std::vector<Time> speeds);
 
 } // namespace vsync::systolic
 

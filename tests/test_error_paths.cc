@@ -19,6 +19,7 @@
 #include "systolic/fir.hh"
 #include "systolic/trisolve.hh"
 #include "systolic/executor.hh"
+#include "test_util.hh"
 
 namespace
 {
@@ -31,7 +32,7 @@ class ErrorPaths : public ::testing::Test
     void
     SetUp() override
     {
-        GTEST_FLAG_SET(death_test_style, "threadsafe");
+        testutil::useThreadsafeDeathTests();
     }
 };
 

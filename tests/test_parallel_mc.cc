@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the deterministic parallel Monte-Carlo engine: the thread
+ * pool, counter-based RNG substreams, and the guarantee that every
+ * sweep is bit-identical at 1, 2 and 8 threads for a fixed seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/process.hh"
+#include "circuit/yield.hh"
+#include "clocktree/builders.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "core/skew_analysis.hh"
+#include "hybrid/network.hh"
+#include "hybrid/partition.hh"
+#include "layout/generators.hh"
+#include "mc/sweeps.hh"
+#include "systolic/fir.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+const unsigned kThreadCounts[] = {1, 2, 8};
+
+TEST(ThreadPool, DefaultThreadCountIsPositive)
+{
+    EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce)
+{
+    for (const unsigned tc : kThreadCounts) {
+        ThreadPool pool(tc);
+        EXPECT_EQ(pool.threadCount(), tc);
+        std::vector<std::atomic<int>> visits(1000);
+        pool.parallelFor(visits.size(), [&](std::size_t i) {
+            visits[i].fetch_add(1);
+        });
+        for (const auto &v : visits)
+            EXPECT_EQ(v.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ParallelForRangeCoversExactly)
+{
+    ThreadPool pool(8);
+    std::vector<int> out(237, 0);
+    pool.parallelForRange(out.size(), 10,
+                          [&](std::size_t b, std::size_t e) {
+                              for (std::size_t i = b; i < e; ++i)
+                                  out[i] = static_cast<int>(i);
+                          });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST(ThreadPool, ReusableAcrossJobsAndEmptyJobs)
+{
+    ThreadPool pool(4);
+    pool.parallelFor(0, [](std::size_t) { FAIL(); });
+    long long sum = 0;
+    std::mutex m;
+    for (int round = 0; round < 3; ++round) {
+        pool.parallelForRange(100, 7,
+                              [&](std::size_t b, std::size_t e) {
+                                  long long local = 0;
+                                  for (std::size_t i = b; i < e; ++i)
+                                      local += static_cast<long long>(i);
+                                  std::lock_guard<std::mutex> lock(m);
+                                  sum += local;
+                              });
+    }
+    EXPECT_EQ(sum, 3 * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [](std::size_t i) {
+                                      if (i == 33)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    // The pool survives a failed job.
+    std::atomic<int> n{0};
+    pool.parallelFor(10, [&](std::size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 10);
+}
+
+TEST(RngSubstreams, ForTrialIsPureAndDistinct)
+{
+    Rng a = Rng::forTrial(123, 7);
+    Rng b = Rng::forTrial(123, 7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), b.next());
+
+    // Neighbouring trials and different seeds give unrelated streams.
+    Rng c = Rng::forTrial(123, 8);
+    Rng d = Rng::forTrial(124, 7);
+    Rng e = Rng::forTrial(123, 7);
+    int same_c = 0, same_d = 0;
+    for (int i = 0; i < 16; ++i) {
+        const std::uint64_t ref = e.next();
+        same_c += c.next() == ref;
+        same_d += d.next() == ref;
+    }
+    EXPECT_EQ(same_c, 0);
+    EXPECT_EQ(same_d, 0);
+}
+
+TEST(McEngine, RunTrialsBitIdenticalAcrossThreadCounts)
+{
+    std::vector<mc::McResult> results;
+    for (const unsigned tc : kThreadCounts) {
+        mc::McConfig cfg;
+        cfg.seed = 99;
+        cfg.trials = 333;
+        cfg.threads = tc;
+        cfg.grain = 5;
+        results.push_back(mc::runTrials(
+            cfg, [](std::uint64_t, Rng &rng) { return rng.normal(); }));
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_TRUE(results[i].bitIdentical(results[0]));
+        EXPECT_EQ(results[i].mean(), results[0].mean());
+        EXPECT_EQ(results[i].stddev(), results[0].stddev());
+    }
+    // And the reduction saw every trial.
+    EXPECT_EQ(results[0].stat.count(), 333u);
+}
+
+TEST(McEngine, TrialValueIndependentOfGrain)
+{
+    mc::McConfig cfg;
+    cfg.seed = 7;
+    cfg.trials = 100;
+    cfg.threads = 8;
+    const auto fn = [](std::uint64_t, Rng &rng) {
+        return rng.uniform();
+    };
+    cfg.grain = 1;
+    const auto fine = mc::runTrials(cfg, fn);
+    cfg.grain = 64;
+    const auto coarse = mc::runTrials(cfg, fn);
+    EXPECT_TRUE(fine.bitIdentical(coarse));
+}
+
+TEST(McSweeps, SkewSweepBitIdenticalAcrossThreadCounts)
+{
+    const layout::Layout l = layout::meshLayout(8, 8);
+    const auto tree = clocktree::buildHTreeGrid(l, 8, 8);
+    std::vector<mc::McResult> results;
+    for (const unsigned tc : kThreadCounts) {
+        mc::McConfig cfg;
+        cfg.seed = 0xabcd;
+        cfg.trials = 64;
+        cfg.threads = tc;
+        cfg.grain = 4;
+        results.push_back(mc::skewSweep(l, tree, 0.05, 0.005, cfg));
+    }
+    for (std::size_t i = 1; i < results.size(); ++i)
+        EXPECT_TRUE(results[i].bitIdentical(results[0]));
+    EXPECT_GT(results[0].mean(), 0.0);
+}
+
+TEST(McSweeps, SkewSweepMatchesSerialSampler)
+{
+    // Trial i of the sweep must equal sampleSkewInstance driven by the
+    // same substream: the fast path changes bookkeeping, not draws.
+    const layout::Layout l = layout::meshLayout(6, 6);
+    const auto tree = clocktree::buildHTreeGrid(l, 6, 6);
+    mc::McConfig cfg;
+    cfg.seed = 31337;
+    cfg.trials = 16;
+    cfg.threads = 2;
+    const auto sweep = mc::skewSweep(l, tree, 0.05, 0.005, cfg);
+    for (std::size_t i = 0; i < cfg.trials; ++i) {
+        Rng rng = Rng::forTrial(cfg.seed, i);
+        const auto inst =
+            core::sampleSkewInstance(l, tree, 0.05, 0.005, rng);
+        EXPECT_EQ(sweep.samples[i], inst.maxCommSkew) << "trial " << i;
+    }
+}
+
+TEST(McSweeps, ChipCycleSweepBitIdenticalAndMatchesYieldHelper)
+{
+    auto p = circuit::ProcessParams::nmos1983();
+    std::vector<mc::McResult> results;
+    for (const unsigned tc : kThreadCounts) {
+        mc::McConfig cfg;
+        cfg.seed = 555;
+        cfg.trials = 48;
+        cfg.threads = tc;
+        cfg.grain = 8;
+        results.push_back(mc::chipCycleSweep(p, 256, cfg));
+    }
+    for (std::size_t i = 1; i < results.size(); ++i)
+        EXPECT_TRUE(results[i].bitIdentical(results[0]));
+
+    // The parallel circuit-level helper fabricates chips from the same
+    // substreams, so the two APIs agree exactly.
+    ThreadPool pool(8);
+    const SampleSet viaCircuit =
+        circuit::sampleChipCycleTimes(p, 256, 48, 555, pool);
+    ASSERT_EQ(viaCircuit.count(), results[0].samples.size());
+    for (std::size_t i = 0; i < viaCircuit.count(); ++i)
+        EXPECT_EQ(viaCircuit.values()[i], results[0].samples[i]);
+}
+
+TEST(McSweeps, YieldMcIsAFractionAndMonotoneInPeriod)
+{
+    auto p = circuit::ProcessParams::nmos1983();
+    mc::McConfig cfg;
+    cfg.seed = 777;
+    cfg.trials = 64;
+    cfg.threads = 8;
+    const Time t_med =
+        circuit::cycleTimeAtYield(p, 256, 0.5);
+    const double y_lo = mc::yieldAtCycleTimeMc(p, 256, t_med * 0.8, cfg);
+    const double y_mid = mc::yieldAtCycleTimeMc(p, 256, t_med, cfg);
+    const double y_hi = mc::yieldAtCycleTimeMc(p, 256, t_med * 1.5, cfg);
+    EXPECT_GE(y_lo, 0.0);
+    EXPECT_LE(y_hi, 1.0);
+    EXPECT_LE(y_lo, y_mid);
+    EXPECT_LE(y_mid, y_hi);
+}
+
+TEST(McSweeps, SelfTimedSweepBitIdenticalAcrossThreadCounts)
+{
+    const auto arr = systolic::buildFir({1.0, 2.0, 3.0, 4.0});
+    std::vector<mc::McResult> results;
+    for (const unsigned tc : kThreadCounts) {
+        mc::McConfig cfg;
+        cfg.seed = 2026;
+        cfg.trials = 32;
+        cfg.threads = tc;
+        cfg.grain = 4;
+        results.push_back(
+            mc::selfTimedCycleSweep(arr, 16, 0.9, 1.0, 4.0, cfg));
+    }
+    for (std::size_t i = 1; i < results.size(); ++i)
+        EXPECT_TRUE(results[i].bitIdentical(results[0]));
+    EXPECT_GT(results[0].min(), 0.0);
+    // Steady cycle is bracketed by the fast and slow service times.
+    EXPECT_GE(results[0].min(), 1.0 - 1e-9);
+    EXPECT_LE(results[0].max(), 4.0 + 1e-9);
+}
+
+TEST(McSweeps, HybridJitterSweepBitIdenticalAcrossThreadCounts)
+{
+    const layout::Layout l = layout::meshLayout(6, 6);
+    hybrid::HybridParams params;
+    params.jitterAmplitude = 0.5;
+    const hybrid::HybridNetwork net(hybrid::partitionGrid(l, 3.0),
+                                    params);
+    std::vector<mc::McResult> results;
+    for (const unsigned tc : kThreadCounts) {
+        mc::McConfig cfg;
+        cfg.seed = 4444;
+        cfg.trials = 24;
+        cfg.threads = tc;
+        cfg.grain = 3;
+        results.push_back(mc::hybridCycleSweep(net, 32, cfg));
+    }
+    for (std::size_t i = 1; i < results.size(); ++i)
+        EXPECT_TRUE(results[i].bitIdentical(results[0]));
+    // Jitter only adds cost: every sampled cycle sits at or above the
+    // jitter-free steady cycle.
+    const hybrid::HybridNetwork calm(hybrid::partitionGrid(l, 3.0),
+                                     hybrid::HybridParams{});
+    const Time base = calm.simulate(32).steadyCycle;
+    EXPECT_GE(results[0].min(), base - 1e-9);
+}
+
+} // namespace

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "core/skew_model.hh"
+#include "test_util.hh"
 
 namespace
 {
@@ -79,7 +80,7 @@ TEST(SkewModel, KindNames)
 
 TEST(SkewModelDeath, RejectsBadParameters)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    testutil::useThreadsafeDeathTests();
     EXPECT_DEATH(SkewModel::difference(-1.0), "positive");
     EXPECT_DEATH(SkewModel::summation(1.0, 2.0), "eps");
     EXPECT_DEATH(SkewModel::summation(0.0, 0.0), "positive");

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared helpers for the test binaries.
+ */
+
+#ifndef VSYNC_TESTS_TEST_UTIL_HH
+#define VSYNC_TESTS_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+namespace vsync::testutil
+{
+
+/**
+ * Select the "threadsafe" death-test style, which re-executes the test
+ * binary instead of forking mid-run. GTEST_FLAG_SET only exists from
+ * GoogleTest 1.12 on; older releases (the toolchain ships 1.11) expose
+ * the flag as a plain global.
+ */
+inline void
+useThreadsafeDeathTests()
+{
+#if defined(GTEST_FLAG_SET)
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+#else
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+#endif
+}
+
+} // namespace vsync::testutil
+
+#endif // VSYNC_TESTS_TEST_UTIL_HH
