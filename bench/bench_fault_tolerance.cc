@@ -1,0 +1,342 @@
+/**
+ * @file
+ * FAULT -- tree vs redundant-grid clock distribution under faults.
+ *
+ * Three experiments on a 16x16 mesh:
+ *
+ *  1. Exhaustive single-dead-buffer pass with nominal delays: every
+ *     buffer stage of the H-tree is killed in turn (each kill must
+ *     silence the whole subtree below it -- at least one cell loses
+ *     its clock), then every link of the TRIX grid is killed in turn
+ *     (median voting must mask every one: all cells clocked, max comm
+ *     skew bit-equal to the fault-free run).
+ *  2. Graceful-degradation curves: max comm skew and clocked-cell
+ *     fraction vs fault rate for H-tree, spine and TRIX grid
+ *     (fault::FaultRates::mixed plans, Monte-Carlo over chips), plus
+ *     the hybrid handshake network's surviving-element fraction under
+ *     severed wires.
+ *  3. Determinism: one sweep point re-run at 1, 2 and 8 threads must
+ *     produce bit-identical samples (the fault plans and the sweep
+ *     both obey the Rng::forTrial contract).
+ *
+ * Results go to stdout as tables and to BENCH_fault_tolerance.json;
+ * the exit code is nonzero if any masking, degradation or determinism
+ * property fails.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.hh"
+#include "clocktree/buffering.hh"
+#include "clocktree/builders.hh"
+#include "common/json.hh"
+#include "fault/injector.hh"
+#include "hybrid/partition.hh"
+#include "layout/generators.hh"
+#include "mc/resilience.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+constexpr int rows = 16;
+constexpr int cols = 16;
+
+/** Nominal (variation-free) stage delays for the buffered tree. */
+desim::ClockNet::DelayFn
+nominalTreeDelays(const mc::ResilienceConfig &rc)
+{
+    return [rc](const clocktree::BufferedSite &site, std::size_t) {
+        return desim::EdgeDelays::same(
+            site.wireFromParent * rc.m +
+            (site.isBuffer ? rc.bufferDelay : 0.0));
+    };
+}
+
+/** Nominal per-link delay for the TRIX grid. */
+fault::TrixGrid::LinkDelayFn
+nominalGridDelays(const mc::ResilienceConfig &rc)
+{
+    return [rc](int, int, int) { return rc.bufferDelay + rc.m; };
+}
+
+struct SingleFaultSummary
+{
+    std::size_t sites = 0;
+    std::size_t masked = 0;     // faults with no cell lost
+    std::size_t skewExact = 0;  // faults with skew == healthy skew
+    double minClockedFraction = 1.0;
+    Time healthySkew = 0.0;
+    double healthyClockedFraction = 0.0;
+};
+
+/** Kill every buffer stage of the H-tree in turn. */
+SingleFaultSummary
+exhaustiveTreePass(const layout::Layout &l,
+                   const clocktree::ClockTree &tree,
+                   const clocktree::BufferedClockTree &btree,
+                   const mc::ResilienceConfig &rc)
+{
+    const auto delay_of = nominalTreeDelays(rc);
+    SingleFaultSummary s;
+    const fault::DistributionOutcome healthy =
+        fault::simulateTreeUnderFaults(l, tree, btree, delay_of,
+                                       fault::FaultPlan());
+    s.healthySkew = healthy.maxCommSkew;
+    s.healthyClockedFraction = healthy.clockedFraction;
+    s.sites = fault::universeOf(btree).bufferSites;
+    for (std::size_t e = 0; e < s.sites; ++e) {
+        const fault::DistributionOutcome out =
+            fault::simulateTreeUnderFaults(
+                l, tree, btree, delay_of,
+                fault::FaultPlan::singleDeadBuffer(e));
+        s.masked += out.clockedFraction >= 1.0;
+        s.skewExact += out.maxCommSkew == healthy.maxCommSkew;
+        s.minClockedFraction =
+            std::min(s.minClockedFraction, out.clockedFraction);
+    }
+    return s;
+}
+
+/** Kill every link of the TRIX grid in turn. */
+SingleFaultSummary
+exhaustiveGridPass(const layout::Layout &l, const mc::ResilienceConfig &rc)
+{
+    const auto delay_of = nominalGridDelays(rc);
+    SingleFaultSummary s;
+    const fault::DistributionOutcome healthy =
+        fault::simulateGridUnderFaults(l, rows, cols, delay_of,
+                                       fault::FaultPlan());
+    s.healthySkew = healthy.maxCommSkew;
+    s.healthyClockedFraction = healthy.clockedFraction;
+    s.sites = fault::TrixGrid::universe(rows, cols).bufferSites;
+    for (std::size_t link = 0; link < s.sites; ++link) {
+        const fault::DistributionOutcome out =
+            fault::simulateGridUnderFaults(
+                l, rows, cols, delay_of,
+                fault::FaultPlan::singleDeadBuffer(link));
+        const bool all_clocked = out.clockedFraction >= 1.0;
+        s.masked += all_clocked;
+        s.skewExact += all_clocked &&
+                       out.maxCommSkew == healthy.maxCommSkew;
+        s.minClockedFraction =
+            std::min(s.minClockedFraction, out.clockedFraction);
+    }
+    return s;
+}
+
+void
+emitCurve(JsonWriter &json, Table &table, const std::string &kind,
+          const std::vector<mc::ResiliencePoint> &curve)
+{
+    json.beginObject().keyValue("distribution", kind);
+    json.key("points").beginArray();
+    for (const mc::ResiliencePoint &p : curve) {
+        json.beginObject()
+            .keyValue("fault_rate", p.faultRate)
+            .keyValue("mean_faults_per_chip", p.meanFaults)
+            .keyValue("max_comm_skew_mean", p.maxCommSkew.mean())
+            .keyValue("max_comm_skew_p99", p.maxCommSkew.quantile(0.99))
+            .keyValue("max_comm_skew_max", p.maxCommSkew.max())
+            .keyValue("clocked_fraction_mean", p.clockedFraction.mean())
+            .keyValue("clocked_fraction_min", p.clockedFraction.min())
+            .endObject();
+        table.addRow({kind, Table::num(p.faultRate),
+                      Table::fixed(p.meanFaults, 1),
+                      Table::num(p.maxCommSkew.mean()),
+                      Table::num(p.maxCommSkew.max()),
+                      Table::fixed(p.clockedFraction.mean(), 4),
+                      Table::fixed(p.clockedFraction.min(), 4)});
+    }
+    json.endArray().endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsync;
+    const auto opts = BenchOptions::parse(argc, argv);
+    const std::uint64_t seed = opts.seedSet ? opts.seed : 0xfa017ULL;
+
+    const layout::Layout l = layout::meshLayout(rows, cols);
+    const mc::ResilienceConfig rc;
+    const auto tree = clocktree::buildHTreeGrid(l, rows, cols);
+    const auto btree =
+        clocktree::BufferedClockTree::insertBuffers(tree,
+                                                    rc.bufferSpacing);
+
+    std::ofstream out("BENCH_fault_tolerance.json");
+    JsonWriter json(out);
+    json.beginObject()
+        .keyValue("bench", "fault_tolerance")
+        .keyValue("seed", seed)
+        .keyValue("array", "mesh16x16")
+        .keyValue("m", rc.m)
+        .keyValue("eps", rc.eps)
+        .keyValue("buffer_delay", rc.bufferDelay)
+        .keyValue("buffer_spacing", rc.bufferSpacing);
+
+    // --- 1. Exhaustive single-dead-buffer pass. ---------------------
+    bench::headline(
+        "Single dead buffer, exhaustive: every H-tree stage kill must "
+        "silence its subtree; every TRIX link kill must be masked by "
+        "the median vote with zero skew degradation");
+    const SingleFaultSummary treePass =
+        exhaustiveTreePass(l, tree, btree, rc);
+    const SingleFaultSummary gridPass = exhaustiveGridPass(l, rc);
+
+    const bool treeAlwaysLoses = treePass.masked == 0;
+    const bool gridAlwaysMasks = gridPass.masked == gridPass.sites;
+    const bool gridZeroDegradation =
+        gridPass.skewExact == gridPass.sites;
+
+    Table singleTable("single dead buffer (16x16 mesh)",
+                      {"distribution", "sites", "masked",
+                       "skew-exact", "worst clocked fraction"});
+    singleTable.addRow({"htree", Table::integer(treePass.sites),
+                        Table::integer(treePass.masked),
+                        Table::integer(treePass.skewExact),
+                        Table::fixed(treePass.minClockedFraction, 4)});
+    singleTable.addRow({"trix-grid", Table::integer(gridPass.sites),
+                        Table::integer(gridPass.masked),
+                        Table::integer(gridPass.skewExact),
+                        Table::fixed(gridPass.minClockedFraction, 4)});
+    emitTable(singleTable, opts);
+
+    json.key("single_dead_buffer").beginObject();
+    json.key("htree").beginObject()
+        .keyValue("buffer_sites",
+                  static_cast<std::uint64_t>(treePass.sites))
+        .keyValue("faults_masked",
+                  static_cast<std::uint64_t>(treePass.masked))
+        .keyValue("every_fault_loses_cells", treeAlwaysLoses)
+        .keyValue("worst_clocked_fraction", treePass.minClockedFraction)
+        .keyValue("healthy_max_comm_skew", treePass.healthySkew)
+        .endObject();
+    json.key("trix_grid").beginObject()
+        .keyValue("links", static_cast<std::uint64_t>(gridPass.sites))
+        .keyValue("faults_masked",
+                  static_cast<std::uint64_t>(gridPass.masked))
+        .keyValue("every_fault_masked", gridAlwaysMasks)
+        .keyValue("zero_skew_degradation", gridZeroDegradation)
+        .keyValue("worst_clocked_fraction", gridPass.minClockedFraction)
+        .keyValue("healthy_max_comm_skew", gridPass.healthySkew)
+        .endObject();
+    json.endObject();
+
+    // --- 2. Graceful-degradation curves. ----------------------------
+    const std::vector<double> rates{0.0, 0.005, 0.02, 0.05};
+    mc::McConfig cfg;
+    cfg.seed = seed;
+    cfg.trials = 64;
+
+    bench::headline(
+        "Graceful degradation: mixed fault plans at increasing rates, "
+        "64 chips per point");
+    Table curveTable("degradation curves (16x16 mesh, 64 chips/point)",
+                     {"distribution", "fault rate", "faults/chip",
+                      "mean max skew", "worst max skew",
+                      "mean clocked", "worst clocked"});
+    json.key("degradation_curves").beginArray();
+    std::vector<std::vector<mc::ResiliencePoint>> curves;
+    for (const mc::DistributionKind kind :
+         {mc::DistributionKind::HTree, mc::DistributionKind::Spine,
+          mc::DistributionKind::TrixGrid}) {
+        curves.push_back(mc::degradationCurve(l, rows, cols, kind,
+                                              rates, rc, cfg));
+        emitCurve(json, curveTable,
+                  mc::distributionKindName(kind), curves.back());
+    }
+    json.endArray();
+    emitTable(curveTable, opts);
+
+    // Monotone sanity on the means: more faults never clock more cells.
+    bool degradationMonotone = true;
+    for (const auto &curve : curves)
+        for (std::size_t i = 1; i < curve.size(); ++i)
+            degradationMonotone =
+                degradationMonotone &&
+                curve[i].clockedFraction.mean() <=
+                    curve[i - 1].clockedFraction.mean() + 1e-12;
+
+    // The grid must hold more of the array clocked than the tree at
+    // every nonzero rate (the redundancy has to buy something).
+    bool gridBeatsTree = true;
+    for (std::size_t i = 1; i < rates.size(); ++i)
+        gridBeatsTree = gridBeatsTree &&
+                        curves[2][i].clockedFraction.mean() >=
+                            curves[0][i].clockedFraction.mean();
+
+    // --- Hybrid survival under severed handshake wires. -------------
+    const hybrid::Partition part = hybrid::partitionGrid(l, 4.0);
+    const hybrid::HybridNetwork net(part, hybrid::HybridParams{});
+    Table hybridTable("hybrid survival (severed wires, 64 runs/point)",
+                      {"fault rate", "mean surviving fraction",
+                       "worst surviving fraction"});
+    json.key("hybrid_survival").beginObject()
+        .keyValue("elements", part.elementCount);
+    json.key("points").beginArray();
+    for (const double rate : rates) {
+        const mc::McResult survival =
+            mc::hybridSurvivalSweep(net, rate, 32, cfg);
+        json.beginObject()
+            .keyValue("fault_rate", rate)
+            .keyValue("surviving_fraction_mean", survival.mean())
+            .keyValue("surviving_fraction_min", survival.min())
+            .endObject();
+        hybridTable.addRow({Table::num(rate),
+                            Table::fixed(survival.mean(), 4),
+                            Table::fixed(survival.min(), 4)});
+    }
+    json.endArray().endObject();
+    emitTable(hybridTable, opts);
+
+    // --- 3. Determinism across thread counts. -----------------------
+    bool deterministic = true;
+    {
+        mc::McConfig base = cfg;
+        base.trials = 32;
+        base.threads = 1;
+        const mc::ResiliencePoint ref = mc::resilienceAtRate(
+            l, rows, cols, mc::DistributionKind::TrixGrid, 0.02, rc,
+            base);
+        for (const unsigned tc : {2u, 8u}) {
+            mc::McConfig alt = base;
+            alt.threads = tc;
+            const mc::ResiliencePoint got = mc::resilienceAtRate(
+                l, rows, cols, mc::DistributionKind::TrixGrid, 0.02,
+                rc, alt);
+            deterministic =
+                deterministic &&
+                got.maxCommSkew.bitIdentical(ref.maxCommSkew) &&
+                got.clockedFraction.bitIdentical(ref.clockedFraction);
+        }
+    }
+
+    const bool ok = treeAlwaysLoses && gridAlwaysMasks &&
+                    gridZeroDegradation && degradationMonotone &&
+                    gridBeatsTree && deterministic;
+    json.keyValue("degradation_monotone", degradationMonotone)
+        .keyValue("grid_clocked_fraction_beats_tree", gridBeatsTree)
+        .keyValue("bit_identical_across_thread_counts", deterministic)
+        .keyValue("all_properties_hold", ok)
+        .endObject();
+
+    std::printf(
+        "\nwrote BENCH_fault_tolerance.json (tree lost cells on "
+        "%zu/%zu single faults, grid masked %zu/%zu with %s skew "
+        "degradation; sweeps %s across 1/2/8 threads)\n",
+        treePass.sites - treePass.masked, treePass.sites,
+        gridPass.masked, gridPass.sites,
+        gridZeroDegradation ? "zero" : "NONZERO",
+        deterministic ? "bit-identical" : "DIVERGED");
+    if (!ok)
+        std::printf("PROPERTY FAILURE: see "
+                    "BENCH_fault_tolerance.json\n");
+    return ok ? 0 : 1;
+}

@@ -62,6 +62,11 @@ measuredPeriod([[maybe_unused]] graph::TopologyKind kind,
       }
       case core::SyncScheme::FullySelfTimed:
           return cp.delta + 1.0;
+      case core::SyncScheme::RedundantGridTrix: {
+          // Median voting on uniform links is skew-free layer to
+          // layer; the period is the compute time plus one grid stage.
+          return cp.delta + cp.bufferDelay + cp.m;
+      }
     }
     return 0.0;
 }
@@ -99,6 +104,9 @@ main()
         t.temporalInvariance = true;
         t.smallSystem = true;
         scenarios.push_back({"small chip (LSI-scale)", t});
+        t.smallSystem = false;
+        t.faultRate = 0.01;
+        scenarios.push_back({"wafer scale (1% buffer faults)", t});
     }
 
     for (const Scenario &sc : scenarios) {

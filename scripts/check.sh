@@ -18,9 +18,9 @@ if [[ "${1:-}" == "--fast" ]]; then
     exit 0
 fi
 
-echo "== TSan: parallel Monte-Carlo engine =="
+echo "== TSan: parallel Monte-Carlo engine + fault sweeps =="
 cmake -B build-tsan -S . -DVSYNC_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$JOBS" --target test_parallel_mc
-(cd build-tsan && ctest --output-on-failure -R '^test_parallel_mc$')
+cmake --build build-tsan -j"$JOBS" --target test_parallel_mc test_fault
+(cd build-tsan && ctest --output-on-failure -R '^test_(parallel_mc|fault)$')
 
 echo "== all checks passed =="

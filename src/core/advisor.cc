@@ -19,9 +19,48 @@ syncSchemeName(SyncScheme scheme)
         return "hybrid";
       case SyncScheme::FullySelfTimed:
         return "fully-self-timed";
+      case SyncScheme::RedundantGridTrix:
+        return "redundant-grid-trix";
     }
     return "?";
 }
+
+namespace
+{
+
+/**
+ * Swap a tree-based recommendation for the redundant grid when the
+ * technology expects clock-distribution faults: a single dead buffer
+ * silences a whole subtree of any tree scheme, while the grid's median
+ * voting masks it entirely. Handshake-based and equipotential picks
+ * are left alone.
+ */
+Advice
+applyFaultRate(Advice advice, const TechnologyAssumptions &tech)
+{
+    if (tech.faultRate <= 0.0)
+        return advice;
+    switch (advice.scheme) {
+      case SyncScheme::PipelinedHTree:
+      case SyncScheme::PipelinedSpine:
+      case SyncScheme::ClockAlongDataPaths:
+        advice.scheme = SyncScheme::RedundantGridTrix;
+        advice.periodGrowth = GrowthLaw::Constant;
+        advice.justification +=
+            " With a nonzero clock-buffer fault rate a single dead "
+            "buffer silences the whole subtree below it, so the "
+            "redundant median-voting grid replaces the tree: every "
+            "node fires on the median of three independent links and "
+            "any single buffer fault is outvoted with zero skew "
+            "degradation.";
+        break;
+      default:
+        break;
+    }
+    return advice;
+}
+
+} // namespace
 
 Advice
 adviseScheme(graph::TopologyKind kind, const TechnologyAssumptions &tech)
@@ -35,7 +74,7 @@ adviseScheme(graph::TopologyKind kind, const TechnologyAssumptions &tech)
             "Section VII: on a small system a well-designed equipotential "
             "clock already meets the cycle target; its period grows with "
             "the layout diameter but the constant dominates at this size.";
-        return advice;
+        return applyFaultRate(advice, tech);
     }
 
     if (!tech.temporalInvariance) {
@@ -46,7 +85,7 @@ adviseScheme(graph::TopologyKind kind, const TechnologyAssumptions &tech)
             "successive pipelined clock events cannot stay correctly "
             "spaced, so local clocks synchronized by a self-timed "
             "handshake network are required.";
-        return advice;
+        return applyFaultRate(advice, tech);
     }
 
     if (tech.skewModel == SkewModelKind::Difference) {
@@ -57,7 +96,7 @@ adviseScheme(graph::TopologyKind kind, const TechnologyAssumptions &tech)
             "(H-tree) distribution keeps skew bounded for any array of "
             "bounded aspect ratio, so the pipelined period is "
             "independent of size.";
-        return advice;
+        return applyFaultRate(advice, tech);
     }
 
     switch (kind) {
@@ -94,7 +133,7 @@ adviseScheme(graph::TopologyKind kind, const TechnologyAssumptions &tech)
             "scheme keeps all synchronization local instead.";
         break;
     }
-    return advice;
+    return applyFaultRate(advice, tech);
 }
 
 } // namespace vsync::core

@@ -35,6 +35,9 @@ enum class SyncScheme
     /** Fully self-timed cells (Seitz-style; the paper's costly last
      *  resort). */
     FullySelfTimed,
+    /** Redundant median-voting clock grid (TRIX-style) -- tolerates
+     *  single buffer faults with zero skew degradation. */
+    RedundantGridTrix,
 };
 
 /** Human-readable scheme name. */
@@ -59,6 +62,18 @@ struct TechnologyAssumptions
      * equipotentially with low-resistance distribution).
      */
     bool smallSystem = false;
+
+    /**
+     * Expected per-site fault probability over the system's lifetime
+     * (dead/derated clock buffers). The paper assumes fault-free
+     * distribution; at wafer scale that fails, and any nonzero rate
+     * moves tree-based picks to the redundant TRIX grid, whose median
+     * voting masks single buffer faults with zero skew degradation
+     * (see mc/resilience and BENCH_fault_tolerance). Handshake-based
+     * picks (Hybrid, FullySelfTimed) already degrade gracefully --
+     * a severed wire stalls only the affected pair -- and stand.
+     */
+    double faultRate = 0.0;
 };
 
 /** The advisor's verdict. */

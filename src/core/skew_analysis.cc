@@ -175,4 +175,33 @@ adversarialSkewInstance(const layout::Layout &l,
     return inst;
 }
 
+ArrivalSkew
+skewFromArrivals(const layout::Layout &l,
+                 const std::vector<Time> &cell_arrival)
+{
+    VSYNC_ASSERT(cell_arrival.size() == l.size(),
+                 "%zu arrivals for %zu cells", cell_arrival.size(),
+                 l.size());
+    ArrivalSkew out;
+    if (!l.size())
+        return out;
+
+    std::size_t clocked = 0;
+    for (const Time t : cell_arrival)
+        clocked += t < infinity;
+    out.clockedFraction =
+        static_cast<double>(clocked) / static_cast<double>(l.size());
+
+    for (const graph::Edge &pair : l.comm().undirectedEdges()) {
+        ++out.pairCount;
+        const Time ta = cell_arrival.at(pair.src);
+        const Time tb = cell_arrival.at(pair.dst);
+        if (ta >= infinity || tb >= infinity)
+            continue;
+        ++out.clockedPairs;
+        out.maxCommSkew = std::max(out.maxCommSkew, std::fabs(ta - tb));
+    }
+    return out;
+}
+
 } // namespace vsync::core

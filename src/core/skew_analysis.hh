@@ -114,6 +114,36 @@ Time sampleMaxCommSkew(const clocktree::ClockTree &t,
                        std::vector<Time> &arrival);
 
 /**
+ * Realised skew metrics of one concrete per-cell arrival vector, as
+ * produced by a faulty clock-distribution run (fault::TrixGrid::
+ * cellArrivals or the fault::simulateTreeUnderFaults driver). An
+ * infinite arrival means the cell was never clocked; pairs with an
+ * unclocked endpoint are excluded from the skew maximum and counted
+ * out of clockedPairs instead.
+ */
+struct ArrivalSkew
+{
+    /** Fraction of cells with a finite arrival. */
+    double clockedFraction = 0.0;
+    /** Max |arrival(a) - arrival(b)| over fully clocked comm pairs. */
+    Time maxCommSkew = 0.0;
+    /** Communicating pairs with both endpoints clocked. */
+    std::size_t clockedPairs = 0;
+    /** All communicating pairs of the layout. */
+    std::size_t pairCount = 0;
+};
+
+/**
+ * Evaluate the realised skew of @p cell_arrival (indexed by cell id,
+ * infinity = never clocked) over @p l's communicating pairs. This is
+ * the skew-query surface the fault subsystem shares between trees and
+ * TRIX grids: both reduce to a per-cell arrival vector first, so they
+ * compare under identical fault plans.
+ */
+ArrivalSkew skewFromArrivals(const layout::Layout &l,
+                             const std::vector<Time> &cell_arrival);
+
+/**
  * The worst-case chip permitted by the Section III wire-delay model:
  * per-wire unit delays are chosen adversarially (m + eps on one side
  * of the critical pair's tree path, m - eps on the other, m elsewhere)

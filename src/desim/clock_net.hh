@@ -88,6 +88,23 @@ class ClockNet
     /** Number of sites (signals) in the net. */
     std::size_t siteCount() const { return signals.size(); }
 
+    /** Number of delay elements (one per non-root site). */
+    std::size_t elementCount() const { return elements.size(); }
+
+    /**
+     * Delay element feeding site @p i + 1 of the buffered tree (element
+     * i spans the segment from site i+1's parent). Fault-injection
+     * seam: fault::FaultInjector kills (dead buffer) or derates
+     * (delay drift) stages through this hook.
+     */
+    DelayElement &element(std::size_t i) { return *elements.at(i); }
+
+    /**
+     * Signal at buffered-tree site @p i (site 0 is the root).
+     * Fault-injection seam for stuck-at nets and transient glitches.
+     */
+    Signal &siteSignal(std::size_t i) { return *signals.at(i); }
+
   private:
     Simulator &sim;
     const clocktree::BufferedClockTree &tree;

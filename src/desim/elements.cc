@@ -16,10 +16,20 @@ DelayElement::DelayElement(Simulator &sim, Signal &in, Signal &out,
 }
 
 void
+DelayElement::setDelayScale(double scale)
+{
+    VSYNC_ASSERT(scale > 0.0, "non-positive delay scale %g", scale);
+    driftScale = scale;
+}
+
+void
 DelayElement::onInput(Time t, bool v)
 {
+    if (dead)
+        return;
     const bool out_value = invert ? !v : v;
-    Time delay = out_value ? edgeDelays.rise : edgeDelays.fall;
+    Time delay = (out_value ? edgeDelays.rise : edgeDelays.fall) *
+                 driftScale;
     if (jitter)
         delay += jitter();
     if (delay < 0.0)

@@ -68,6 +68,27 @@ class DelayElement
     void setJitter(JitterFn fn) { jitter = std::move(fn); }
 
     /**
+     * Kill or revive the element (a dead-buffer fault): while dead,
+     * input transitions are ignored, so nothing downstream of this
+     * stage ever switches again. Output events already in flight still
+     * fire. Fault-injection seam used by fault::FaultInjector.
+     */
+    void setDead(bool dead) { this->dead = dead; }
+
+    /** True while the element is killed by setDead. */
+    bool isDead() const { return dead; }
+
+    /**
+     * Scale both edge delays by @p scale from now on (a delay-drift
+     * fault; 1 restores nominal timing). Applied before jitter.
+     * Fault-injection seam used by fault::FaultInjector. @pre scale > 0.
+     */
+    void setDelayScale(double scale);
+
+    /** Current delay-drift factor (1 when nominal). */
+    double delayScale() const { return driftScale; }
+
+    /**
      * Enable inertial-delay semantics: an output pulse narrower than
      * @p width is swallowed (the pending opposite transition is
      * cancelled together with the new one), as a real restoring stage
@@ -86,6 +107,8 @@ class DelayElement
     Signal &out;
     EdgeDelays edgeDelays;
     bool invert;
+    bool dead = false;
+    double driftScale = 1.0;
     JitterFn jitter;
     Time minPulse = 0.0;
     std::uint64_t swallowed = 0;

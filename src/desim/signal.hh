@@ -47,9 +47,23 @@ class Signal
 
     /**
      * Drive the signal to @p v at time @p t. No-op when the value is
-     * unchanged. Listeners run synchronously.
+     * unchanged or the signal is stuck. Listeners run synchronously.
      */
     void set(Time t, bool v);
+
+    /**
+     * Freeze the signal at @p v from time @p t on (a stuck-at fault):
+     * the value changes to @p v now (listeners notified as usual) and
+     * every later set() is ignored until releaseStuck(). This is the
+     * fault subsystem's stuck-at-clock-net seam.
+     */
+    void forceStuck(Time t, bool v);
+
+    /** Undo forceStuck (the next set() takes effect normally). */
+    void releaseStuck() { stuck = false; }
+
+    /** True while the signal is frozen by forceStuck. */
+    bool isStuck() const { return stuck; }
 
     /** Signal name (for diagnostics). */
     const std::string &name() const { return signalName; }
@@ -57,6 +71,7 @@ class Signal
   private:
     std::string signalName;
     bool current;
+    bool stuck = false;
     Time lastChangeTime = -infinity;
     std::uint64_t transitionCount = 0;
     std::vector<Listener> listeners;

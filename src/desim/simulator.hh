@@ -37,11 +37,26 @@ class Simulator
     /** Schedule @p fn to run @p delay after now. @pre delay >= 0. */
     void schedule(Time delay, Callback fn);
 
-    /** Schedule @p fn at absolute time @p t. @pre t >= now. */
+    /**
+     * Schedule @p fn at absolute time @p t. @pre t >= now.
+     *
+     * t == now() is legal: a zero-delay event is queued behind every
+     * already-queued event at the current time (insertion order breaks
+     * ties) and runs within the same run() call, after the currently
+     * executing callback returns.
+     */
     void scheduleAt(Time t, Callback fn);
 
     /**
      * Run until the event queue drains or @p until is reached.
+     *
+     * Boundary semantics (pinned by test_desim):
+     *  - the stop time is *inclusive*: events scheduled exactly at
+     *    @p until are processed by this call (the queue condition is
+     *    time <= until), and only events strictly later stay queued;
+     *  - when the queue drains before a finite @p until, now() advances
+     *    to @p until (the horizon is fully consumed); with the default
+     *    infinite horizon now() rests at the last processed event.
      *
      * @param until stop time (events after it stay queued); infinity
      *              runs to completion.

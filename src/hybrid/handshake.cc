@@ -47,15 +47,22 @@ HandshakePair::HandshakePair(desim::Simulator &sim, Time wire_delay,
 std::vector<Time>
 HandshakePair::run(int rounds)
 {
+    runBounded(rounds, infinity);
+    VSYNC_ASSERT(completions.size() == static_cast<std::size_t>(rounds),
+                 "handshake stalled: %zu of %d rounds",
+                 completions.size(), rounds);
+    return completions;
+}
+
+std::vector<Time>
+HandshakePair::runBounded(int rounds, Time deadline)
+{
     VSYNC_ASSERT(rounds >= 1, "need at least one round");
     completions.clear();
     roundsLeft = rounds;
     desim::Signal *req = &reqAtInitiator;
     sim.schedule(0.0, [req, &sim = sim]() { req->set(sim.now(), true); });
-    sim.run();
-    VSYNC_ASSERT(completions.size() == static_cast<std::size_t>(rounds),
-                 "handshake stalled: %zu of %d rounds",
-                 completions.size(), rounds);
+    sim.run(deadline);
     return completions;
 }
 

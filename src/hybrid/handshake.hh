@@ -45,10 +45,31 @@ class HandshakePair
     /**
      * Run @p rounds full 4-phase rounds.
      *
+     * fatal()s unless every round completes; with a fault armed (e.g. a
+     * severed wire) use runBounded instead.
+     *
      * @return times at which each round completed (ack observed low by
      *         the initiator).
      */
     std::vector<Time> run(int rounds);
+
+    /**
+     * Stall-tolerant run: simulate until @p deadline and return however
+     * many rounds completed by then (possibly none). A severed req or
+     * ack wire stalls the pair forever, which run() would treat as a
+     * fatal protocol violation; this entry point lets the fault
+     * subsystem measure the stall instead.
+     */
+    std::vector<Time> runBounded(int rounds, Time deadline);
+
+    /** Rounds completed by the last run()/runBounded(). */
+    std::size_t roundsCompleted() const { return completions.size(); }
+
+    /** The request wire initiator->responder (fault-injection seam). */
+    desim::DelayElement &requestWire() { return *reqWire; }
+
+    /** The acknowledge wire responder->initiator (fault seam). */
+    desim::DelayElement &acknowledgeWire() { return *ackWire; }
 
     /** Latency of one round once started (4 wire + 2 logic legs). */
     Time roundLatency() const;

@@ -51,7 +51,8 @@ HybridNetwork::analyticCycleBound() const
 }
 
 HybridRunResult
-HybridNetwork::simulate(int rounds, Rng *rng) const
+HybridNetwork::simulate(int rounds, Rng *rng,
+                        const SeveredFn &severed) const
 {
     VSYNC_ASSERT(rounds >= 1, "need at least one round");
     VSYNC_ASSERT(p.jitterAmplitude == 0.0 || rng != nullptr,
@@ -70,6 +71,10 @@ HybridNetwork::simulate(int rounds, Rng *rng) const
             Time ready = prev[e];
             for (CellId nbr : part.elementGraph.neighbors(e)) {
                 const int f = static_cast<int>(nbr);
+                if (severed && severed(e, f)) {
+                    ready = infinity; // the handshake never completes
+                    continue;
+                }
                 ready = std::max(ready, prev[f] + handshakeCost(e, f));
             }
             Time cost = localCycleCost(e);

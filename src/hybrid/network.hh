@@ -86,12 +86,27 @@ class HybridNetwork
     Time analyticCycleBound() const;
 
     /**
+     * Severed-handshake predicate: true when the wire pair between
+     * adjacent elements @p a and @p b is broken (the handshake never
+     * completes). Fault-injection seam used by mc's resilience sweeps.
+     */
+    using SeveredFn = std::function<bool(int a, int b)>;
+
+    /**
      * Iterate the max-plus recurrence for @p rounds cycles.
      *
      * @param rng randomness for jitter (may be null when
      *            jitterAmplitude is 0).
+     * @param severed optional severed-handshake predicate; an element
+     *                adjacent to a severed wire never completes another
+     *                cycle (its completion time becomes infinity, which
+     *                the recurrence propagates to every element waiting
+     *                on it). With severed wires steadyCycle is
+     *                meaningless; read lastCompletion (finite entries
+     *                are the survivors).
      */
-    HybridRunResult simulate(int rounds, Rng *rng = nullptr) const;
+    HybridRunResult simulate(int rounds, Rng *rng = nullptr,
+                             const SeveredFn &severed = nullptr) const;
 
     /** The partition driving this network. */
     const Partition &partition() const { return part; }

@@ -1,0 +1,195 @@
+#include "mc/resilience.hh"
+
+#include <unordered_set>
+
+#include "clocktree/buffering.hh"
+#include "clocktree/builders.hh"
+#include "common/logging.hh"
+#include "fault/injector.hh"
+
+namespace vsync::mc
+{
+
+std::string
+distributionKindName(DistributionKind kind)
+{
+    switch (kind) {
+      case DistributionKind::HTree:
+        return "htree";
+      case DistributionKind::Spine:
+        return "spine";
+      case DistributionKind::TrixGrid:
+        return "trix-grid";
+    }
+    return "?";
+}
+
+namespace
+{
+
+// Substream salts within a trial's Rng::forTrial stream: the fault plan
+// and the wire-delay realisation never perturb each other, so the same
+// chip (delays) can be compared across fault rates.
+constexpr std::uint64_t planSalt = 1;
+constexpr std::uint64_t delaySalt = 2;
+
+/** One faulty-tree trial: build the per-chip DelayFn and simulate. */
+fault::DistributionOutcome
+treeTrial(const layout::Layout &l, const clocktree::ClockTree &tree,
+          const clocktree::BufferedClockTree &btree,
+          const fault::FaultPlan &plan, const ResilienceConfig &rc,
+          Rng &delay_rng)
+{
+    const desim::ClockNet::DelayFn delay_of =
+        [&rc, &delay_rng](const clocktree::BufferedSite &site,
+                          std::size_t) {
+            const double unit =
+                delay_rng.uniform(rc.m - rc.eps, rc.m + rc.eps);
+            const Time stage = site.wireFromParent * unit +
+                               (site.isBuffer ? rc.bufferDelay : 0.0);
+            return desim::EdgeDelays::same(stage);
+        };
+    return fault::simulateTreeUnderFaults(l, tree, btree, delay_of, plan);
+}
+
+/** One faulty-grid trial: per-link delays from the same delay model. */
+fault::DistributionOutcome
+gridTrial(const layout::Layout &l, int rows, int cols,
+          const fault::FaultPlan &plan, const ResilienceConfig &rc,
+          Rng &delay_rng)
+{
+    const fault::TrixGrid::LinkDelayFn delay_of =
+        [&rc, &delay_rng](int, int, int) {
+            // One buffered unit-pitch link per stage: buffer delay plus
+            // one lambda of varied wire.
+            return rc.bufferDelay +
+                   delay_rng.uniform(rc.m - rc.eps, rc.m + rc.eps);
+        };
+    return fault::simulateGridUnderFaults(l, rows, cols, delay_of, plan);
+}
+
+} // namespace
+
+ResiliencePoint
+resilienceAtRate(const layout::Layout &l, int rows, int cols,
+                 DistributionKind kind, double fault_rate,
+                 const ResilienceConfig &rc, const McConfig &cfg)
+{
+    VSYNC_ASSERT(static_cast<std::size_t>(rows) *
+                         static_cast<std::size_t>(cols) ==
+                     l.size(),
+                 "grid %dx%d does not cover %zu cells", rows, cols,
+                 l.size());
+
+    // Shared read-only state, built once before the fan-out.
+    clocktree::ClockTree tree;
+    clocktree::BufferedClockTree btree;
+    fault::FaultUniverse universe;
+    if (kind == DistributionKind::TrixGrid) {
+        universe = fault::TrixGrid::universe(rows, cols);
+    } else {
+        tree = kind == DistributionKind::HTree
+                   ? clocktree::buildHTreeGrid(l, rows, cols)
+                   : clocktree::buildSpine(l);
+        btree = clocktree::BufferedClockTree::insertBuffers(
+            tree, rc.bufferSpacing);
+        universe = fault::universeOf(btree);
+        tree.warmCaches();
+    }
+    const fault::FaultRates rates = fault::FaultRates::mixed(fault_rate);
+
+    ResiliencePoint point;
+    point.faultRate = fault_rate;
+    point.maxCommSkew.samples.assign(cfg.trials, 0.0);
+    point.clockedFraction.samples.assign(cfg.trials, 0.0);
+    std::vector<double> faults(cfg.trials, 0.0);
+
+    ThreadPool pool(cfg.threads);
+    pool.parallelForRange(
+        cfg.trials, cfg.grain,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                Rng trial_rng = Rng::forTrial(cfg.seed, i);
+                Rng plan_rng = trial_rng.deriveStream(planSalt);
+                Rng delay_rng = trial_rng.deriveStream(delaySalt);
+                const fault::FaultPlan plan =
+                    fault::FaultPlan::generate(universe, rates, plan_rng);
+                const fault::DistributionOutcome out =
+                    kind == DistributionKind::TrixGrid
+                        ? gridTrial(l, rows, cols, plan, rc, delay_rng)
+                        : treeTrial(l, tree, btree, plan, rc, delay_rng);
+                point.maxCommSkew.samples[i] = out.maxCommSkew;
+                point.clockedFraction.samples[i] = out.clockedFraction;
+                faults[i] = static_cast<double>(out.faultCount);
+            }
+        });
+    reduceInTrialOrder(point.maxCommSkew);
+    reduceInTrialOrder(point.clockedFraction);
+    double total = 0.0;
+    for (const double f : faults)
+        total += f;
+    point.meanFaults = cfg.trials ? total / cfg.trials : 0.0;
+    return point;
+}
+
+std::vector<ResiliencePoint>
+degradationCurve(const layout::Layout &l, int rows, int cols,
+                 DistributionKind kind, const std::vector<double> &rates,
+                 const ResilienceConfig &rc, const McConfig &cfg)
+{
+    std::vector<ResiliencePoint> curve;
+    curve.reserve(rates.size());
+    for (const double rate : rates)
+        curve.push_back(
+            resilienceAtRate(l, rows, cols, kind, rate, rc, cfg));
+    return curve;
+}
+
+McResult
+hybridSurvivalSweep(const hybrid::HybridNetwork &net, double fault_rate,
+                    int rounds, const McConfig &cfg)
+{
+    const auto edges = net.partition().elementGraph.undirectedEdges();
+    const int elements = net.partition().elementCount;
+    VSYNC_ASSERT(elements > 0, "empty partition");
+    fault::FaultUniverse universe;
+    universe.handshakeWires = 2 * edges.size(); // req + ack per pair
+    fault::FaultRates rates;
+    rates.severedHandshakeWire = fault_rate;
+
+    ThreadPool pool(cfg.threads);
+    return runTrials(pool, cfg, [&](std::uint64_t, Rng &rng) {
+        Rng plan_rng = rng.deriveStream(planSalt);
+        Rng jitter_rng = rng.deriveStream(delaySalt);
+        const fault::FaultPlan plan =
+            fault::FaultPlan::generate(universe, rates, plan_rng);
+
+        // Map severed wires back to their element pairs; either wire of
+        // a pair down means the handshake never completes.
+        std::unordered_set<std::uint64_t> cut;
+        for (const fault::Fault &f : plan.faults()) {
+            const graph::Edge &e = edges[f.site / 2];
+            const std::uint64_t lo = std::min(e.src, e.dst);
+            const std::uint64_t hi = std::max(e.src, e.dst);
+            cut.insert(lo << 32 | hi);
+        }
+        const hybrid::HybridNetwork::SeveredFn severed =
+            [&cut](int a, int b) {
+                const std::uint64_t lo =
+                    static_cast<std::uint64_t>(std::min(a, b));
+                const std::uint64_t hi =
+                    static_cast<std::uint64_t>(std::max(a, b));
+                return cut.count(lo << 32 | hi) != 0;
+            };
+
+        const hybrid::HybridRunResult res =
+            net.simulate(rounds, &jitter_rng, severed);
+        std::size_t alive = 0;
+        for (const Time t : res.lastCompletion)
+            alive += t < infinity;
+        return static_cast<double>(alive) /
+               static_cast<double>(elements);
+    });
+}
+
+} // namespace vsync::mc

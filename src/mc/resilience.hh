@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Resilience sweeps: yield and graceful degradation under faults.
+ *
+ * Where sweeps.hh asks "how fast is a healthy chip", these sweeps ask
+ * "how much survives a broken one". Each trial draws a FaultPlan from
+ * its private substream (fault::FaultPlan, so plans are bit-identical
+ * at any thread count), arms it on a simulated clock distribution --
+ * a buffered H-tree or spine (ClockNet) or the redundant TRIX grid --
+ * and measures the realised per-cell arrival surface: the fraction of
+ * cells still correctly clocked and the maximum skew between
+ * communicating cells that both got a clock. Sweeping the fault rate
+ * yields the graceful-degradation curves BENCH_fault_tolerance plots;
+ * hybridSurvivalSweep does the same for the Section VI handshake
+ * network under severed wires.
+ *
+ * All sweeps obey the Monte-Carlo determinism contract: results are
+ * bit-identical for any cfg.threads.
+ */
+
+#ifndef VSYNC_MC_RESILIENCE_HH
+#define VSYNC_MC_RESILIENCE_HH
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "hybrid/network.hh"
+#include "layout/layout.hh"
+#include "mc/montecarlo.hh"
+
+namespace vsync::mc
+{
+
+/** The clock distribution schemes the resilience sweeps compare. */
+enum class DistributionKind
+{
+    /** Buffered equidistant H-tree (Theorem 2's scheme). */
+    HTree,
+    /** Buffered spine along the array (Theorem 3's scheme). */
+    Spine,
+    /** Redundant median-voting grid (fault::TrixGrid). */
+    TrixGrid,
+};
+
+/** Human-readable distribution name. */
+std::string distributionKindName(DistributionKind kind);
+
+/** Physical constants of the simulated distributions. */
+struct ResilienceConfig
+{
+    /** Mean wire delay per lambda (the Section III m). */
+    double m = 0.05;
+    /** Wire delay spread per lambda (the Section III eps). */
+    double eps = 0.005;
+    /** Buffer insertion delay per stage (ns). */
+    Time bufferDelay = 0.2;
+    /** Buffer spacing along tree wires (lambda, A7). */
+    Length bufferSpacing = 4.0;
+};
+
+/** One point of a graceful-degradation curve. */
+struct ResiliencePoint
+{
+    /** Per-site fault rate this point was measured at. */
+    double faultRate = 0.0;
+    /** Max skew over fully clocked comm pairs, per trial. */
+    McResult maxCommSkew;
+    /** Fraction of cells still clocked, per trial. */
+    McResult clockedFraction;
+    /** Mean number of faults injected per trial. */
+    double meanFaults = 0.0;
+};
+
+/**
+ * Measure one distribution at one fault rate over a rows x cols mesh
+ * layout @p l (cells row-major). Each trial arms
+ * fault::FaultRates::mixed(fault_rate) on the distribution and drives
+ * one clock pulse; trial i draws its plan and its wire delays from
+ * disjoint substreams of Rng::forTrial(cfg.seed, i).
+ */
+ResiliencePoint resilienceAtRate(const layout::Layout &l, int rows,
+                                 int cols, DistributionKind kind,
+                                 double fault_rate,
+                                 const ResilienceConfig &rc,
+                                 const McConfig &cfg);
+
+/**
+ * The graceful-degradation curve: resilienceAtRate at every rate of
+ * @p rates (typically including 0 as the healthy baseline).
+ */
+std::vector<ResiliencePoint>
+degradationCurve(const layout::Layout &l, int rows, int cols,
+                 DistributionKind kind, const std::vector<double> &rates,
+                 const ResilienceConfig &rc, const McConfig &cfg);
+
+/**
+ * Fraction of hybrid elements still completing cycles when each
+ * handshake wire (2 per adjacent element pair) is severed independently
+ * with probability @p fault_rate. An element adjacent to a severed wire
+ * stalls, and the stall propagates to elements waiting on it -- the
+ * observable is the surviving fraction after @p rounds rounds, showing
+ * the locality of the damage (unlike a clock tree, a severed wire never
+ * silences cells that do not wait on it).
+ */
+McResult hybridSurvivalSweep(const hybrid::HybridNetwork &net,
+                             double fault_rate, int rounds,
+                             const McConfig &cfg);
+
+} // namespace vsync::mc
+
+#endif // VSYNC_MC_RESILIENCE_HH

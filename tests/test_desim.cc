@@ -261,6 +261,51 @@ TEST(Register, CleanTimingHasNoViolations)
     EXPECT_TRUE(reg.violations().empty());
 }
 
+TEST(Simulator, RunUntilIsInclusiveOfTheStopTime)
+{
+    // Boundary semantics pinned by simulator.hh: events exactly at the
+    // stop time are processed; strictly later ones stay queued.
+    Simulator sim;
+    std::vector<int> ran;
+    sim.schedule(1.0, [&ran]() { ran.push_back(1); });
+    sim.schedule(2.0, [&ran]() { ran.push_back(2); });
+    sim.schedule(3.0, [&ran]() { ran.push_back(3); });
+    EXPECT_EQ(sim.run(2.0), 2u);
+    EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+    EXPECT_FALSE(sim.idle());
+    EXPECT_EQ(sim.run(), 1u);
+    EXPECT_EQ(ran, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, DrainingBeforeAFiniteUntilAdvancesNowToUntil)
+{
+    Simulator sim;
+    sim.schedule(1.0, []() {});
+    EXPECT_EQ(sim.run(5.0), 1u);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0); // horizon fully consumed
+    // With the default infinite horizon now() rests at the last event.
+    Simulator sim2;
+    sim2.schedule(1.0, []() {});
+    sim2.run();
+    EXPECT_DOUBLE_EQ(sim2.now(), 1.0);
+}
+
+TEST(Simulator, ScheduleAtNowRunsInTheSameRunAfterQueuedPeers)
+{
+    // A zero-delay event queues behind already-queued events at the
+    // same time (insertion order) and still runs within this run().
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(1.0, [&sim, &order]() {
+        order.push_back(1);
+        sim.scheduleAt(sim.now(), [&order]() { order.push_back(3); });
+    });
+    sim.schedule(1.0, [&order]() { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
 TEST(PeriodicClock, EmitsRequestedEdges)
 {
     Simulator sim;

@@ -101,6 +101,57 @@ TEST(StoppableClock, PulsesNeverTruncated)
     EXPECT_FALSE(clk.value());
 }
 
+TEST(Handshake, ZeroLogicDelayCompletesEveryRound)
+{
+    // Degenerate controllers that react instantly: every phase is a
+    // zero-delay event at the wire-arrival time, exercising the
+    // scheduleAt(now()) boundary semantics. Rounds must still
+    // complete, spaced by pure wire time.
+    desim::Simulator sim;
+    HandshakePair hs(sim, 1.0, 0.0);
+    const auto completions = hs.run(4);
+    ASSERT_EQ(completions.size(), 4u);
+    EXPECT_NEAR(completions[0], 4.0, 1e-12); // 4 wire legs, no logic
+    for (std::size_t k = 1; k < completions.size(); ++k)
+        EXPECT_NEAR(completions[k] - completions[k - 1], 4.0, 1e-12);
+}
+
+TEST(StoppableClock, StopBetweenPulsesHaltsExactlyAtTheBoundary)
+{
+    // Disable inside the low gap: the gate is sampled at the next
+    // pulse boundary, so no further pulse starts and none is cut.
+    desim::Simulator sim;
+    desim::Signal clk("clk");
+    StoppableClock sc(sim, clk, 1.0, 0.5, 0.25);
+    sc.enable(); // pulses [0.25, 1.25], [1.75, 2.75], ...
+    sim.schedule(1.5, [&sc]() { sc.disable(); });
+    sim.run();
+    ASSERT_EQ(sc.pulses().size(), 1u);
+    EXPECT_NEAR(sc.pulses()[0].first, 0.25, 1e-12);
+    EXPECT_NEAR(sc.pulses()[0].second, 1.25, 1e-12);
+    EXPECT_FALSE(clk.value());
+}
+
+TEST(StoppableClock, AsyncRestartNeverTruncatesAPulse)
+{
+    // Stop in a gap, restart much later, stop again mid-pulse: every
+    // logged pulse keeps the full width and the restart begins exactly
+    // start_delay after enable().
+    desim::Simulator sim;
+    desim::Signal clk("clk");
+    StoppableClock sc(sim, clk, 1.0, 0.5, 0.25);
+    sc.enable();
+    sim.schedule(1.5, [&sc]() { sc.disable(); });
+    sim.schedule(5.0, [&sc]() { sc.enable(); });
+    sim.schedule(6.0, [&sc]() { sc.disable(); }); // mid second pulse
+    sim.run();
+    ASSERT_EQ(sc.pulses().size(), 2u);
+    EXPECT_NEAR(sc.pulses()[1].first, 5.25, 1e-12);
+    for (const auto &[rise, fall] : sc.pulses())
+        EXPECT_NEAR(fall - rise, 1.0, 1e-12);
+    EXPECT_FALSE(clk.value());
+}
+
 TEST(StoppableClock, RestartsAsynchronously)
 {
     desim::Simulator sim;
