@@ -26,12 +26,10 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 
 #include "bench_util.hh"
 #include "clocktree/buffering.hh"
 #include "clocktree/builders.hh"
-#include "common/json.hh"
 #include "fault/injector.hh"
 #include "hybrid/partition.hh"
 #include "layout/generators.hh"
@@ -170,12 +168,9 @@ main(int argc, char **argv)
         clocktree::BufferedClockTree::insertBuffers(tree,
                                                     rc.bufferSpacing);
 
-    std::ofstream out("BENCH_fault_tolerance.json");
-    JsonWriter json(out);
-    json.beginObject()
-        .keyValue("bench", "fault_tolerance")
-        .keyValue("seed", seed)
-        .keyValue("array", "mesh16x16")
+    bench::BenchJson result("fault_tolerance", seed);
+    JsonWriter &json = result.writer();
+    json.keyValue("array", "mesh16x16")
         .keyValue("m", rc.m)
         .keyValue("eps", rc.eps)
         .keyValue("buffer_delay", rc.bufferDelay)
@@ -324,8 +319,7 @@ main(int argc, char **argv)
     json.keyValue("degradation_monotone", degradationMonotone)
         .keyValue("grid_clocked_fraction_beats_tree", gridBeatsTree)
         .keyValue("bit_identical_across_thread_counts", deterministic)
-        .keyValue("all_properties_hold", ok)
-        .endObject();
+        .keyValue("all_properties_hold", ok);
 
     std::printf(
         "\nwrote BENCH_fault_tolerance.json (tree lost cells on "

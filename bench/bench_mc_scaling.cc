@@ -15,13 +15,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 
 #include "bench_util.hh"
 #include "circuit/process.hh"
 #include "clocktree/builders.hh"
-#include "common/json.hh"
-#include "common/parallel.hh"
 #include "layout/generators.hh"
 #include "mc/sweeps.hh"
 
@@ -116,17 +113,9 @@ main(int argc, char **argv)
     const std::vector<unsigned> threadCounts{1, 2, 4, 8};
     const int reps = 3;
 
-    std::ofstream out("BENCH_mc_scaling.json");
-    JsonWriter json(out);
-    json.beginObject()
-        .keyValue("bench", "mc_scaling")
-        .keyValue("seed", seed)
-        .keyValue("reps_per_point", reps);
-    json.key("host").beginObject()
-        .keyValue("hardware_concurrency",
-                  std::thread::hardware_concurrency())
-        .keyValue("default_thread_count", defaultThreadCount())
-        .endObject();
+    bench::BenchJson result("mc_scaling", seed);
+    JsonWriter &json = result.writer();
+    json.keyValue("reps_per_point", reps);
 
     // --- Sweep 1: skew over a 64x64 mesh clocked by an H-tree. ------
     const int n = 64;
@@ -190,8 +179,7 @@ main(int argc, char **argv)
         for (const ScalingRow &row : rows)
             allDeterministic = allDeterministic && row.deterministic;
     json.keyValue("deterministic_across_thread_counts", allDeterministic)
-        .keyValue("skew_speedup_at_8_threads", skewRows.back().speedup)
-        .endObject();
+        .keyValue("skew_speedup_at_8_threads", skewRows.back().speedup);
 
     std::printf(
         "\nwrote BENCH_mc_scaling.json (skew speedup at 8 threads: "

@@ -7,18 +7,61 @@
 #define VSYNC_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "clocktree/clock_tree.hh"
 #include "common/fit.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "core/skew_analysis.hh"
 
 namespace vsync::bench
 {
+
+/**
+ * A bench's machine-readable result file, BENCH_<name>.json.
+ *
+ * Owns the stream and the shared preamble every bench used to spell
+ * out by hand: the root object, the bench name, the seed and the host
+ * block (hardware concurrency and the pool's default thread count,
+ * without which reported speedups are uninterpretable). The body is
+ * written through writer(); the destructor closes the root object, so
+ * scope the instance around all emission.
+ */
+class BenchJson
+{
+  public:
+    BenchJson(const std::string &bench, std::uint64_t seed)
+        : out("BENCH_" + bench + ".json"), json(out)
+    {
+        json.beginObject()
+            .keyValue("bench", bench)
+            .keyValue("seed", seed);
+        json.key("host").beginObject()
+            .keyValue("hardware_concurrency",
+                      std::thread::hardware_concurrency())
+            .keyValue("default_thread_count", defaultThreadCount())
+            .endObject();
+    }
+
+    ~BenchJson() { json.endObject(); }
+
+    BenchJson(const BenchJson &) = delete;
+    BenchJson &operator=(const BenchJson &) = delete;
+
+    /** The writer positioned inside the root object. */
+    JsonWriter &writer() { return json; }
+
+  private:
+    std::ofstream out;
+    JsonWriter json;
+};
 
 /** Per-cell clock arrival offsets from a sampled instance. */
 inline std::vector<Time>

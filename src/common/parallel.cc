@@ -25,7 +25,7 @@ ThreadPool::ThreadPool(unsigned threads)
 {
     workers.reserve(count - 1);
     for (unsigned i = 0; i + 1 < count; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] { workerLoop(i + 1); });
 }
 
 ThreadPool::~ThreadPool()
@@ -40,7 +40,7 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned worker)
 {
     std::uint64_t seen = 0;
     std::unique_lock<std::mutex> lock(mutex);
@@ -50,8 +50,9 @@ ThreadPool::workerLoop()
         if (stopping)
             return;
         seen = generation;
+        PoolObserver *obs = observer; // read under the lock
         lock.unlock();
-        runChunks();
+        runChunks(worker, obs);
         lock.lock();
         if (--workersBusy == 0)
             cvDone.notify_all();
@@ -59,18 +60,22 @@ ThreadPool::workerLoop()
 }
 
 void
-ThreadPool::runChunks()
+ThreadPool::runChunks(unsigned worker, PoolObserver *obs)
 {
     for (;;) {
         const std::size_t begin = nextIndex.fetch_add(jobGrain);
         if (begin >= jobSize)
             return;
         const std::size_t end = std::min(jobSize, begin + jobGrain);
+        if (obs)
+            obs->onChunkBegin(worker, begin, end);
         try {
             (*jobFn)(begin, end);
         } catch (...) {
             recordException();
         }
+        if (obs)
+            obs->onChunkEnd(worker, begin, end);
     }
 }
 
@@ -90,9 +95,14 @@ ThreadPool::parallelForRange(std::size_t n, std::size_t grain,
     if (n == 0)
         return;
     if (count == 1 || n <= grain) {
+        if (observer)
+            observer->onChunkBegin(0, 0, n);
         fn(0, n);
+        if (observer)
+            observer->onChunkEnd(0, 0, n);
         return;
     }
+    PoolObserver *obs;
     {
         std::lock_guard<std::mutex> lock(mutex);
         jobFn = &fn;
@@ -102,14 +112,22 @@ ThreadPool::parallelForRange(std::size_t n, std::size_t grain,
         firstError = nullptr;
         workersBusy = static_cast<unsigned>(workers.size());
         ++generation;
+        obs = observer;
     }
     cvWork.notify_all();
-    runChunks(); // the caller is a compute thread too
+    runChunks(0, obs); // the caller is a compute thread too
     std::unique_lock<std::mutex> lock(mutex);
     cvDone.wait(lock, [&] { return workersBusy == 0; });
     jobFn = nullptr;
     if (firstError)
         std::rethrow_exception(firstError);
+}
+
+void
+ThreadPool::setObserver(PoolObserver *obs)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    observer = obs;
 }
 
 void

@@ -36,6 +36,27 @@ namespace vsync
  */
 unsigned defaultThreadCount();
 
+/**
+ * Observer hooks around chunk execution, called on the executing
+ * thread itself (worker 0 is the calling thread). The observability
+ * layer's obs::TracePoolObserver turns these into per-thread trace
+ * tracks; the interface lives here so vs_common never depends on
+ * vs_obs.
+ */
+class PoolObserver
+{
+  public:
+    virtual ~PoolObserver() = default;
+
+    /** A chunk [begin, end) is about to run on worker @p worker. */
+    virtual void onChunkBegin(unsigned worker, std::size_t begin,
+                              std::size_t end) = 0;
+
+    /** The chunk [begin, end) finished on worker @p worker. */
+    virtual void onChunkEnd(unsigned worker, std::size_t begin,
+                            std::size_t end) = 0;
+};
+
 /** A fixed-size thread pool. Not reentrant: parallelFor may not be
  *  called from inside a task running on the same pool. */
 class ThreadPool
@@ -71,9 +92,16 @@ class ThreadPool
     /** Run fn(i) for every i in [0, n) with an automatic grain. */
     void parallelFor(std::size_t n, const IndexFn &fn);
 
+    /**
+     * Install a chunk observer (nullptr disables). Must be called
+     * while no parallelFor is active; the disabled cost is one branch
+     * per chunk.
+     */
+    void setObserver(PoolObserver *obs);
+
   private:
-    void workerLoop();
-    void runChunks();
+    void workerLoop(unsigned worker);
+    void runChunks(unsigned worker, PoolObserver *obs);
     void recordException();
 
     unsigned count;
@@ -84,6 +112,7 @@ class ThreadPool
     std::uint64_t generation = 0;
     unsigned workersBusy = 0;
     bool stopping = false;
+    PoolObserver *observer = nullptr; // published under `mutex`
 
     // Current job; valid only while a parallelForRange call is active.
     const RangeFn *jobFn = nullptr;

@@ -30,6 +30,7 @@ Rng::Rng(std::uint64_t seed)
 std::uint64_t
 Rng::next()
 {
+    ++drawCount;
     const std::uint64_t result = rotl(s[0] + s[3], 23) + s[0];
     const std::uint64_t t = s[1] << 17;
     s[2] ^= s[0];

@@ -58,6 +58,13 @@ class Rng
     /** Next raw 64-bit value. */
     std::uint64_t next();
 
+    /**
+     * Raw 64-bit values drawn so far (every distribution funnels
+     * through next(), so this counts the stream's total consumption --
+     * the observability layer's per-sweep "RNG draws" metric).
+     */
+    std::uint64_t draws() const { return drawCount; }
+
     /** Uniform double in [0, 1). */
     double uniform();
 
@@ -103,6 +110,7 @@ class Rng
     double cachedNormal;
     bool hasCachedNormal;
     std::uint64_t seedValue;
+    std::uint64_t drawCount = 0;
 };
 
 } // namespace vsync

@@ -59,6 +59,8 @@ DelayElement::onInput(Time t, bool v)
         if (!*cancelled)
             target->set(at, out_value);
     });
+    if (obs::SimProbe *p = sim.probe())
+        p->onElementFired(this, t);
 }
 
 } // namespace vsync::desim

@@ -1,5 +1,7 @@
 #include "desim/simulator.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
 
 namespace vsync::desim
@@ -23,10 +25,17 @@ Simulator::scheduleAt(Time t, Callback fn)
 std::uint64_t
 Simulator::run(Time until)
 {
+    // Wall-clock accounting exists only while a probe is attached.
+    std::chrono::steady_clock::time_point wall0;
+    if (simProbe)
+        wall0 = std::chrono::steady_clock::now();
+
     std::uint64_t count = 0;
     while (!queue.empty() && queue.top().time <= until) {
         // Move the callback out before popping so it may schedule more.
         Event ev = queue.top();
+        if (simProbe)
+            simProbe->onEventDispatched(ev.time, queue.size());
         queue.pop();
         currentTime = ev.time;
         ev.fn();
@@ -35,6 +44,14 @@ Simulator::run(Time until)
     }
     if (queue.empty() && until != infinity && currentTime < until)
         currentTime = until;
+
+    if (simProbe) {
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall0)
+                .count();
+        simProbe->onRunEnd(currentTime, wall, count);
+    }
     return count;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/probe.hh"
 
 namespace vsync::desim
 {
@@ -70,6 +71,17 @@ class Simulator
     /** Total events processed since construction. */
     std::uint64_t eventsProcessed() const { return processed; }
 
+    /**
+     * Attach an observability probe (nullptr detaches). While
+     * attached, run() reports every dispatched event (with the queue
+     * depth), measures wall time, and delay elements report their
+     * fires; detached, the hot loop pays exactly one branch per event.
+     */
+    void setProbe(obs::SimProbe *p) { simProbe = p; }
+
+    /** The attached probe (nullptr when observability is off). */
+    obs::SimProbe *probe() const { return simProbe; }
+
   private:
     struct Event
     {
@@ -93,6 +105,7 @@ class Simulator
     Time currentTime = 0.0;
     std::uint64_t nextSeq = 0;
     std::uint64_t processed = 0;
+    obs::SimProbe *simProbe = nullptr;
 };
 
 } // namespace vsync::desim

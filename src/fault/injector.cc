@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "core/skew_analysis.hh"
+#include "obs/metrics.hh"
 
 namespace vsync::fault
 {
@@ -11,6 +12,13 @@ namespace vsync::fault
 FaultInjector::FaultInjector(desim::Simulator &sim, FaultPlan plan)
     : sim(sim), plan(std::move(plan))
 {
+}
+
+void
+FaultInjector::noteArmed(FaultKind kind)
+{
+    if (metrics)
+        metrics->counter("fault.armed." + faultKindName(kind)).inc();
 }
 
 void
@@ -90,8 +98,9 @@ FaultInjector::armClockNet(desim::ClockNet &net)
             glitchSignal(net.siteSignal(f.site), f.onset, f.magnitude);
             break;
           case FaultKind::SeveredHandshakeWire:
-            break; // no handshake wires on a clock net
+            continue; // no handshake wires on a clock net
         }
+        noteArmed(f.kind);
     }
 }
 
@@ -113,8 +122,9 @@ FaultInjector::armTrixGrid(TrixGrid &grid)
             glitchSignal(grid.netSignal(f.site), f.onset, f.magnitude);
             break;
           case FaultKind::SeveredHandshakeWire:
-            break; // no handshake wires on a clock grid
+            continue; // no handshake wires on a clock grid
         }
+        noteArmed(f.kind);
     }
 }
 
@@ -131,6 +141,7 @@ FaultInjector::armHandshakes(const std::vector<hybrid::HandshakePair *> &pairs)
         killElement(f.site % 2 == 0 ? hp.requestWire()
                                     : hp.acknowledgeWire(),
                     f.onset);
+        noteArmed(f.kind);
     }
 }
 

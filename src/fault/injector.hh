@@ -30,6 +30,11 @@
 #include "hybrid/handshake.hh"
 #include "layout/layout.hh"
 
+namespace vsync::obs
+{
+class MetricsRegistry;
+} // namespace vsync::obs
+
 namespace vsync::fault
 {
 
@@ -67,10 +72,20 @@ class FaultInjector
     /** Faults armed onto targets so far. */
     std::size_t armed() const { return armedCount; }
 
+    /**
+     * Count every subsequently armed fault into @p reg as a
+     * "fault.armed.<kind>" counter (nullptr disables). Counters are
+     * thread-safe, so concurrent trials may share one registry.
+     */
+    void setMetrics(obs::MetricsRegistry *reg) { metrics = reg; }
+
   private:
     desim::Simulator &sim;
     FaultPlan plan;
     std::size_t armedCount = 0;
+    obs::MetricsRegistry *metrics = nullptr;
+
+    void noteArmed(FaultKind kind);
 
     void killElement(desim::DelayElement &el, Time onset);
     void driftElement(desim::DelayElement &el, Time onset, double factor);

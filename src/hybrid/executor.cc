@@ -8,7 +8,7 @@ namespace vsync::hybrid
 HybridExecution
 runHybrid(const systolic::SystolicArray &array, const layout::Layout &l,
           Length element_size, const HybridParams &params, int cycles,
-          const systolic::ExternalInputFn &ext)
+          const systolic::ExternalInputFn &ext, obs::ExecProbe *probe)
 {
     VSYNC_ASSERT(array.size() == l.size(),
                  "array (%zu cells) does not match layout (%zu)",
@@ -16,7 +16,7 @@ runHybrid(const systolic::SystolicArray &array, const layout::Layout &l,
 
     HybridExecution exec;
     HybridNetwork network(partitionGrid(l, element_size), params);
-    exec.timing = network.simulate(cycles);
+    exec.timing = network.simulate(cycles, nullptr, nullptr, probe);
     exec.cycleTime = exec.timing.steadyCycle;
     exec.trace = systolic::runIdeal(array, cycles, ext);
     return exec;

@@ -39,11 +39,14 @@ struct HybridExecution
  * @param element_size element side length (lambda).
  * @param params  hybrid timing constants.
  * @param ext     external inputs.
+ * @param probe   optional observability probe forwarded to the
+ *                network simulation (handshake waits, round ends).
  */
 HybridExecution runHybrid(const systolic::SystolicArray &array,
                           const layout::Layout &l, Length element_size,
                           const HybridParams &params, int cycles,
-                          const systolic::ExternalInputFn &ext);
+                          const systolic::ExternalInputFn &ext,
+                          obs::ExecProbe *probe = nullptr);
 
 } // namespace vsync::hybrid
 

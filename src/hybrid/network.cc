@@ -52,7 +52,8 @@ HybridNetwork::analyticCycleBound() const
 
 HybridRunResult
 HybridNetwork::simulate(int rounds, Rng *rng,
-                        const SeveredFn &severed) const
+                        const SeveredFn &severed,
+                        obs::ExecProbe *probe) const
 {
     VSYNC_ASSERT(rounds >= 1, "need at least one round");
     VSYNC_ASSERT(p.jitterAmplitude == 0.0 || rng != nullptr,
@@ -65,6 +66,7 @@ HybridNetwork::simulate(int rounds, Rng *rng,
 
     for (int k = 0; k < rounds; ++k) {
         Time round_max = 0.0;
+        obs::ExecRoundStats stats;
         for (int e = 0; e < n; ++e) {
             // Wait for own previous cycle and for each neighbour's
             // previous cycle plus the handshake with it.
@@ -77,6 +79,12 @@ HybridNetwork::simulate(int rounds, Rng *rng,
                 }
                 ready = std::max(ready, prev[f] + handshakeCost(e, f));
             }
+            if (probe && ready > prev[e] && ready < infinity) {
+                const Time wait = ready - prev[e];
+                ++stats.waits;
+                stats.totalWait += wait;
+                stats.maxWait = std::max(stats.maxWait, wait);
+            }
             Time cost = localCycleCost(e);
             if (p.jitterAmplitude > 0.0)
                 cost += rng->uniform(0.0, p.jitterAmplitude);
@@ -84,6 +92,11 @@ HybridNetwork::simulate(int rounds, Rng *rng,
             round_max = std::max(round_max, cur[e]);
         }
         round_completion.push_back(round_max);
+        if (probe) {
+            stats.round = k;
+            stats.completion = round_max;
+            probe->onRound(stats);
+        }
         std::swap(prev, cur);
     }
 

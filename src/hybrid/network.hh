@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "hybrid/partition.hh"
+#include "obs/probe.hh"
 
 namespace vsync
 {
@@ -104,9 +105,15 @@ class HybridNetwork
      *                on it). With severed wires steadyCycle is
      *                meaningless; read lastCompletion (finite entries
      *                are the survivors).
+     * @param probe optional observability probe; when attached it sees
+     *              every positive handshake wait (how long an element
+     *              stalled past its own completion for a neighbour) and
+     *              each round's completion time. One branch per
+     *              neighbour edge when detached.
      */
     HybridRunResult simulate(int rounds, Rng *rng = nullptr,
-                             const SeveredFn &severed = nullptr) const;
+                             const SeveredFn &severed = nullptr,
+                             obs::ExecProbe *probe = nullptr) const;
 
     /** The partition driving this network. */
     const Partition &partition() const { return part; }

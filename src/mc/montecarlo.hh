@@ -20,11 +20,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
+
+namespace vsync::obs
+{
+class MetricsRegistry;
+} // namespace vsync::obs
 
 namespace vsync::mc
 {
@@ -43,6 +49,18 @@ struct McConfig
 
     /** Trials per scheduling chunk (amortises per-chunk scratch). */
     std::size_t grain = 16;
+
+    /**
+     * Optional metrics registry. When set, the sweep records under
+     * "mc.<metricsName>.": trials and rng_draws counters plus wall_ms
+     * and trials_per_s gauges. The per-trial hot path pays one branch;
+     * rng_draws is exact because every distribution funnels through
+     * Rng::next().
+     */
+    obs::MetricsRegistry *metrics = nullptr;
+
+    /** Metric name component identifying this sweep. */
+    std::string metricsName = "sweep";
 };
 
 /** One trial: map (trial index, its private rng) to one observable. */
@@ -72,6 +90,15 @@ struct McResult
 
 /** Fold a filled samples vector into @p r.stat (trial order). */
 void reduceInTrialOrder(McResult &r);
+
+/**
+ * Record one sweep's throughput metrics into @p reg under
+ * "mc.<name>.": trials / rng_draws counters, wall_ms / trials_per_s
+ * gauges. Shared by runTrials and the custom sweep loops in sweeps.cc.
+ */
+void recordSweepMetrics(obs::MetricsRegistry &reg, const std::string &name,
+                        std::size_t trials, double wall_seconds,
+                        std::uint64_t rng_draws);
 
 /** Run cfg.trials trials of @p fn on @p pool. */
 McResult runTrials(ThreadPool &pool, const McConfig &cfg,

@@ -1,11 +1,13 @@
 #include "mc/resilience.hh"
 
+#include <array>
 #include <unordered_set>
 
 #include "clocktree/buffering.hh"
 #include "clocktree/builders.hh"
 #include "common/logging.hh"
 #include "fault/injector.hh"
+#include "obs/metrics.hh"
 
 namespace vsync::mc
 {
@@ -104,6 +106,17 @@ resilienceAtRate(const layout::Layout &l, int rows, int cols,
     point.clockedFraction.samples.assign(cfg.trials, 0.0);
     std::vector<double> faults(cfg.trials, 0.0);
 
+    // Observability: per-kind injected-fault counters, resolved before
+    // the fan-out (registration locks; Counter::inc is lock-free).
+    std::array<obs::Counter *, fault::faultKindCount> kindCounters{};
+    if (cfg.metrics) {
+        for (int k = 0; k < fault::faultKindCount; ++k)
+            kindCounters[static_cast<std::size_t>(k)] =
+                &cfg.metrics->counter(
+                    "mc.resilience.faults." +
+                    fault::faultKindName(static_cast<fault::FaultKind>(k)));
+    }
+
     ThreadPool pool(cfg.threads);
     pool.parallelForRange(
         cfg.trials, cfg.grain,
@@ -114,6 +127,10 @@ resilienceAtRate(const layout::Layout &l, int rows, int cols,
                 Rng delay_rng = trial_rng.deriveStream(delaySalt);
                 const fault::FaultPlan plan =
                     fault::FaultPlan::generate(universe, rates, plan_rng);
+                if (cfg.metrics)
+                    for (const fault::Fault &f : plan.faults())
+                        kindCounters[static_cast<std::size_t>(f.kind)]
+                            ->inc();
                 const fault::DistributionOutcome out =
                     kind == DistributionKind::TrixGrid
                         ? gridTrial(l, rows, cols, plan, rc, delay_rng)

@@ -1,11 +1,14 @@
 #include "mc/sweeps.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 
 #include "circuit/inverter_string.hh"
 #include "circuit/yield.hh"
 #include "common/logging.hh"
 #include "core/skew_analysis.hh"
+#include "obs/metrics.hh"
 #include "systolic/selftimed.hh"
 
 namespace vsync::mc
@@ -23,17 +26,39 @@ skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
     ThreadPool pool(cfg.threads);
     McResult r;
     r.samples.assign(cfg.trials, 0.0);
+
+    // Same observability contract as runTrials (this sweep has its own
+    // loop for the per-chunk scratch vector).
+    std::atomic<std::uint64_t> draws{0};
+    std::chrono::steady_clock::time_point wall0;
+    if (cfg.metrics)
+        wall0 = std::chrono::steady_clock::now();
+
     pool.parallelForRange(
         cfg.trials, cfg.grain,
         [&](std::size_t begin, std::size_t end) {
             std::vector<Time> arrival; // scratch, reused per chunk
+            std::uint64_t chunk_draws = 0;
             for (std::size_t i = begin; i < end; ++i) {
                 Rng rng = Rng::forTrial(cfg.seed, i);
                 r.samples[i] = core::sampleMaxCommSkew(t, pairs, m, eps,
                                                        rng, arrival);
+                if (cfg.metrics)
+                    chunk_draws += rng.draws();
             }
+            if (cfg.metrics)
+                draws.fetch_add(chunk_draws, std::memory_order_relaxed);
         });
     reduceInTrialOrder(r);
+
+    if (cfg.metrics) {
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall0)
+                .count();
+        recordSweepMetrics(*cfg.metrics, cfg.metricsName, cfg.trials,
+                           wall, draws.load(std::memory_order_relaxed));
+    }
     return r;
 }
 

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Probe interfaces: the one seam instrumented engines know about.
+ *
+ * A probe is a passive observer an engine notifies from its hot path.
+ * Engines (desim::Simulator, hybrid::HybridNetwork) hold a raw probe
+ * pointer that defaults to nullptr, so the disabled cost is exactly one
+ * predictable branch per notification site -- no allocation, no
+ * virtual call, no lock. Enabling observability means attaching an
+ * implementation (obs::MetricsSimProbe, obs::MetricsExecProbe, or the
+ * do-nothing Null* probes used to measure the enabled-but-idle
+ * overhead).
+ *
+ * This header is dependency-free on purpose: engine libraries include
+ * it without linking vs_obs, which keeps the layering acyclic
+ * (vs_obs -> vs_common only; engines -> this header only).
+ */
+
+#ifndef VSYNC_OBS_PROBE_HH
+#define VSYNC_OBS_PROBE_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace vsync::obs
+{
+
+/** Observer of a discrete-event simulator's dispatch loop. */
+class SimProbe
+{
+  public:
+    virtual ~SimProbe() = default;
+
+    /**
+     * An event is about to execute at sim time @p t; @p queue_depth
+     * counts the pending events including this one (its maximum over a
+     * run is the queue's high-water mark).
+     */
+    virtual void onEventDispatched(Time t, std::size_t queue_depth) = 0;
+
+    /**
+     * A delay element propagated an input transition at time @p t.
+     * @p element identifies the element (opaque; stable for its
+     * lifetime), so per-element fire counts can be kept.
+     */
+    virtual void onElementFired(const void *element, Time t) = 0;
+
+    /**
+     * A Simulator::run call returned having processed @p events events,
+     * ending at sim time @p sim_time after @p wall_seconds of host
+     * time (the sim-time-per-wall-second ratio is the kernel's speed).
+     */
+    virtual void onRunEnd(Time sim_time, double wall_seconds,
+                          std::uint64_t events) = 0;
+};
+
+/** A SimProbe that does nothing: measures enabled-but-idle overhead. */
+class NullSimProbe : public SimProbe
+{
+  public:
+    void onEventDispatched(Time, std::size_t) override {}
+    void onElementFired(const void *, Time) override {}
+    void onRunEnd(Time, double, std::uint64_t) override {}
+};
+
+/**
+ * One round of the hybrid max-plus recurrence, aggregated at the
+ * source. The executor's inner loop is a handful of max/add ops per
+ * element, so per-element virtual notifications would dominate it;
+ * instead the executor accumulates these plain-arithmetic stats and
+ * makes a single virtual call per round.
+ */
+struct ExecRoundStats
+{
+    int round = 0;           //!< round index, 0-based
+    Time completion = 0.0;   //!< array-wide completion time of the round
+    std::uint64_t waits = 0; //!< elements stalled on a neighbour
+    Time totalWait = 0.0;    //!< summed stall time across elements
+    Time maxWait = 0.0;      //!< worst single-element stall
+};
+
+/** Observer of the hybrid executor's max-plus recurrence. */
+class ExecProbe
+{
+  public:
+    virtual ~ExecProbe() = default;
+
+    /** Round @p stats.round completed; see ExecRoundStats. */
+    virtual void onRound(const ExecRoundStats &stats) = 0;
+};
+
+/** An ExecProbe that does nothing. */
+class NullExecProbe : public ExecProbe
+{
+  public:
+    void onRound(const ExecRoundStats &) override {}
+};
+
+} // namespace vsync::obs
+
+#endif // VSYNC_OBS_PROBE_HH

@@ -1,0 +1,79 @@
+#include "obs/probes.hh"
+
+#include <algorithm>
+
+namespace vsync::obs
+{
+
+MetricsSimProbe::MetricsSimProbe(MetricsRegistry &registry,
+                                 const std::string &prefix)
+    : events(registry.counter(prefix + ".events")),
+      fires(registry.counter(prefix + ".element_fires")),
+      runs(registry.counter(prefix + ".runs")),
+      queueHwm(registry.gauge(prefix + ".queue_depth_hwm")),
+      elementsSeenGauge(registry.gauge(prefix + ".elements_seen")),
+      maxFiresGauge(registry.gauge(prefix + ".max_fires_per_element")),
+      simTime(registry.gauge(prefix + ".sim_time_ns")),
+      wallMs(registry.gauge(prefix + ".wall_ms")),
+      eventsPerWallS(registry.gauge(prefix + ".events_per_wall_s"))
+{
+}
+
+void
+MetricsSimProbe::onEventDispatched(Time, std::size_t queue_depth)
+{
+    events.inc();
+    queueHwm.recordMax(static_cast<double>(queue_depth));
+}
+
+void
+MetricsSimProbe::onElementFired(const void *element, Time)
+{
+    fires.inc();
+    ++perElement[element];
+}
+
+std::uint64_t
+MetricsSimProbe::maxFiresPerElement() const
+{
+    std::uint64_t peak = 0;
+    for (const auto &[el, n] : perElement)
+        peak = std::max(peak, n);
+    return peak;
+}
+
+void
+MetricsSimProbe::onRunEnd(Time sim_time, double wall_seconds,
+                          std::uint64_t run_events)
+{
+    runs.inc();
+    simTime.set(sim_time);
+    wallMs.add(wall_seconds * 1e3);
+    if (wall_seconds > 0.0)
+        eventsPerWallS.set(static_cast<double>(run_events) /
+                           wall_seconds);
+    elementsSeenGauge.set(static_cast<double>(perElement.size()));
+    maxFiresGauge.set(static_cast<double>(maxFiresPerElement()));
+}
+
+MetricsExecProbe::MetricsExecProbe(MetricsRegistry &registry,
+                                   const std::string &prefix)
+    : waits(registry.counter(prefix + ".handshake_waits")),
+      rounds(registry.counter(prefix + ".rounds")),
+      stallTotal(registry.gauge(prefix + ".stall_ns")),
+      stallMax(registry.gauge(prefix + ".max_stall_ns")),
+      lastCompletion(registry.gauge(prefix + ".last_completion_ns"))
+{
+}
+
+void
+MetricsExecProbe::onRound(const ExecRoundStats &stats)
+{
+    waits.inc(stats.waits);
+    rounds.inc();
+    stallTotal.add(stats.totalWait);
+    stallMax.recordMax(stats.maxWait);
+    lastCompletion.set(stats.completion);
+}
+
+} // namespace vsync::obs

@@ -1,0 +1,165 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace vsync::obs
+{
+
+Tracer::Tracer() : epoch(std::chrono::steady_clock::now()) {}
+
+std::uint64_t
+Tracer::nowMicros() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+int
+Tracer::currentTid()
+{
+    // Caller holds the mutex.
+    const auto id = std::this_thread::get_id();
+    const auto it = tids.find(id);
+    if (it != tids.end())
+        return it->second;
+    const int tid = static_cast<int>(tids.size());
+    tids.emplace(id, tid);
+    return tid;
+}
+
+void
+Tracer::nameCurrentThread(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    threadNames[currentTid()] = name;
+}
+
+void
+Tracer::recordSpan(const std::string &name, std::uint64_t start_us,
+                   std::uint64_t end_us)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    events.push_back({name, start_us,
+                      end_us > start_us ? end_us - start_us : 0,
+                      currentTid()});
+}
+
+void
+Tracer::recordInstant(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    events.push_back({name, nowMicros(), 0, currentTid()});
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return events.size();
+}
+
+std::size_t
+Tracer::threadCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return tids.size();
+}
+
+void
+Tracer::writeChromeJson(std::ostream &os) const
+{
+    std::vector<Event> sorted;
+    std::map<int, std::string> names;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        sorted = events;
+        names = threadNames;
+    }
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.ts < b.ts;
+                     });
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+    // Metadata first: one thread_name record per named track.
+    for (const auto &[tid, name] : names) {
+        w.beginObject()
+            .keyValue("name", "thread_name")
+            .keyValue("ph", "M")
+            .keyValue("pid", 1)
+            .keyValue("tid", tid);
+        w.key("args").beginObject().keyValue("name", name).endObject();
+        w.endObject();
+    }
+    for (const Event &e : sorted) {
+        w.beginObject()
+            .keyValue("name", e.name)
+            .keyValue("ph", e.dur > 0 ? "X" : "i")
+            .keyValue("ts", e.ts)
+            .keyValue("pid", 1)
+            .keyValue("tid", e.tid);
+        if (e.dur > 0)
+            w.keyValue("dur", e.dur);
+        else
+            w.keyValue("s", "t"); // instant scope: thread
+        w.endObject();
+    }
+    w.endArray();
+    w.keyValue("displayTimeUnit", "ms");
+    w.endObject();
+}
+
+namespace
+{
+
+/** Per-thread chunk state for TracePoolObserver (chunks never nest). */
+struct ChunkState
+{
+    const void *observer = nullptr;
+    bool named = false;
+    std::uint64_t startMicros = 0;
+};
+
+thread_local ChunkState chunkState;
+
+} // namespace
+
+TracePoolObserver::TracePoolObserver(Tracer &tracer, std::string label)
+    : tracer(tracer), label(std::move(label))
+{
+}
+
+void
+TracePoolObserver::onChunkBegin(unsigned worker, std::size_t, std::size_t)
+{
+    if (chunkState.observer != this) {
+        chunkState.observer = this;
+        chunkState.named = false;
+    }
+    if (!chunkState.named) {
+        tracer.nameCurrentThread(
+            worker == 0 ? "caller" : "worker-" + std::to_string(worker));
+        chunkState.named = true;
+    }
+    chunkState.startMicros = tracer.nowMicros();
+}
+
+void
+TracePoolObserver::onChunkEnd(unsigned worker, std::size_t begin,
+                              std::size_t end)
+{
+    (void)worker;
+    tracer.recordSpan(label + "[" + std::to_string(begin) + "," +
+                          std::to_string(end) + ")",
+                      chunkState.startMicros, tracer.nowMicros());
+}
+
+} // namespace vsync::obs

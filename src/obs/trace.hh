@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Trace spans with Chrome trace-event JSON output.
+ *
+ * A Tracer collects named spans -- intervals of host time on a
+ * particular thread -- and renders them as the Chrome trace-event
+ * format (complete "X" events plus thread_name metadata), loadable in
+ * chrome://tracing and Perfetto. Threads become separate tracks
+ * automatically; TracePoolObserver plugs into common/parallel's
+ * ThreadPool hook so every worker's chunks appear on its own track.
+ *
+ * Usage:
+ *
+ *   obs::Tracer tracer;
+ *   { VSYNC_TRACE_SPAN(&tracer, "build_tree"); buildTree(); }
+ *   std::ofstream os("trace.json");
+ *   tracer.writeChromeJson(os);
+ *
+ * A null Tracer pointer disables tracing: Span's constructor is one
+ * branch and the macro can stay in place unconditionally. Timestamps
+ * are steady-clock microseconds since Tracer construction, so they are
+ * monotonic within a trace file.
+ */
+
+#ifndef VSYNC_OBS_TRACE_HH
+#define VSYNC_OBS_TRACE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hh"
+
+namespace vsync::obs
+{
+
+/** Collects spans and renders Chrome trace-event JSON. */
+class Tracer
+{
+  public:
+    Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Microseconds of steady clock since construction. */
+    std::uint64_t nowMicros() const;
+
+    /**
+     * Name the calling thread's track (shown by the trace viewer).
+     * The first thread to record anything is "main" unless named.
+     */
+    void nameCurrentThread(const std::string &name);
+
+    /**
+     * Record a completed span on the calling thread. Normally called
+     * by ~Span, not directly.
+     */
+    void recordSpan(const std::string &name, std::uint64_t start_us,
+                    std::uint64_t end_us);
+
+    /** Record an instantaneous event on the calling thread. */
+    void recordInstant(const std::string &name);
+
+    /** Spans + instants recorded so far. */
+    std::size_t eventCount() const;
+
+    /** Distinct threads that recorded events or were named. */
+    std::size_t threadCount() const;
+
+    /**
+     * Render the whole trace as one JSON document. Events are sorted
+     * by start timestamp, so "ts" is monotonically non-decreasing over
+     * the traceEvents array.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        std::uint64_t ts = 0;  // microseconds
+        std::uint64_t dur = 0; // 0 => instant event
+        int tid = 0;
+    };
+
+    int currentTid();
+
+    std::chrono::steady_clock::time_point epoch;
+    mutable std::mutex mutex;
+    std::map<std::thread::id, int> tids;
+    std::map<int, std::string> threadNames;
+    std::vector<Event> events;
+};
+
+/** RAII span: construction starts the interval, destruction records it. */
+class Span
+{
+  public:
+    /** @param tracer may be null (span disabled, near-zero cost). */
+    Span(Tracer *tracer, const char *name)
+        : tracer(tracer), name(name),
+          start(tracer ? tracer->nowMicros() : 0)
+    {
+    }
+
+    ~Span()
+    {
+        if (tracer)
+            tracer->recordSpan(name, start, tracer->nowMicros());
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    Tracer *tracer;
+    const char *name;
+    std::uint64_t start;
+};
+
+#define VSYNC_TRACE_CAT2(a, b) a##b
+#define VSYNC_TRACE_CAT(a, b) VSYNC_TRACE_CAT2(a, b)
+
+/** Span over the rest of the enclosing scope; @p tracer may be null. */
+#define VSYNC_TRACE_SPAN(tracer, name)                                    \
+    ::vsync::obs::Span VSYNC_TRACE_CAT(vsyncTraceSpan, __LINE__)(         \
+        (tracer), (name))
+
+/**
+ * ThreadPool instrumentation: names each worker's track and records one
+ * span per executed chunk, so parallel sweeps show their schedule as
+ * per-thread timelines. Install with pool.setObserver(&observer) while
+ * the pool is idle.
+ */
+class TracePoolObserver : public PoolObserver
+{
+  public:
+    /** @param label span/track name prefix (e.g. the sweep name). */
+    explicit TracePoolObserver(Tracer &tracer,
+                               std::string label = "chunk");
+
+    void onChunkBegin(unsigned worker, std::size_t begin,
+                      std::size_t end) override;
+    void onChunkEnd(unsigned worker, std::size_t begin,
+                    std::size_t end) override;
+
+  private:
+    Tracer &tracer;
+    std::string label;
+};
+
+} // namespace vsync::obs
+
+#endif // VSYNC_OBS_TRACE_HH

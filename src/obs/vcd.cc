@@ -1,0 +1,100 @@
+#include "obs/vcd.hh"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace vsync::obs
+{
+
+namespace
+{
+
+/** VCD identifier alphabet: the printable ASCII range '!'..'~'. */
+constexpr int idBase = 94;
+constexpr char idFirst = '!';
+
+/** ns -> ps tick. */
+std::int64_t
+tickOf(Time t)
+{
+    return std::llround(t * 1000.0);
+}
+
+/** Replace characters VCD identifiers cannot hold. */
+std::string
+sanitize(const std::string &name)
+{
+    std::string s = name;
+    for (char &c : s)
+        if (c <= ' ' || c > '~')
+            c = '_';
+    return s.empty() ? std::string("unnamed") : s;
+}
+
+} // namespace
+
+VcdWriter::VcdWriter(std::ostream &os) : os(os) {}
+
+std::string
+VcdWriter::idCode(Id id)
+{
+    std::string code;
+    do {
+        code.push_back(static_cast<char>(idFirst + id % idBase));
+        id /= idBase;
+    } while (id > 0);
+    return code;
+}
+
+VcdWriter::Id
+VcdWriter::addWire(const std::string &name, bool initial)
+{
+    VSYNC_ASSERT(!dumping, "addWire after beginDump (wire '%s')",
+                 name.c_str());
+    names.push_back(sanitize(name));
+    initials.push_back(initial);
+    return static_cast<Id>(names.size() - 1);
+}
+
+void
+VcdWriter::beginDump()
+{
+    VSYNC_ASSERT(!dumping, "beginDump called twice");
+    VSYNC_ASSERT(!names.empty(), "no wires declared before beginDump");
+    dumping = true;
+
+    os << "$comment vlsisync waveform dump $end\n"
+       << "$timescale 1ps $end\n"
+       << "$scope module vlsisync $end\n";
+    for (std::size_t i = 0; i < names.size(); ++i)
+        os << "$var wire 1 " << idCode(static_cast<Id>(i)) << ' '
+           << names[i] << " $end\n";
+    os << "$upscope $end\n"
+       << "$enddefinitions $end\n"
+       << "$dumpvars\n";
+    for (std::size_t i = 0; i < names.size(); ++i)
+        os << (initials[i] ? '1' : '0') << idCode(static_cast<Id>(i))
+           << '\n';
+    os << "$end\n";
+}
+
+void
+VcdWriter::change(Time t, Id id, bool v)
+{
+    VSYNC_ASSERT(dumping, "change before beginDump");
+    VSYNC_ASSERT(id < names.size(), "unknown wire id %u", id);
+    const std::int64_t tick = tickOf(t);
+    VSYNC_ASSERT(tick >= lastTick && tick >= 0,
+                 "VCD time going backwards (%g ns after tick %lld)", t,
+                 static_cast<long long>(lastTick));
+    if (tick != lastTick) {
+        os << '#' << tick << '\n';
+        lastTick = tick;
+    }
+    os << (v ? '1' : '0') << idCode(id) << '\n';
+    ++changes;
+}
+
+} // namespace vsync::obs

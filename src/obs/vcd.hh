@@ -1,0 +1,132 @@
+/**
+ * @file
+ * VCD (Value Change Dump, IEEE 1364) waveform export.
+ *
+ * The writer streams a standard four-part VCD document -- header,
+ * variable declarations, initial $dumpvars block, timestamped value
+ * changes -- viewable in GTKWave and any other VCD tool. Wires are
+ * registered first (addWire), then beginDump() emits the header, then
+ * change() appends transitions in non-decreasing time order, which a
+ * discrete-event simulation produces naturally.
+ *
+ * The attach* helpers subscribe live simulation objects so every
+ * transition lands in the dump automatically. They are duck-typed
+ * templates (anything with value()/onChange(), or the ClockNet/
+ * TrixGrid site accessors), so this header depends on nothing but the
+ * writer itself and vs_obs stays below the engine libraries in the
+ * link order. The writer must outlive the simulation it records.
+ *
+ * desim times are nanoseconds (common/types.hh); the writer's
+ * timescale is 1 ps, so ticks are llround(t * 1000) and sub-ps timing
+ * structure survives rounding only down to a picosecond -- ample for
+ * the delay scales the paper uses.
+ */
+
+#ifndef VSYNC_OBS_VCD_HH
+#define VSYNC_OBS_VCD_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace vsync::obs
+{
+
+/** Streams one VCD document. */
+class VcdWriter
+{
+  public:
+    using Id = std::uint32_t;
+
+    /** @param os destination; must outlive the writer's use. */
+    explicit VcdWriter(std::ostream &os);
+
+    VcdWriter(const VcdWriter &) = delete;
+    VcdWriter &operator=(const VcdWriter &) = delete;
+
+    /**
+     * Declare a 1-bit wire. Only legal before beginDump(). Characters
+     * VCD identifiers cannot hold are replaced with '_'.
+     */
+    Id addWire(const std::string &name, bool initial = false);
+
+    /** Emit the header + $dumpvars initial values; call exactly once. */
+    void beginDump();
+
+    /**
+     * Record wire @p id changing to @p v at time @p t (ns). Times must
+     * be non-decreasing (simulation order). Only legal after
+     * beginDump().
+     */
+    void change(Time t, Id id, bool v);
+
+    /** Value changes recorded so far (excluding the $dumpvars block). */
+    std::uint64_t changeCount() const { return changes; }
+
+    /** Wires declared. */
+    std::size_t wireCount() const { return names.size(); }
+
+    /** The printable short identifier code VCD uses for wire @p id. */
+    static std::string idCode(Id id);
+
+  private:
+    std::ostream &os;
+    std::vector<std::string> names;
+    std::vector<bool> initials;
+    bool dumping = false;
+    std::int64_t lastTick = -1;
+    std::uint64_t changes = 0;
+};
+
+/**
+ * Subscribe one live signal: declares a wire at the signal's current
+ * value and forwards every onChange to the writer. Works for any type
+ * with bool value() and onChange(fn(Time, bool)) -- desim::Signal in
+ * practice.
+ */
+template <typename SignalT>
+VcdWriter::Id
+attachSignal(VcdWriter &w, SignalT &sig, const std::string &name)
+{
+    const VcdWriter::Id id = w.addWire(name, sig.value());
+    sig.onChange([&w, id](Time t, bool v) { w.change(t, id, v); });
+    return id;
+}
+
+/**
+ * Subscribe every site signal of a desim::ClockNet (site 0, the root,
+ * first), named <prefix><site-index>.
+ */
+template <typename NetT>
+void
+attachClockNet(VcdWriter &w, NetT &net, const std::string &prefix = "site")
+{
+    for (std::size_t i = 0; i < net.siteCount(); ++i)
+        attachSignal(w, net.siteSignal(i), prefix + std::to_string(i));
+}
+
+/**
+ * Subscribe a fault::TrixGrid: the root driver as "root" and every
+ * node's median-voted output as n<row>_<col>.
+ */
+template <typename GridT>
+void
+attachTrixGrid(VcdWriter &w, GridT &grid)
+{
+    attachSignal(w, grid.rootSignal(), "root");
+    for (int r = 0; r < grid.rows(); ++r)
+        for (int c = 0; c < grid.cols(); ++c) {
+            std::string name = "n";
+            name += std::to_string(r);
+            name += '_';
+            name += std::to_string(c);
+            attachSignal(w, grid.nodeSignal(r, c), name);
+        }
+}
+
+} // namespace vsync::obs
+
+#endif // VSYNC_OBS_VCD_HH
