@@ -49,7 +49,7 @@ nominalTreeDelays(const mc::ResilienceConfig &rc)
 {
     return [rc](const clocktree::BufferedSite &site, std::size_t) {
         return desim::EdgeDelays::same(
-            site.wireFromParent * rc.m +
+            site.wireFromParent * rc.delay.m +
             (site.isBuffer ? rc.bufferDelay : 0.0));
     };
 }
@@ -58,7 +58,7 @@ nominalTreeDelays(const mc::ResilienceConfig &rc)
 fault::TrixGrid::LinkDelayFn
 nominalGridDelays(const mc::ResilienceConfig &rc)
 {
-    return [rc](int, int, int) { return rc.bufferDelay + rc.m; };
+    return [rc](int, int, int) { return rc.bufferDelay + rc.delay.m; };
 }
 
 struct SingleFaultSummary
@@ -171,8 +171,8 @@ main(int argc, char **argv)
     bench::BenchJson result("fault_tolerance", seed);
     JsonWriter &json = result.writer();
     json.keyValue("array", "mesh16x16")
-        .keyValue("m", rc.m)
-        .keyValue("eps", rc.eps)
+        .keyValue("m", rc.delay.m)
+        .keyValue("eps", rc.delay.eps)
         .keyValue("buffer_delay", rc.bufferDelay)
         .keyValue("buffer_spacing", rc.bufferSpacing);
 

@@ -75,7 +75,8 @@ main(int argc, char **argv)
         RunningStat stat;
         for (int chip = 0; chip < 1000; ++chip) {
             const auto inst =
-                core::sampleSkewInstance(bp.layout, bp.tree, m, eps, rng);
+                core::sampleSkewInstance(bp.layout, bp.tree,
+                                         core::WireDelay{m, eps}, rng);
             stat.add(inst.maxCommSkew);
         }
         const auto report = core::analyzeSkew(bp.layout, bp.tree, model);

@@ -86,11 +86,13 @@ main(int argc, char **argv)
         SampleSet skews;
         for (int chip = 0; chip < 2000; ++chip) {
             const auto inst =
-                core::sampleSkewInstance(eb.layout, eb.tree, m, eps, rng);
+                core::sampleSkewInstance(eb.layout, eb.tree,
+                                         core::WireDelay{m, eps}, rng);
             skews.add(inst.maxCommSkew);
         }
         const auto adv =
-            core::adversarialSkewInstance(eb.layout, eb.tree, m, eps);
+            core::adversarialSkewInstance(eb.layout, eb.tree,
+                                          core::WireDelay{m, eps});
         const auto report = core::analyzeSkew(eb.layout, eb.tree, model);
         table.addRow({Table::num(s),
                       Table::num(report.edges[0].lower),

@@ -136,7 +136,7 @@ main(int argc, char **argv)
         cfg.seed = seed;
         cfg.trials = skewTrials;
         cfg.threads = tc;
-        return mc::skewSweep(l, tree, m, eps, cfg);
+        return mc::skewSweep(l, tree, core::WireDelay{m, eps}, cfg);
     });
     json.key("skew_sweep").beginObject()
         .keyValue("layout", "mesh64x64")

@@ -59,7 +59,8 @@ main()
         bool correct = true;
         for (int chip = 0; chip < 5; ++chip) {
             const auto inst =
-                core::sampleSkewInstance(l, tree, m, eps, rng);
+                core::sampleSkewInstance(
+            l, tree, core::WireDelay{m, eps}, rng);
             std::vector<Time> offsets;
             for (CellId c = 0; c < n; ++c)
                 offsets.push_back(inst.arrival[tree.nodeOfCell(c)]);

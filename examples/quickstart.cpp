@@ -73,7 +73,7 @@ main()
 
     // 5. Fabricate one chip and run a 64-tap FIR filter on it.
     Rng rng(2026);
-    const auto chip = core::sampleSkewInstance(l, tree, m, eps, rng);
+    const auto chip = core::sampleSkewInstance(l, tree, core::WireDelay{m, eps}, rng);
     std::vector<Time> offsets;
     for (CellId c = 0; c < n; ++c)
         offsets.push_back(chip.arrival[tree.nodeOfCell(c)]);

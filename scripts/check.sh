@@ -18,9 +18,9 @@ if [[ "${1:-}" == "--fast" ]]; then
     exit 0
 fi
 
-echo "== TSan: parallel Monte-Carlo engine + fault sweeps + observability =="
+echo "== TSan: parallel Monte-Carlo engine + skew kernel + fault sweeps + observability =="
 cmake -B build-tsan -S . -DVSYNC_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$JOBS" --target test_parallel_mc test_fault test_obs
-(cd build-tsan && ctest --output-on-failure -R '^test_(parallel_mc|fault|obs)$')
+cmake --build build-tsan -j"$JOBS" --target test_parallel_mc test_skew_kernel test_fault test_obs
+(cd build-tsan && ctest --output-on-failure -R '^test_(parallel_mc|skew_kernel|fault|obs)$')
 
 echo "== all checks passed =="

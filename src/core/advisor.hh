@@ -98,8 +98,8 @@ struct Advice
  *   and other graphs with bisection width growing with N (Theorem 6
  *   rules out bounded-skew global clocking).
  */
-Advice adviseScheme(graph::TopologyKind kind,
-                    const TechnologyAssumptions &tech);
+[[nodiscard]] Advice adviseScheme(graph::TopologyKind kind,
+                                  const TechnologyAssumptions &tech);
 
 } // namespace vsync::core
 

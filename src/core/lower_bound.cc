@@ -38,7 +38,7 @@ instanceSkewLowerBound(const layout::Layout &l,
 {
     const SkewModel model = SkewModel::summation(
         [](Length) { return infinity; }, beta);
-    const SkewReport report = analyzeSkew(l, t, model);
+    const SkewReport report = analyzeSkew(SkewKernel(l, t), model);
     return beta * report.maxS;
 }
 
@@ -111,9 +111,12 @@ runCircleArgument(const layout::Layout &l, const clocktree::ClockTree &t,
     const std::size_t b_bar = n_cells - a_bar;
     trace.largerAdjustedHalf = std::max(a_bar, b_bar);
 
-    for (const graph::Edge &e : l.comm().undirectedEdges()) {
-        const bool sa = in_a[e.src] || in_circle[e.src];
-        const bool sb = in_a[e.dst] || in_circle[e.dst];
+    const SkewKernel kernel(l);
+    for (std::size_t i = 0; i < kernel.pairCount(); ++i) {
+        const CellId ca = kernel.pairCellsA()[i];
+        const CellId cb = kernel.pairCellsB()[i];
+        const bool sa = in_a[ca] || in_circle[ca];
+        const bool sb = in_a[cb] || in_circle[cb];
         if (sa != sb)
             ++trace.crossingEdges;
     }

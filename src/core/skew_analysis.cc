@@ -10,24 +10,22 @@ namespace vsync::core
 {
 
 SkewReport
-analyzeSkew(const layout::Layout &l, const clocktree::ClockTree &t,
-            const SkewModel &model)
+analyzeSkew(const SkewKernel &kernel, const SkewModel &model)
 {
+    VSYNC_ASSERT(kernel.hasTree(),
+                 "analyzeSkew needs a tree-compiled kernel");
     SkewReport report;
-    const auto pairs = l.comm().undirectedEdges();
-    report.edges.reserve(pairs.size());
+    const std::size_t pairs = kernel.pairCount();
+    report.edges.reserve(pairs);
 
-    for (const graph::Edge &pair : pairs) {
-        const NodeId na = t.nodeOfCell(pair.src);
-        const NodeId nb = t.nodeOfCell(pair.dst);
-        VSYNC_ASSERT(na != invalidId && nb != invalidId,
-                     "cells %d/%d not clocked by the tree (A4)",
-                     pair.src, pair.dst);
+    for (std::size_t i = 0; i < pairs; ++i) {
+        const NodeId na = kernel.pairNodesA()[i];
+        const NodeId nb = kernel.pairNodesB()[i];
         EdgeSkew es;
-        es.a = pair.src;
-        es.b = pair.dst;
-        es.d = t.pathDifference(na, nb);
-        es.s = t.treeDistance(na, nb);
+        es.a = kernel.pairCellsA()[i];
+        es.b = kernel.pairCellsB()[i];
+        es.d = kernel.pathDifference(na, nb);
+        es.s = kernel.treeDistance(na, nb);
         es.upper = model.upperBound(es.d, es.s);
         es.lower = model.lowerBound(es.s);
         report.edges.push_back(es);
@@ -43,8 +41,21 @@ analyzeSkew(const layout::Layout &l, const clocktree::ClockTree &t,
     return report;
 }
 
+SkewReport
+analyzeSkew(const layout::Layout &l, const clocktree::ClockTree &t,
+            const SkewModel &model)
+{
+    return analyzeSkew(SkewKernel(l, t), model);
+}
+
+namespace
+{
+
+/** Tree-node endpoints of every comm pair (pre-kernel helper, kept
+ *  for the retained naive paths and the deprecated shim). */
 std::vector<std::pair<NodeId, NodeId>>
-commNodePairs(const layout::Layout &l, const clocktree::ClockTree &t)
+resolveCommNodePairs(const layout::Layout &l,
+                     const clocktree::ClockTree &t)
 {
     std::vector<std::pair<NodeId, NodeId>> pairs;
     const auto edges = l.comm().undirectedEdges();
@@ -60,19 +71,18 @@ commNodePairs(const layout::Layout &l, const clocktree::ClockTree &t)
     return pairs;
 }
 
-namespace
-{
-
 /** Accumulate sampled arrival times down the tree into @p arrival. */
 void
-sampleArrivals(const clocktree::ClockTree &t, double m, double eps,
+sampleArrivals(const clocktree::ClockTree &t, const WireDelay &delay,
                Rng &rng, std::vector<Time> &arrival)
 {
+    const double lo = delay.m - delay.eps;
+    const double hi = delay.m + delay.eps;
     arrival.assign(t.size(), 0.0);
     // Wires were created parent-before-child; accumulate forward.
     for (NodeId v = 1; static_cast<std::size_t>(v) < t.size(); ++v) {
         const NodeId p = t.structure().parent(v);
-        const double unit_delay = rng.uniform(m - eps, m + eps);
+        const double unit_delay = rng.uniform(lo, hi);
         arrival[v] = arrival[p] + unit_delay * t.wireLength(v);
     }
 }
@@ -81,14 +91,14 @@ sampleArrivals(const clocktree::ClockTree &t, double m, double eps,
 
 SkewInstance
 sampleSkewInstance(const layout::Layout &l, const clocktree::ClockTree &t,
-                   double m, double eps, Rng &rng)
+                   const WireDelay &delay, Rng &rng)
 {
-    VSYNC_ASSERT(m > 0.0 && eps >= 0.0 && eps <= m,
-                 "bad delay parameters m=%g eps=%g", m, eps);
+    VSYNC_ASSERT(delay.valid(), "bad delay parameters m=%g eps=%g",
+                 delay.m, delay.eps);
     SkewInstance inst;
-    sampleArrivals(t, m, eps, rng, inst.arrival);
+    sampleArrivals(t, delay, rng, inst.arrival);
 
-    const auto pairs = commNodePairs(l, t);
+    const auto pairs = resolveCommNodePairs(l, t);
     inst.edgeSkew.reserve(pairs.size());
     for (const auto &[na, nb] : pairs) {
         const Time skew = std::fabs(inst.arrival[na] - inst.arrival[nb]);
@@ -98,15 +108,35 @@ sampleSkewInstance(const layout::Layout &l, const clocktree::ClockTree &t,
     return inst;
 }
 
+SkewInstance
+sampleSkewInstance(const layout::Layout &l, const clocktree::ClockTree &t,
+                   double m, double eps, Rng &rng)
+{
+    return sampleSkewInstance(l, t, WireDelay{m, eps}, rng);
+}
+
+std::vector<std::pair<NodeId, NodeId>>
+commNodePairs(const layout::Layout &l, const clocktree::ClockTree &t)
+{
+    const SkewKernel kernel(l, t);
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    pairs.reserve(kernel.pairCount());
+    for (std::size_t i = 0; i < kernel.pairCount(); ++i)
+        pairs.emplace_back(kernel.pairNodesA()[i],
+                           kernel.pairNodesB()[i]);
+    return pairs;
+}
+
 Time
 sampleMaxCommSkew(const clocktree::ClockTree &t,
                   const std::vector<std::pair<NodeId, NodeId>> &pairs,
                   double m, double eps, Rng &rng,
                   std::vector<Time> &arrival)
 {
-    VSYNC_ASSERT(m > 0.0 && eps >= 0.0 && eps <= m,
-                 "bad delay parameters m=%g eps=%g", m, eps);
-    sampleArrivals(t, m, eps, rng, arrival);
+    const WireDelay delay{m, eps};
+    VSYNC_ASSERT(delay.valid(), "bad delay parameters m=%g eps=%g", m,
+                 eps);
+    sampleArrivals(t, delay, rng, arrival);
     Time worst = 0.0;
     for (const auto &[na, nb] : pairs)
         worst = std::max(worst, std::fabs(arrival[na] - arrival[nb]));
@@ -115,22 +145,22 @@ sampleMaxCommSkew(const clocktree::ClockTree &t,
 
 SkewInstance
 adversarialSkewInstance(const layout::Layout &l,
-                        const clocktree::ClockTree &t, double m,
-                        double eps)
+                        const clocktree::ClockTree &t,
+                        const WireDelay &delay)
 {
-    VSYNC_ASSERT(m > 0.0 && eps >= 0.0 && eps <= m,
-                 "bad delay parameters m=%g eps=%g", m, eps);
+    VSYNC_ASSERT(delay.valid(), "bad delay parameters m=%g eps=%g",
+                 delay.m, delay.eps);
+    const double m = delay.m;
+    const double eps = delay.eps;
+    const SkewKernel kernel(l, t);
 
     // Find the communicating pair with the largest tree distance.
     NodeId worst_a = invalidId, worst_b = invalidId;
     Length worst_s = -1.0;
-    for (const graph::Edge &pair : l.comm().undirectedEdges()) {
-        const NodeId na = t.nodeOfCell(pair.src);
-        const NodeId nb = t.nodeOfCell(pair.dst);
-        VSYNC_ASSERT(na != invalidId && nb != invalidId,
-                     "cells %d/%d not clocked by the tree (A4)",
-                     pair.src, pair.dst);
-        const Length s = t.treeDistance(na, nb);
+    for (std::size_t i = 0; i < kernel.pairCount(); ++i) {
+        const NodeId na = kernel.pairNodesA()[i];
+        const NodeId nb = kernel.pairNodesB()[i];
+        const Length s = kernel.treeDistance(na, nb);
         if (s > worst_s) {
             worst_s = s;
             worst_a = na;
@@ -143,31 +173,33 @@ adversarialSkewInstance(const layout::Layout &l,
     // skew of the pair is (m+eps) h_slow - (m-eps) h_fast =
     // m (h_slow - h_fast) + eps s, maximised by slowing the *longer*
     // branch.
-    const NodeId anc = t.structure().nca(worst_a, worst_b);
+    const NodeId anc = kernel.nca(worst_a, worst_b);
     const Length h_a =
-        t.rootPathLength(worst_a) - t.rootPathLength(anc);
+        kernel.rootPathLength(worst_a) - kernel.rootPathLength(anc);
     const Length h_b =
-        t.rootPathLength(worst_b) - t.rootPathLength(anc);
+        kernel.rootPathLength(worst_b) - kernel.rootPathLength(anc);
     if (h_b > h_a)
         std::swap(worst_a, worst_b); // worst_a is the longer branch
-    std::vector<int> side(t.size(), 0); // +1 slow, -1 fast
-    for (NodeId v = worst_a; v != anc; v = t.structure().parent(v))
+    std::vector<int> side(kernel.nodeCount(), 0); // +1 slow, -1 fast
+    for (NodeId v = worst_a; v != anc; v = kernel.parent(v))
         side[v] = 1;
-    for (NodeId v = worst_b; v != anc; v = t.structure().parent(v))
+    for (NodeId v = worst_b; v != anc; v = kernel.parent(v))
         side[v] = -1;
 
     SkewInstance inst;
-    inst.arrival.assign(t.size(), 0.0);
-    for (NodeId v = 1; static_cast<std::size_t>(v) < t.size(); ++v) {
-        const NodeId p = t.structure().parent(v);
+    inst.arrival.assign(kernel.nodeCount(), 0.0);
+    for (NodeId v = 1;
+         static_cast<std::size_t>(v) < kernel.nodeCount(); ++v) {
+        const NodeId p = kernel.parent(v);
         const double unit =
             side[v] > 0 ? m + eps : (side[v] < 0 ? m - eps : m);
-        inst.arrival[v] = inst.arrival[p] + unit * t.wireLength(v);
+        inst.arrival[v] = inst.arrival[p] + unit * kernel.wireLength(v);
     }
 
-    for (const graph::Edge &pair : l.comm().undirectedEdges()) {
-        const NodeId na = t.nodeOfCell(pair.src);
-        const NodeId nb = t.nodeOfCell(pair.dst);
+    inst.edgeSkew.reserve(kernel.pairCount());
+    for (std::size_t i = 0; i < kernel.pairCount(); ++i) {
+        const NodeId na = kernel.pairNodesA()[i];
+        const NodeId nb = kernel.pairNodesB()[i];
         const Time skew = std::fabs(inst.arrival[na] - inst.arrival[nb]);
         inst.edgeSkew.push_back(skew);
         inst.maxCommSkew = std::max(inst.maxCommSkew, skew);
@@ -175,33 +207,19 @@ adversarialSkewInstance(const layout::Layout &l,
     return inst;
 }
 
+SkewInstance
+adversarialSkewInstance(const layout::Layout &l,
+                        const clocktree::ClockTree &t, double m,
+                        double eps)
+{
+    return adversarialSkewInstance(l, t, WireDelay{m, eps});
+}
+
 ArrivalSkew
 skewFromArrivals(const layout::Layout &l,
                  const std::vector<Time> &cell_arrival)
 {
-    VSYNC_ASSERT(cell_arrival.size() == l.size(),
-                 "%zu arrivals for %zu cells", cell_arrival.size(),
-                 l.size());
-    ArrivalSkew out;
-    if (!l.size())
-        return out;
-
-    std::size_t clocked = 0;
-    for (const Time t : cell_arrival)
-        clocked += t < infinity;
-    out.clockedFraction =
-        static_cast<double>(clocked) / static_cast<double>(l.size());
-
-    for (const graph::Edge &pair : l.comm().undirectedEdges()) {
-        ++out.pairCount;
-        const Time ta = cell_arrival.at(pair.src);
-        const Time tb = cell_arrival.at(pair.dst);
-        if (ta >= infinity || tb >= infinity)
-            continue;
-        ++out.clockedPairs;
-        out.maxCommSkew = std::max(out.maxCommSkew, std::fabs(ta - tb));
-    }
-    return out;
+    return SkewKernel(l).arrivalSkew(cell_arrival);
 }
 
 } // namespace vsync::core

@@ -8,6 +8,15 @@
  * clock period (A5). A Monte-Carlo companion draws concrete per-wire
  * delays in [m - eps, m + eps] and measures realised skews, which tests
  * use to confirm the model's sandwich eps*s <= sigma <= (m+eps)*s.
+ *
+ * All pair evaluation is backed by core::SkewKernel (one flat compile
+ * of the scenario, O(1) NCA per pair); the raw-pair surface that
+ * predates the kernel (commNodePairs / sampleMaxCommSkew) remains as
+ * deprecated shims for one release. sampleSkewInstance is retained
+ * un-deprecated as the naive per-chip reference path: it re-resolves
+ * the scenario on every call, which is exactly what the kernel
+ * amortises, and bench_perf_skew measures the two against each other
+ * in-run.
  */
 
 #ifndef VSYNC_CORE_SKEW_ANALYSIS_HH
@@ -17,6 +26,7 @@
 #include <vector>
 
 #include "clocktree/clock_tree.hh"
+#include "core/skew_kernel.hh"
 #include "core/skew_model.hh"
 #include "layout/layout.hh"
 
@@ -60,14 +70,24 @@ struct SkewReport
 };
 
 /**
+ * Evaluate @p model over every communicating pair of a compiled
+ * scenario @p kernel (which must be tree-compiled). Reuse the kernel
+ * across calls to amortise the geometry compile.
+ */
+[[nodiscard]] SkewReport analyzeSkew(const SkewKernel &kernel,
+                                     const SkewModel &model);
+
+/**
  * Evaluate @p model over every communicating pair of @p l under clock
- * tree @p t.
+ * tree @p t. Compiles a SkewKernel for the call; callers evaluating
+ * several models over one scenario should compile once and use the
+ * kernel overload.
  *
  * @pre every cell of the layout is bound to a node of the tree (A4).
  */
-SkewReport analyzeSkew(const layout::Layout &l,
-                       const clocktree::ClockTree &t,
-                       const SkewModel &model);
+[[nodiscard]] SkewReport analyzeSkew(const layout::Layout &l,
+                                     const clocktree::ClockTree &t,
+                                     const SkewModel &model);
 
 /** A sampled concrete realisation of per-wire delays. */
 struct SkewInstance
@@ -83,65 +103,67 @@ struct SkewInstance
 
 /**
  * Draw one concrete chip: each tree wire gets a per-unit delay sampled
- * uniformly from [m - eps, m + eps] (the Section III derivation), and
- * arrival times accumulate down the tree.
+ * uniformly from [delay.lo(), delay.hi()] (the Section III
+ * derivation), and arrival times accumulate down the tree.
+ *
+ * This is the retained naive path: every call re-resolves the comm
+ * pairs and allocates its result. Sweeps should compile a SkewKernel
+ * once and call SkewKernel::sampleMaxCommSkew per trial, which draws
+ * the same delays in the same order (bit-identical results given the
+ * same rng state).
  */
+SkewInstance sampleSkewInstance(const layout::Layout &l,
+                                const clocktree::ClockTree &t,
+                                const WireDelay &delay, Rng &rng);
+
+/** @deprecated Loose (m, eps) form; use the WireDelay overload. */
+[[deprecated("pass core::WireDelay{m, eps}")]]
 SkewInstance sampleSkewInstance(const layout::Layout &l,
                                 const clocktree::ClockTree &t,
                                 double m, double eps, Rng &rng);
 
 /**
  * Tree-node endpoints (na, nb) of every communicating cell pair, in
- * the same order as SkewReport::edges. Checks A4 once so the per-trial
- * samplers can skip the lookup and assertion; the Monte-Carlo sweeps
- * precompute this before fanning trials across threads.
+ * the same order as SkewReport::edges.
+ *
+ * @deprecated The raw-pair surface predates SkewKernel; compile a
+ * kernel and use pairNodesA()/pairNodesB() (no per-call allocation,
+ * shared O(1) NCA state). This shim delegates to a throwaway kernel.
  */
+[[deprecated("compile a core::SkewKernel and use pairNodesA()/"
+             "pairNodesB()")]]
 std::vector<std::pair<NodeId, NodeId>>
 commNodePairs(const layout::Layout &l, const clocktree::ClockTree &t);
 
 /**
- * Sample one chip and return only its maximum communicating skew: the
- * allocation-free hot path behind mc::skewSweep. Draws exactly the
- * same per-wire delays as sampleSkewInstance given the same rng state.
+ * Sample one chip and return only its maximum communicating skew.
  *
- * @param pairs   precomputed commNodePairs(l, t).
+ * @deprecated This was the pre-kernel Monte-Carlo hot path; use
+ * SkewKernel::sampleMaxCommSkew, which draws identically but reads
+ * flat compiled state.
+ *
+ * @param pairs   precomputed comm node pairs.
  * @param arrival scratch buffer, resized as needed and reusable across
  *                calls on the same thread.
  */
+[[deprecated("use core::SkewKernel::sampleMaxCommSkew")]]
 Time sampleMaxCommSkew(const clocktree::ClockTree &t,
                        const std::vector<std::pair<NodeId, NodeId>> &pairs,
                        double m, double eps, Rng &rng,
                        std::vector<Time> &arrival);
 
 /**
- * Realised skew metrics of one concrete per-cell arrival vector, as
- * produced by a faulty clock-distribution run (fault::TrixGrid::
- * cellArrivals or the fault::simulateTreeUnderFaults driver). An
- * infinite arrival means the cell was never clocked; pairs with an
- * unclocked endpoint are excluded from the skew maximum and counted
- * out of clockedPairs instead.
- */
-struct ArrivalSkew
-{
-    /** Fraction of cells with a finite arrival. */
-    double clockedFraction = 0.0;
-    /** Max |arrival(a) - arrival(b)| over fully clocked comm pairs. */
-    Time maxCommSkew = 0.0;
-    /** Communicating pairs with both endpoints clocked. */
-    std::size_t clockedPairs = 0;
-    /** All communicating pairs of the layout. */
-    std::size_t pairCount = 0;
-};
-
-/**
  * Evaluate the realised skew of @p cell_arrival (indexed by cell id,
  * infinity = never clocked) over @p l's communicating pairs. This is
  * the skew-query surface the fault subsystem shares between trees and
  * TRIX grids: both reduce to a per-cell arrival vector first, so they
- * compare under identical fault plans.
+ * compare under identical fault plans. Compiles a pairs-only
+ * SkewKernel per call; repeated evaluation (the resilience sweeps)
+ * should compile once and call SkewKernel::arrivalSkew.
  */
-ArrivalSkew skewFromArrivals(const layout::Layout &l,
-                             const std::vector<Time> &cell_arrival);
+[[nodiscard]] ArrivalSkew
+skewFromArrivals(const layout::Layout &l,
+                 const std::vector<Time> &cell_arrival);
 
 /**
  * The worst-case chip permitted by the Section III wire-delay model:
@@ -151,6 +173,12 @@ ArrivalSkew skewFromArrivals(const layout::Layout &l,
  * its full skew m*d + eps*s. This is the instance whose existence
  * A11's lower bound asserts.
  */
+SkewInstance adversarialSkewInstance(const layout::Layout &l,
+                                     const clocktree::ClockTree &t,
+                                     const WireDelay &delay);
+
+/** @deprecated Loose (m, eps) form; use the WireDelay overload. */
+[[deprecated("pass core::WireDelay{m, eps}")]]
 SkewInstance adversarialSkewInstance(const layout::Layout &l,
                                      const clocktree::ClockTree &t,
                                      double m, double eps);

@@ -1,0 +1,281 @@
+#include "core/skew_kernel.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "obs/metrics.hh"
+
+namespace vsync::core
+{
+
+SkewKernel::SkewKernel(const layout::Layout &l)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    compilePairs(l, nullptr);
+    buildMs = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+}
+
+SkewKernel::SkewKernel(const layout::Layout &l,
+                       const clocktree::ClockTree &t)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    compileTree(t);
+    compilePairs(l, &t);
+    buildMs = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+}
+
+void
+SkewKernel::compilePairs(const layout::Layout &l,
+                         const clocktree::ClockTree *t)
+{
+    cells = l.size();
+    const auto edges = l.comm().undirectedEdges();
+    pairCellA.reserve(edges.size());
+    pairCellB.reserve(edges.size());
+    if (t) {
+        nodeOf.assign(cells, invalidId);
+        for (CellId c = 0; static_cast<std::size_t>(c) < cells; ++c)
+            nodeOf[c] = t->nodeOfCell(c);
+        pairNodeA.reserve(edges.size());
+        pairNodeB.reserve(edges.size());
+    }
+    for (const graph::Edge &pair : edges) {
+        pairCellA.push_back(pair.src);
+        pairCellB.push_back(pair.dst);
+        if (t) {
+            const NodeId na = nodeOf[pair.src];
+            const NodeId nb = nodeOf[pair.dst];
+            VSYNC_ASSERT(na != invalidId && nb != invalidId,
+                         "cells %d/%d not clocked by the tree (A4)",
+                         pair.src, pair.dst);
+            pairNodeA.push_back(na);
+            pairNodeB.push_back(nb);
+        }
+    }
+}
+
+void
+SkewKernel::compileTree(const clocktree::ClockTree &t)
+{
+    const std::size_t n = t.size();
+    VSYNC_ASSERT(n > 0, "cannot compile an empty clock tree");
+    const graph::RootedTree &structure = t.structure();
+
+    // Flatten parent/wire-length and verify the id order is
+    // topological (ClockTree::addChild guarantees parent-before-child,
+    // so ids double as the propagation order).
+    parentOf.resize(n);
+    wireLen.resize(n);
+    h.resize(n);
+    parentOf[0] = invalidId;
+    wireLen[0] = 0.0;
+    h[0] = 0.0;
+    for (NodeId v = 1; static_cast<std::size_t>(v) < n; ++v) {
+        const NodeId p = structure.parent(v);
+        VSYNC_ASSERT(p != invalidId && p < v,
+                     "node %d's parent %d breaks topological id order",
+                     v, p);
+        parentOf[v] = p;
+        wireLen[v] = t.wireLength(v);
+        h[v] = h[p] + wireLen[v];
+    }
+
+    // Euler tour: every node is recorded on entry and again after each
+    // child subtree returns, giving 2n - 1 tour positions; nca(a, b) is
+    // the minimum-depth position between the first occurrences of a
+    // and b.
+    std::vector<std::int32_t> depth(n, 0);
+    for (NodeId v = 1; static_cast<std::size_t>(v) < n; ++v)
+        depth[v] = depth[parentOf[v]] + 1;
+
+    eulerNode.reserve(2 * n - 1);
+    eulerDepth.reserve(2 * n - 1);
+    firstSeen.assign(n, -1);
+    struct Frame
+    {
+        NodeId node;
+        std::size_t nextChild;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({0, 0});
+    while (!stack.empty()) {
+        Frame &f = stack.back();
+        const auto &kids = structure.children(f.node);
+        // Each frame visit records once: on entry, then once more
+        // after every child subtree returns -- 2n - 1 records total.
+        eulerNode.push_back(f.node);
+        eulerDepth.push_back(depth[f.node]);
+        if (firstSeen[f.node] < 0) {
+            firstSeen[f.node] =
+                static_cast<std::int32_t>(eulerNode.size() - 1);
+        }
+        if (f.nextChild < kids.size()) {
+            const NodeId child = kids[f.nextChild];
+            ++f.nextChild;
+            stack.push_back({child, 0});
+        } else {
+            stack.pop_back();
+        }
+    }
+
+    // Sparse table over tour depths: sparse[k][i] is the tour position
+    // of the minimum depth in [i, i + 2^k).
+    const std::size_t m = eulerNode.size();
+    logTable.assign(m + 1, 0);
+    for (std::size_t i = 2; i <= m; ++i)
+        logTable[i] = logTable[i / 2] + 1;
+    const int levels = logTable[m] + 1;
+    sparse.assign(levels, {});
+    sparse[0].resize(m);
+    for (std::size_t i = 0; i < m; ++i)
+        sparse[0][i] = static_cast<std::int32_t>(i);
+    for (int k = 1; k < levels; ++k) {
+        const std::size_t half = std::size_t{1} << (k - 1);
+        const std::size_t len = std::size_t{1} << k;
+        sparse[k].resize(m + 1 - len);
+        for (std::size_t i = 0; i + len <= m; ++i) {
+            const std::int32_t left = sparse[k - 1][i];
+            const std::int32_t right = sparse[k - 1][i + half];
+            sparse[k][i] =
+                eulerDepth[left] <= eulerDepth[right] ? left : right;
+        }
+    }
+}
+
+NodeId
+SkewKernel::nca(NodeId a, NodeId b) const
+{
+    VSYNC_ASSERT(hasTree(), "nca() needs a tree-compiled kernel");
+    VSYNC_ASSERT(a >= 0 && static_cast<std::size_t>(a) < nodeCount() &&
+                     b >= 0 &&
+                     static_cast<std::size_t>(b) < nodeCount(),
+                 "nca of invalid nodes %d/%d", a, b);
+    served.fetch_add(1, std::memory_order_relaxed);
+    std::int32_t lo = firstSeen[a];
+    std::int32_t hi = firstSeen[b];
+    if (lo > hi)
+        std::swap(lo, hi);
+    const std::int32_t len = hi - lo + 1;
+    const int k = logTable[len];
+    const std::int32_t left = sparse[k][lo];
+    const std::int32_t right = sparse[k][hi - (1 << k) + 1];
+    return eulerNode[eulerDepth[left] <= eulerDepth[right] ? left
+                                                           : right];
+}
+
+Length
+SkewKernel::pathDifference(NodeId a, NodeId b) const
+{
+    VSYNC_ASSERT(hasTree(), "pathDifference() needs a tree kernel");
+    served.fetch_add(1, std::memory_order_relaxed);
+    return std::fabs(h[a] - h[b]);
+}
+
+Length
+SkewKernel::treeDistance(NodeId a, NodeId b) const
+{
+    return h[a] + h[b] - 2.0 * h[nca(a, b)];
+}
+
+void
+SkewKernel::arrivals(const WireDelay &delay, Rng &rng,
+                     std::span<Time> out) const
+{
+    VSYNC_ASSERT(hasTree(), "arrivals() needs a tree-compiled kernel");
+    VSYNC_ASSERT(delay.valid(), "bad delay parameters m=%g eps=%g",
+                 delay.m, delay.eps);
+    VSYNC_ASSERT(out.size() == nodeCount(),
+                 "%zu arrival slots for %zu nodes", out.size(),
+                 nodeCount());
+    const double lo = delay.m - delay.eps;
+    const double hi = delay.m + delay.eps;
+    out[0] = 0.0;
+    // One uniform draw per non-root node in id order: the exact draw
+    // sequence of the pre-kernel sampleSkewInstance, preserving
+    // bit-identity of substream-driven sweeps.
+    const std::size_t n = nodeCount();
+    for (std::size_t v = 1; v < n; ++v)
+        out[v] = out[parentOf[v]] + rng.uniform(lo, hi) * wireLen[v];
+    batches.fetch_add(1, std::memory_order_relaxed);
+}
+
+Time
+SkewKernel::maxCommSkew(std::span<const Time> node_arrival) const
+{
+    VSYNC_ASSERT(hasTree(), "maxCommSkew() needs a tree kernel");
+    VSYNC_ASSERT(node_arrival.size() == nodeCount(),
+                 "%zu arrivals for %zu nodes", node_arrival.size(),
+                 nodeCount());
+    Time worst = 0.0;
+    const std::size_t pairs = pairCount();
+    for (std::size_t i = 0; i < pairs; ++i) {
+        worst = std::max(worst,
+                         std::fabs(node_arrival[pairNodeA[i]] -
+                                   node_arrival[pairNodeB[i]]));
+    }
+    served.fetch_add(pairs, std::memory_order_relaxed);
+    return worst;
+}
+
+Time
+SkewKernel::sampleMaxCommSkew(const WireDelay &delay, Rng &rng,
+                              std::vector<Time> &scratch) const
+{
+    scratch.resize(nodeCount());
+    arrivals(delay, rng, scratch);
+    return maxCommSkew(scratch);
+}
+
+ArrivalSkew
+SkewKernel::arrivalSkew(std::span<const Time> cell_arrival) const
+{
+    VSYNC_ASSERT(cell_arrival.size() == cellCount(),
+                 "%zu arrivals for %zu cells", cell_arrival.size(),
+                 cellCount());
+    ArrivalSkew out;
+    if (!cellCount())
+        return out;
+
+    std::size_t clocked = 0;
+    for (const Time t : cell_arrival)
+        clocked += t < infinity;
+    out.clockedFraction = static_cast<double>(clocked) /
+                          static_cast<double>(cellCount());
+
+    const std::size_t pairs = pairCount();
+    out.pairCount = pairs;
+    for (std::size_t i = 0; i < pairs; ++i) {
+        const Time ta = cell_arrival[pairCellA[i]];
+        const Time tb = cell_arrival[pairCellB[i]];
+        if (ta >= infinity || tb >= infinity)
+            continue;
+        ++out.clockedPairs;
+        out.maxCommSkew = std::max(out.maxCommSkew, std::fabs(ta - tb));
+    }
+    served.fetch_add(pairs, std::memory_order_relaxed);
+    return out;
+}
+
+void
+SkewKernel::exportMetrics(obs::MetricsRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.gauge(prefix + "nodes")
+        .set(static_cast<double>(nodeCount()));
+    reg.gauge(prefix + "pairs")
+        .set(static_cast<double>(pairCount()));
+    reg.gauge(prefix + "build_ms").set(buildMs);
+    reg.gauge(prefix + "queries_served")
+        .set(static_cast<double>(queriesServed()));
+    reg.gauge(prefix + "arrival_batches")
+        .set(static_cast<double>(arrivalBatches()));
+}
+
+} // namespace vsync::core

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The flattened batch skew-query kernel.
+ *
+ * Every headline result of the paper reduces to evaluating
+ * d = |h(a) - h(b)| and s = h(a) + h(b) - 2 h(nca(a, b)) over all
+ * communicating pairs (A9-A11, Theorem 6), and the Monte-Carlo and
+ * fault sweeps re-run that query space millions of times per bench.
+ * A SkewKernel "compiles" one scenario -- a (Layout, ClockTree) pair,
+ * or a bare Layout for arrival-surface-only queries -- into flat
+ * structure-of-arrays form once, so every subsequent query is a scan
+ * over contiguous memory:
+ *
+ *  - per-node parent index and wire length, in topological id order
+ *    (ClockTree creates nodes parent-before-child; the build verifies
+ *    parent(v) < v so a forward pass IS a topological traversal),
+ *  - per-node root-path length h as a prefix array,
+ *  - an Euler tour + sparse table answering nca() in O(1) per pair
+ *    (the naive RootedTree::nca climbs parents, O(depth) per pair),
+ *  - the communicating pairs as four flat endpoint arrays (tree-node
+ *    ids and cell ids), in layout::Layout::comm() undirectedEdges()
+ *    order -- the order every pre-kernel surface used, so results are
+ *    bit-identical to the pointer-chasing paths they replace.
+ *
+ * The batch entry points are allocation-free: arrivals() propagates a
+ * sampled per-wire delay realisation down the tree into a caller-owned
+ * span, maxCommSkew() folds a node-arrival surface over the pairs, and
+ * arrivalSkew() evaluates a per-cell arrival surface (the fault
+ * subsystem's shared reduction). A kernel is immutable after
+ * construction and safe to share read-only across threads; the query
+ * counters are relaxed atomics.
+ */
+
+#ifndef VSYNC_CORE_SKEW_KERNEL_HH
+#define VSYNC_CORE_SKEW_KERNEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clocktree/clock_tree.hh"
+#include "core/wire_delay.hh"
+#include "layout/layout.hh"
+
+namespace vsync
+{
+class Rng;
+} // namespace vsync
+
+namespace vsync::obs
+{
+class MetricsRegistry;
+} // namespace vsync::obs
+
+namespace vsync::core
+{
+
+/**
+ * Realised skew metrics of one concrete per-cell arrival vector, as
+ * produced by a faulty clock-distribution run (fault::TrixGrid::
+ * cellArrivals or the fault::simulateTreeUnderFaults driver). An
+ * infinite arrival means the cell was never clocked; pairs with an
+ * unclocked endpoint are excluded from the skew maximum and counted
+ * out of clockedPairs instead.
+ */
+struct ArrivalSkew
+{
+    /** Fraction of cells with a finite arrival. */
+    double clockedFraction = 0.0;
+    /** Max |arrival(a) - arrival(b)| over fully clocked comm pairs. */
+    Time maxCommSkew = 0.0;
+    /** Communicating pairs with both endpoints clocked. */
+    std::size_t clockedPairs = 0;
+    /** All communicating pairs of the layout. */
+    std::size_t pairCount = 0;
+};
+
+/** One compiled scenario: flat skew-query state for (layout[, tree]). */
+class SkewKernel
+{
+  public:
+    /**
+     * Pairs-only compile: flatten @p l's communicating pairs for
+     * arrivalSkew() queries. Tree queries (nca, arrivals, ...) are
+     * unavailable; this is the form the TRIX-grid fault driver uses,
+     * where cells are clocked by a redundant grid rather than a tree.
+     */
+    explicit SkewKernel(const layout::Layout &l);
+
+    /**
+     * Full compile of a (layout, clock tree) scenario.
+     *
+     * @pre every cell of the layout is bound to a node of the tree
+     *      (A4); checked once here so the per-trial hot paths never
+     *      re-assert it.
+     */
+    SkewKernel(const layout::Layout &l, const clocktree::ClockTree &t);
+
+    /** True when compiled with a tree (tree queries available). */
+    bool hasTree() const { return !parentOf.empty(); }
+
+    /** Tree nodes (0 for a pairs-only kernel). */
+    std::size_t nodeCount() const { return parentOf.size(); }
+
+    /** Cells of the compiled layout. */
+    std::size_t cellCount() const { return cells; }
+
+    /** Communicating pairs. */
+    std::size_t pairCount() const { return pairCellA.size(); }
+
+    /** Parent of tree node @p v (invalidId for the root). */
+    NodeId parent(NodeId v) const { return parentOf[v]; }
+
+    /** Tree node clocking cell @p c. */
+    NodeId nodeOfCell(CellId c) const { return nodeOf[c]; }
+
+    /** Wire length feeding node @p v (0 for the root). */
+    Length wireLength(NodeId v) const { return wireLen[v]; }
+
+    /** Root-path length h(v) (prefix array, filled at build). */
+    Length rootPathLength(NodeId v) const { return h[v]; }
+
+    /**
+     * Nearest common ancestor in O(1) via the Euler-tour sparse table.
+     * Agrees with the naive parent-climb graph::RootedTree::nca on
+     * every pair (property-tested on randomized trees).
+     */
+    NodeId nca(NodeId a, NodeId b) const;
+
+    /** d(a, b) = |h(a) - h(b)| (difference model, A9). */
+    Length pathDifference(NodeId a, NodeId b) const;
+
+    /** s(a, b) = h(a) + h(b) - 2 h(nca) (summation model, A10/A11). */
+    Length treeDistance(NodeId a, NodeId b) const;
+
+    /** Tree-node endpoints of pair i: (pairNodesA()[i], pairNodesB()[i]),
+     *  in layout comm() undirectedEdges() order. */
+    const std::vector<NodeId> &pairNodesA() const { return pairNodeA; }
+    const std::vector<NodeId> &pairNodesB() const { return pairNodeB; }
+
+    /** Cell endpoints of pair i, same order. */
+    const std::vector<CellId> &pairCellsA() const { return pairCellA; }
+    const std::vector<CellId> &pairCellsB() const { return pairCellB; }
+
+    /**
+     * Propagate one sampled chip down the tree: node @p v's arrival is
+     * arrival(parent) + u_v * wireLength(v) with u_v drawn uniformly
+     * from [delay.lo(), delay.hi()], one draw per non-root node in id
+     * order -- the exact draw sequence of the pre-kernel
+     * sampleSkewInstance, so substream-driven results are bit-identical.
+     *
+     * @param out caller-owned span of nodeCount() entries; every entry
+     *            is written (no allocation, vectorizable inner loop).
+     */
+    void arrivals(const WireDelay &delay, Rng &rng,
+                  std::span<Time> out) const;
+
+    /** Max |arrival(a) - arrival(b)| over the comm pairs of a node
+     *  arrival surface (as filled by arrivals()). */
+    Time maxCommSkew(std::span<const Time> node_arrival) const;
+
+    /**
+     * arrivals() + maxCommSkew() in one call: the Monte-Carlo
+     * per-trial hot path. @p scratch is resized to nodeCount() once
+     * and reusable across calls on the same thread.
+     */
+    Time sampleMaxCommSkew(const WireDelay &delay, Rng &rng,
+                           std::vector<Time> &scratch) const;
+
+    /**
+     * Evaluate a per-cell arrival surface (infinity = never clocked)
+     * over the comm pairs: the reduction shared by the faulty-tree and
+     * TRIX-grid drivers. Works on pairs-only kernels.
+     */
+    ArrivalSkew arrivalSkew(std::span<const Time> cell_arrival) const;
+
+    /** Wall-clock milliseconds the compile took. */
+    double buildMillis() const { return buildMs; }
+
+    /** Pair-level queries served so far (batch calls count every pair
+     *  they fold; per-pair calls count one each). Relaxed counter --
+     *  exact under any thread schedule. */
+    std::uint64_t queriesServed() const
+    {
+        return served.load(std::memory_order_relaxed);
+    }
+
+    /** arrivals() propagations served so far. */
+    std::uint64_t arrivalBatches() const
+    {
+        return batches.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Export kernel stats as gauges under @p prefix: nodes, pairs,
+     * build_ms, queries_served, arrival_batches. build_ms is wall
+     * clock and therefore not bit-stable across runs; tests asserting
+     * registry bit-identity should compare the other gauges.
+     */
+    void exportMetrics(obs::MetricsRegistry &reg,
+                       const std::string &prefix = "core.skew_kernel.")
+        const;
+
+  private:
+    void compilePairs(const layout::Layout &l,
+                      const clocktree::ClockTree *t);
+    void compileTree(const clocktree::ClockTree &t);
+
+    std::size_t cells = 0;
+
+    // Tree part (empty for pairs-only kernels), indexed by NodeId.
+    std::vector<NodeId> parentOf;
+    std::vector<Length> wireLen;
+    std::vector<Length> h;       // root-path length prefix array
+    std::vector<NodeId> nodeOf;  // indexed by CellId
+
+    // Euler-tour sparse-table NCA.
+    std::vector<std::int32_t> eulerNode;  // node at tour position
+    std::vector<std::int32_t> eulerDepth; // its depth
+    std::vector<std::int32_t> firstSeen;  // node -> first tour position
+    std::vector<std::int32_t> logTable;   // floor(log2(len))
+    std::vector<std::vector<std::int32_t>> sparse; // min-depth positions
+
+    // Comm-pair endpoints, undirectedEdges() order.
+    std::vector<NodeId> pairNodeA, pairNodeB;
+    std::vector<CellId> pairCellA, pairCellB;
+
+    double buildMs = 0.0;
+    mutable std::atomic<std::uint64_t> served{0};
+    mutable std::atomic<std::uint64_t> batches{0};
+};
+
+} // namespace vsync::core
+
+#endif // VSYNC_CORE_SKEW_KERNEL_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The Section III wire-delay model's parameter pair.
+ *
+ * Every stochastic skew experiment draws per-wire unit delays uniformly
+ * from [m - eps, m + eps] (ns per lambda). The pair used to travel the
+ * call graph as two loose doubles, which made it easy to swap the
+ * arguments silently; WireDelay names them once and is threaded through
+ * sampleSkewInstance, adversarialSkewInstance, the SkewKernel batch
+ * entry points, mc::skewSweep and the fault drivers.
+ */
+
+#ifndef VSYNC_CORE_WIRE_DELAY_HH
+#define VSYNC_CORE_WIRE_DELAY_HH
+
+namespace vsync::core
+{
+
+/** Per-unit wire-delay spread: unit delays lie in [m - eps, m + eps]. */
+struct WireDelay
+{
+    /** Mean delay per lambda (ns). */
+    double m = 0.05;
+    /** Half-width of the uniform spread per lambda (ns). */
+    double eps = 0.005;
+
+    /** Slowest-case bound m + eps. */
+    double hi() const { return m + eps; }
+    /** Fastest-case bound m - eps. */
+    double lo() const { return m - eps; }
+
+    /** The Section III derivation needs 0 <= eps <= m and m > 0. */
+    bool valid() const { return m > 0.0 && eps >= 0.0 && eps <= m; }
+};
+
+} // namespace vsync::core
+
+#endif // VSYNC_CORE_WIRE_DELAY_HH

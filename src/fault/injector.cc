@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/logging.hh"
-#include "core/skew_analysis.hh"
 #include "obs/metrics.hh"
 
 namespace vsync::fault
@@ -160,10 +159,10 @@ namespace
 
 /** Fill the derived metrics of an outcome from its arrival vector. */
 void
-finishOutcome(const layout::Layout &l, const FaultPlan &plan,
+finishOutcome(const core::SkewKernel &kernel, const FaultPlan &plan,
               DistributionOutcome &out)
 {
-    const core::ArrivalSkew skew = core::skewFromArrivals(l, out.cellArrival);
+    const core::ArrivalSkew skew = kernel.arrivalSkew(out.cellArrival);
     out.clockedFraction = skew.clockedFraction;
     out.maxCommSkew = skew.maxCommSkew;
     out.clockedPairs = skew.clockedPairs;
@@ -174,12 +173,13 @@ finishOutcome(const layout::Layout &l, const FaultPlan &plan,
 } // namespace
 
 DistributionOutcome
-simulateTreeUnderFaults(const layout::Layout &l,
-                        const clocktree::ClockTree &tree,
+simulateTreeUnderFaults(const core::SkewKernel &kernel,
                         const clocktree::BufferedClockTree &btree,
                         const desim::ClockNet::DelayFn &delay_of,
                         const FaultPlan &plan)
 {
+    VSYNC_ASSERT(kernel.hasTree(),
+                 "tree fault driver needs a tree-compiled kernel");
     desim::Simulator sim;
     desim::ClockNet net(sim, btree, delay_of);
     FaultInjector injector(sim, plan);
@@ -187,28 +187,39 @@ simulateTreeUnderFaults(const layout::Layout &l,
     net.drive(1.0, 1);
 
     DistributionOutcome out;
-    out.cellArrival.resize(l.size(), infinity);
-    for (CellId c = 0; c < static_cast<CellId>(l.size()); ++c) {
-        const NodeId node = tree.nodeOfCell(c);
-        VSYNC_ASSERT(node != invalidId, "cell %d not clocked (A4)", c);
-        const std::vector<Time> &arr = net.risingArrivals(node);
+    const std::size_t cells = kernel.cellCount();
+    out.cellArrival.resize(cells, infinity);
+    for (CellId c = 0; c < static_cast<CellId>(cells); ++c) {
+        const std::vector<Time> &arr =
+            net.risingArrivals(kernel.nodeOfCell(c));
         if (!arr.empty())
             out.cellArrival[c] = arr.front();
     }
-    finishOutcome(l, plan, out);
+    finishOutcome(kernel, plan, out);
     return out;
 }
 
 DistributionOutcome
-simulateGridUnderFaults(const layout::Layout &l, int rows, int cols,
-                        const TrixGrid::LinkDelayFn &delay_of,
+simulateTreeUnderFaults(const layout::Layout &l,
+                        const clocktree::ClockTree &tree,
+                        const clocktree::BufferedClockTree &btree,
+                        const desim::ClockNet::DelayFn &delay_of,
+                        const FaultPlan &plan)
+{
+    return simulateTreeUnderFaults(core::SkewKernel(l, tree), btree,
+                                   delay_of, plan);
+}
+
+DistributionOutcome
+simulateGridUnderFaults(const core::SkewKernel &kernel, int rows,
+                        int cols, const TrixGrid::LinkDelayFn &delay_of,
                         const FaultPlan &plan)
 {
     VSYNC_ASSERT(static_cast<std::size_t>(rows) *
                          static_cast<std::size_t>(cols) ==
-                     l.size(),
+                     kernel.cellCount(),
                  "grid %dx%d does not cover %zu cells", rows, cols,
-                 l.size());
+                 kernel.cellCount());
     desim::Simulator sim;
     TrixGrid grid(sim, rows, cols, delay_of);
     FaultInjector injector(sim, plan);
@@ -217,8 +228,17 @@ simulateGridUnderFaults(const layout::Layout &l, int rows, int cols,
 
     DistributionOutcome out;
     out.cellArrival = grid.cellArrivals();
-    finishOutcome(l, plan, out);
+    finishOutcome(kernel, plan, out);
     return out;
+}
+
+DistributionOutcome
+simulateGridUnderFaults(const layout::Layout &l, int rows, int cols,
+                        const TrixGrid::LinkDelayFn &delay_of,
+                        const FaultPlan &plan)
+{
+    return simulateGridUnderFaults(core::SkewKernel(l), rows, cols,
+                                   delay_of, plan);
 }
 
 } // namespace vsync::fault

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "clocktree/buffering.hh"
+#include "core/skew_kernel.hh"
 #include "desim/clock_net.hh"
 #include "desim/simulator.hh"
 #include "fault/fault_plan.hh"
@@ -114,12 +115,24 @@ struct DistributionOutcome
 };
 
 /**
- * Drive one clock pulse through @p btree (the buffered form of
- * @p tree, which must clock every cell of @p l) with @p plan armed and
- * measure what arrives.
+ * Drive one clock pulse through @p btree with @p plan armed and
+ * measure what arrives. @p kernel must be the tree-compiled
+ * core::SkewKernel of the scenario @p btree buffers; it supplies the
+ * cell-to-node binding and the comm-pair reduction, so sweeps compile
+ * it once and share it read-only across trials.
  *
  * @param delay_of per-site stage delays, as ClockNet's constructor
  *                 takes them (called in deterministic site order).
+ */
+DistributionOutcome
+simulateTreeUnderFaults(const core::SkewKernel &kernel,
+                        const clocktree::BufferedClockTree &btree,
+                        const desim::ClockNet::DelayFn &delay_of,
+                        const FaultPlan &plan);
+
+/**
+ * Convenience overload compiling the kernel per call. Sweeps should
+ * compile once and use the kernel overload.
  */
 DistributionOutcome
 simulateTreeUnderFaults(const layout::Layout &l,
@@ -129,12 +142,19 @@ simulateTreeUnderFaults(const layout::Layout &l,
                         const FaultPlan &plan);
 
 /**
- * Drive one clock pulse through a rows x cols TRIX grid clocking
- * @p l's cells row-major (cell r * cols + c under node (r, c)) with
- * @p plan armed and measure what arrives.
+ * Drive one clock pulse through a rows x cols TRIX grid clocking the
+ * kernel's cells row-major (cell r * cols + c under node (r, c)) with
+ * @p plan armed and measure what arrives. @p kernel may be pairs-only
+ * (the grid replaces the tree, so no tree compile exists).
  *
  * @param delay_of per-link delays (TrixGrid::LinkDelayFn).
  */
+DistributionOutcome
+simulateGridUnderFaults(const core::SkewKernel &kernel, int rows,
+                        int cols, const TrixGrid::LinkDelayFn &delay_of,
+                        const FaultPlan &plan);
+
+/** Convenience overload compiling a pairs-only kernel per call. */
 DistributionOutcome
 simulateGridUnderFaults(const layout::Layout &l, int rows, int cols,
                         const TrixGrid::LinkDelayFn &delay_of,

@@ -12,6 +12,15 @@
 namespace vsync::mc
 {
 
+void
+McConfig::validate() const
+{
+    VSYNC_ASSERT(trials > 0, "McConfig: trials must be positive");
+    VSYNC_ASSERT(grain > 0,
+                 "McConfig: grain must be positive (a zero grain "
+                 "divides the schedule into nothing)");
+}
+
 double
 McResult::quantile(double q) const
 {
@@ -63,6 +72,7 @@ McResult
 runTrials(ThreadPool &pool, const McConfig &cfg, const TrialFn &fn)
 {
     VSYNC_ASSERT(static_cast<bool>(fn), "null trial function");
+    cfg.validate();
     McResult r;
     r.samples.assign(cfg.trials, 0.0);
 

@@ -61,6 +61,15 @@ struct McConfig
 
     /** Metric name component identifying this sweep. */
     std::string metricsName = "sweep";
+
+    /**
+     * Fatal on configurations that would silently degenerate: zero
+     * trials (empty samples, NaN statistics downstream) or zero grain
+     * (divides the schedule into nothing; parallelForRange would spin
+     * forever handing out empty chunks). Called by runTrials and the
+     * custom sweep loops before any work is scheduled.
+     */
+    void validate() const;
 };
 
 /** One trial: map (trial index, its private rng) to one observable. */
@@ -101,11 +110,11 @@ void recordSweepMetrics(obs::MetricsRegistry &reg, const std::string &name,
                         std::uint64_t rng_draws);
 
 /** Run cfg.trials trials of @p fn on @p pool. */
-McResult runTrials(ThreadPool &pool, const McConfig &cfg,
-                   const TrialFn &fn);
+[[nodiscard]] McResult runTrials(ThreadPool &pool, const McConfig &cfg,
+                                 const TrialFn &fn);
 
 /** Convenience overload owning a pool of cfg.threads threads. */
-McResult runTrials(const McConfig &cfg, const TrialFn &fn);
+[[nodiscard]] McResult runTrials(const McConfig &cfg, const TrialFn &fn);
 
 } // namespace vsync::mc
 

@@ -1,11 +1,13 @@
 #include "mc/resilience.hh"
 
 #include <array>
+#include <optional>
 #include <unordered_set>
 
 #include "clocktree/buffering.hh"
 #include "clocktree/builders.hh"
 #include "common/logging.hh"
+#include "core/skew_kernel.hh"
 #include "fault/injector.hh"
 #include "obs/metrics.hh"
 
@@ -37,7 +39,7 @@ constexpr std::uint64_t delaySalt = 2;
 
 /** One faulty-tree trial: build the per-chip DelayFn and simulate. */
 fault::DistributionOutcome
-treeTrial(const layout::Layout &l, const clocktree::ClockTree &tree,
+treeTrial(const core::SkewKernel &kernel,
           const clocktree::BufferedClockTree &btree,
           const fault::FaultPlan &plan, const ResilienceConfig &rc,
           Rng &delay_rng)
@@ -46,17 +48,17 @@ treeTrial(const layout::Layout &l, const clocktree::ClockTree &tree,
         [&rc, &delay_rng](const clocktree::BufferedSite &site,
                           std::size_t) {
             const double unit =
-                delay_rng.uniform(rc.m - rc.eps, rc.m + rc.eps);
+                delay_rng.uniform(rc.delay.lo(), rc.delay.hi());
             const Time stage = site.wireFromParent * unit +
                                (site.isBuffer ? rc.bufferDelay : 0.0);
             return desim::EdgeDelays::same(stage);
         };
-    return fault::simulateTreeUnderFaults(l, tree, btree, delay_of, plan);
+    return fault::simulateTreeUnderFaults(kernel, btree, delay_of, plan);
 }
 
 /** One faulty-grid trial: per-link delays from the same delay model. */
 fault::DistributionOutcome
-gridTrial(const layout::Layout &l, int rows, int cols,
+gridTrial(const core::SkewKernel &kernel, int rows, int cols,
           const fault::FaultPlan &plan, const ResilienceConfig &rc,
           Rng &delay_rng)
 {
@@ -65,9 +67,10 @@ gridTrial(const layout::Layout &l, int rows, int cols,
             // One buffered unit-pitch link per stage: buffer delay plus
             // one lambda of varied wire.
             return rc.bufferDelay +
-                   delay_rng.uniform(rc.m - rc.eps, rc.m + rc.eps);
+                   delay_rng.uniform(rc.delay.lo(), rc.delay.hi());
         };
-    return fault::simulateGridUnderFaults(l, rows, cols, delay_of, plan);
+    return fault::simulateGridUnderFaults(kernel, rows, cols, delay_of,
+                                          plan);
 }
 
 } // namespace
@@ -83,12 +86,17 @@ resilienceAtRate(const layout::Layout &l, int rows, int cols,
                  "grid %dx%d does not cover %zu cells", rows, cols,
                  l.size());
 
-    // Shared read-only state, built once before the fan-out.
+    cfg.validate();
+    // Shared read-only state, built once before the fan-out: the
+    // distribution, its fault universe, and one compiled SkewKernel
+    // (pairs-only for the grid, which has no clock tree).
     clocktree::ClockTree tree;
     clocktree::BufferedClockTree btree;
     fault::FaultUniverse universe;
+    std::optional<core::SkewKernel> kernel;
     if (kind == DistributionKind::TrixGrid) {
         universe = fault::TrixGrid::universe(rows, cols);
+        kernel.emplace(l);
     } else {
         tree = kind == DistributionKind::HTree
                    ? clocktree::buildHTreeGrid(l, rows, cols)
@@ -96,7 +104,7 @@ resilienceAtRate(const layout::Layout &l, int rows, int cols,
         btree = clocktree::BufferedClockTree::insertBuffers(
             tree, rc.bufferSpacing);
         universe = fault::universeOf(btree);
-        tree.warmCaches();
+        kernel.emplace(l, tree);
     }
     const fault::FaultRates rates = fault::FaultRates::mixed(fault_rate);
 
@@ -133,8 +141,9 @@ resilienceAtRate(const layout::Layout &l, int rows, int cols,
                             ->inc();
                 const fault::DistributionOutcome out =
                     kind == DistributionKind::TrixGrid
-                        ? gridTrial(l, rows, cols, plan, rc, delay_rng)
-                        : treeTrial(l, tree, btree, plan, rc, delay_rng);
+                        ? gridTrial(*kernel, rows, cols, plan, rc,
+                                    delay_rng)
+                        : treeTrial(*kernel, btree, plan, rc, delay_rng);
                 point.maxCommSkew.samples[i] = out.maxCommSkew;
                 point.clockedFraction.samples[i] = out.clockedFraction;
                 faults[i] = static_cast<double>(out.faultCount);

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/wire_delay.hh"
 #include "fault/fault_plan.hh"
 #include "hybrid/network.hh"
 #include "layout/layout.hh"
@@ -49,10 +50,8 @@ std::string distributionKindName(DistributionKind kind);
 /** Physical constants of the simulated distributions. */
 struct ResilienceConfig
 {
-    /** Mean wire delay per lambda (the Section III m). */
-    double m = 0.05;
-    /** Wire delay spread per lambda (the Section III eps). */
-    double eps = 0.005;
+    /** Per-unit wire-delay spread (the Section III m and eps). */
+    core::WireDelay delay{0.05, 0.005};
     /** Buffer insertion delay per stage (ns). */
     Time bufferDelay = 0.2;
     /** Buffer spacing along tree wires (lambda, A7). */

@@ -7,7 +7,7 @@
 #include "circuit/inverter_string.hh"
 #include "circuit/yield.hh"
 #include "common/logging.hh"
-#include "core/skew_analysis.hh"
+#include "core/skew_kernel.hh"
 #include "obs/metrics.hh"
 #include "systolic/selftimed.hh"
 
@@ -16,12 +16,13 @@ namespace vsync::mc
 
 McResult
 skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
-          double m, double eps, const McConfig &cfg)
+          const core::WireDelay &delay, const McConfig &cfg)
 {
-    // Shared read-only state: warm the lazy geometry cache and resolve
-    // the communicating pairs before any worker touches the tree.
-    t.warmCaches();
-    const auto pairs = core::commNodePairs(l, t);
+    cfg.validate();
+    // One compile of the scenario, shared read-only by every worker;
+    // a kernel is immutable after construction, so no warm-up or
+    // locking is needed before the threads start.
+    const core::SkewKernel kernel(l, t);
 
     ThreadPool pool(cfg.threads);
     McResult r;
@@ -41,8 +42,8 @@ skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
             std::uint64_t chunk_draws = 0;
             for (std::size_t i = begin; i < end; ++i) {
                 Rng rng = Rng::forTrial(cfg.seed, i);
-                r.samples[i] = core::sampleMaxCommSkew(t, pairs, m, eps,
-                                                       rng, arrival);
+                r.samples[i] =
+                    kernel.sampleMaxCommSkew(delay, rng, arrival);
                 if (cfg.metrics)
                     chunk_draws += rng.draws();
             }
@@ -58,8 +59,17 @@ skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
                 .count();
         recordSweepMetrics(*cfg.metrics, cfg.metricsName, cfg.trials,
                            wall, draws.load(std::memory_order_relaxed));
+        kernel.exportMetrics(*cfg.metrics,
+                             "mc." + cfg.metricsName + ".kernel.");
     }
     return r;
+}
+
+McResult
+skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
+          double m, double eps, const McConfig &cfg)
+{
+    return skewSweep(l, t, core::WireDelay{m, eps}, cfg);
 }
 
 McResult

@@ -23,6 +23,7 @@
 
 #include "circuit/process.hh"
 #include "clocktree/clock_tree.hh"
+#include "core/wire_delay.hh"
 #include "hybrid/network.hh"
 #include "layout/layout.hh"
 #include "mc/montecarlo.hh"
@@ -33,10 +34,19 @@ namespace vsync::mc
 
 /**
  * Maximum realised communicating skew per sampled chip: cfg.trials
- * chips, each with per-wire unit delays drawn from [m - eps, m + eps].
- * Warms the tree's geometry cache, precomputes the communicating node
- * pairs once, and reuses per-chunk arrival scratch.
+ * chips, each with per-wire unit delays drawn from
+ * [delay.lo(), delay.hi()]. Compiles one core::SkewKernel for the
+ * scenario, shares it read-only across the worker threads, and reuses
+ * per-chunk arrival scratch; results are bit-identical to the
+ * pre-kernel per-chip sampler for the same cfg.seed. When cfg.metrics
+ * is set, the kernel's stats are exported under
+ * "mc.<metricsName>.kernel." alongside the sweep counters.
  */
+McResult skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
+                   const core::WireDelay &delay, const McConfig &cfg);
+
+/** @deprecated Loose (m, eps) form; use the WireDelay overload. */
+[[deprecated("pass core::WireDelay{m, eps}")]]
 McResult skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
                    double m, double eps, const McConfig &cfg);
 

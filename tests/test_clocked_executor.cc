@@ -134,7 +134,8 @@ TEST(ClockedExecutor, SpineSkewOffsetsRunBidirectionalTraffic)
 
     Rng rng(55);
     const auto inst =
-        core::sampleSkewInstance(l, tree, 0.05, 0.005, rng);
+        core::sampleSkewInstance(l, tree, core::WireDelay{0.05, 0.005},
+                                 rng);
     std::vector<Time> offsets;
     for (CellId c = 0; c < 6; ++c)
         offsets.push_back(inst.arrival[tree.nodeOfCell(c)]);

@@ -52,7 +52,7 @@ TEST(Integration, Theorem3FirRunsAtSizeIndependentPeriod)
         systolic::SystolicArray arr = systolic::buildFir(taps);
         const layout::Layout l = layout::linearLayout(n);
         const auto tree = clocktree::buildSpine(l);
-        const auto inst = core::sampleSkewInstance(l, tree, m, eps, rng);
+        const auto inst = core::sampleSkewInstance(l, tree, core::WireDelay{m, eps}, rng);
 
         std::vector<Time> offsets;
         for (CellId c = 0; c < n; ++c)
@@ -100,7 +100,7 @@ TEST(Integration, MeshSkewDefeatsFixedPeriodGlobalClocking)
         const auto tree = clocktree::buildHTreeGrid(l, n, n);
         // The worst-case chip A11 asserts to exist: adversarial wire
         // delays maximising the skew of the critical pair.
-        const auto inst = core::adversarialSkewInstance(l, tree, m, eps);
+        const auto inst = core::adversarialSkewInstance(l, tree, core::WireDelay{m, eps});
         std::vector<Time> offsets;
         for (CellId c = 0; static_cast<std::size_t>(c) < l.size(); ++c)
             offsets.push_back(inst.arrival[tree.nodeOfCell(c)]);

@@ -166,7 +166,7 @@ TEST(McSweeps, SkewSweepBitIdenticalAcrossThreadCounts)
         cfg.trials = 64;
         cfg.threads = tc;
         cfg.grain = 4;
-        results.push_back(mc::skewSweep(l, tree, 0.05, 0.005, cfg));
+        results.push_back(mc::skewSweep(l, tree, core::WireDelay{0.05, 0.005}, cfg));
     }
     for (std::size_t i = 1; i < results.size(); ++i)
         EXPECT_TRUE(results[i].bitIdentical(results[0]));
@@ -183,11 +183,12 @@ TEST(McSweeps, SkewSweepMatchesSerialSampler)
     cfg.seed = 31337;
     cfg.trials = 16;
     cfg.threads = 2;
-    const auto sweep = mc::skewSweep(l, tree, 0.05, 0.005, cfg);
+    const auto sweep = mc::skewSweep(l, tree, core::WireDelay{0.05, 0.005}, cfg);
     for (std::size_t i = 0; i < cfg.trials; ++i) {
         Rng rng = Rng::forTrial(cfg.seed, i);
         const auto inst =
-            core::sampleSkewInstance(l, tree, 0.05, 0.005, rng);
+            core::sampleSkewInstance(l, tree, core::WireDelay{0.05, 0.005},
+                                     rng);
         EXPECT_EQ(sweep.samples[i], inst.maxCommSkew) << "trial " << i;
     }
 }

@@ -106,14 +106,14 @@ TEST_P(GeometricInvariants, HoldForRandomLayoutTreePairs)
         }
 
         // Sampled chips respect the per-pair upper bounds.
-        const auto inst = core::sampleSkewInstance(l, t, m, eps, rng);
+        const auto inst = core::sampleSkewInstance(l, t, core::WireDelay{m, eps}, rng);
         for (std::size_t i = 0; i < report.edges.size(); ++i)
             EXPECT_LE(inst.edgeSkew[i], report.edges[i].upper + 1e-9)
                 << t.name;
 
         // The adversarial chip realises at least the A11 bound on its
         // critical pair (max over pairs of eps * s).
-        const auto adv = core::adversarialSkewInstance(l, t, m, eps);
+        const auto adv = core::adversarialSkewInstance(l, t, core::WireDelay{m, eps});
         EXPECT_GE(adv.maxCommSkew, report.maxSkewLower - 1e-9)
             << t.name;
         EXPECT_LE(adv.maxCommSkew, report.maxSkewUpper + 1e-9)

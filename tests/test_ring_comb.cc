@@ -101,7 +101,7 @@ TEST(DoubleComb, InstanceSkewsRespectBounds)
     const auto model = core::SkewModel::summation(m, eps);
     const auto report = core::analyzeSkew(l, t, model);
     for (int trial = 0; trial < 20; ++trial) {
-        const auto inst = core::sampleSkewInstance(l, t, m, eps, rng);
+        const auto inst = core::sampleSkewInstance(l, t, core::WireDelay{m, eps}, rng);
         for (std::size_t i = 0; i < report.edges.size(); ++i)
             EXPECT_LE(inst.edgeSkew[i], report.edges[i].upper + 1e-9);
     }

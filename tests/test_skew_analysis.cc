@@ -83,7 +83,7 @@ TEST(SampleSkewInstance, ArrivalsAccumulateDownTheTree)
     Rng rng(4);
     const layout::Layout l = layout::linearLayout(10);
     const ClockTree t = buildSpine(l);
-    const SkewInstance inst = sampleSkewInstance(l, t, 1.0, 0.0, rng);
+    const SkewInstance inst = sampleSkewInstance(l, t, WireDelay{1.0, 0.0}, rng);
     // With eps = 0 arrival equals the root path length exactly.
     for (CellId c = 0; c < 10; ++c) {
         const NodeId v = t.nodeOfCell(c);
@@ -119,7 +119,7 @@ TEST_P(SkewSandwich, InstanceWithinBounds)
         const SkewReport report = analyzeSkew(*c.l, c.t, model);
         for (int trial = 0; trial < 10; ++trial) {
             const SkewInstance inst =
-                sampleSkewInstance(*c.l, c.t, m, eps, rng);
+                sampleSkewInstance(*c.l, c.t, WireDelay{m, eps}, rng);
             ASSERT_EQ(inst.edgeSkew.size(), report.edges.size());
             for (std::size_t i = 0; i < report.edges.size(); ++i) {
                 EXPECT_LE(inst.edgeSkew[i],
@@ -143,7 +143,7 @@ TEST(SampleSkewInstance, WorstCaseApproachesLowerBoundOnChains)
     const clocktree::ClockTree t = buildSpine(l);
     double lo = vsync::infinity, hi = 0.0;
     for (int trial = 0; trial < 2000; ++trial) {
-        const SkewInstance inst = sampleSkewInstance(l, t, m, eps, rng);
+        const SkewInstance inst = sampleSkewInstance(l, t, WireDelay{m, eps}, rng);
         lo = std::min(lo, inst.maxCommSkew);
         hi = std::max(hi, inst.maxCommSkew);
     }
