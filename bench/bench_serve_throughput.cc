@@ -1,0 +1,166 @@
+/**
+ * @file
+ * PERF -- cached vs cold batched sweep serving, gated in CI.
+ *
+ * The serving layer's pitch is that a batch of sweeps against known
+ * scenarios should not pay the scenario compile again. This bench
+ * measures exactly that, in one process: a batch of skew-sweep
+ * requests spanning several mesh/H-tree scenarios is served by a
+ * SweepService with a cold ScenarioCache (every kernel compiles) and
+ * then served again warm (every kernel hits). Requests are sized so
+ * the compile dominates a cold batch -- which is the serving regime
+ * the cache exists for: many small queries against a few big
+ * scenarios.
+ *
+ * Exit status is the CI gate: nonzero when the warm batch is not at
+ * least 2x faster than the cold one, when any request fails to come
+ * back Complete, or when warm results are not bit-identical to cold
+ * ones (the cache must change wall-clock only, never numbers).
+ * Results go to stdout as tables and to BENCH_serve_throughput.json.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "clocktree/builders.hh"
+#include "layout/generators.hh"
+#include "serve/sweep_service.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+constexpr int reps = 3;
+constexpr double minWarmSpeedup = 2.0;
+constexpr std::size_t trialsPerRequest = 4;
+const int meshSides[] = {24, 28, 32, 36};
+const core::WireDelay delay{0.05, 0.005};
+
+/** All requests Complete with every trial done? */
+bool
+allComplete(const serve::BatchOutcome &out)
+{
+    for (const auto &o : out.outcomes)
+        if (o.status != serve::RequestStatus::Complete ||
+            o.trialsDone != o.trialsRequested)
+            return false;
+    return true;
+}
+
+/** Every request's samples bitwise equal across the two runs? */
+bool
+bitIdentical(const serve::BatchOutcome &a, const serve::BatchOutcome &b)
+{
+    if (a.outcomes.size() != b.outcomes.size())
+        return false;
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i)
+        if (!a.outcomes[i].skew.bitIdentical(b.outcomes[i].skew))
+            return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsync;
+    const auto opts = BenchOptions::parse(argc, argv);
+    const std::uint64_t seed = opts.seedSet ? opts.seed : 0x5e77eULL;
+
+    // The scenarios outlive every batch; only kernels are at stake.
+    std::vector<layout::Layout> layouts;
+    std::vector<clocktree::ClockTree> trees;
+    for (const int side : meshSides) {
+        layouts.push_back(layout::meshLayout(side, side));
+        trees.push_back(
+            clocktree::buildHTreeGrid(layouts.back(), side, side));
+    }
+
+    // Two requests per scenario with different seeds: the in-batch
+    // dedup (second request waits on the first's compile) is part of
+    // what the cold number measures.
+    std::vector<serve::SweepRequest> batch;
+    for (std::size_t s = 0; s < layouts.size(); ++s) {
+        for (int k = 0; k < 2; ++k) {
+            serve::SkewRequest rq;
+            rq.layout = &layouts[s];
+            rq.tree = &trees[s];
+            rq.delay = delay;
+            rq.cfg.seed = seed + s * 2 + k;
+            rq.cfg.trials = trialsPerRequest;
+            rq.cfg.grain = 2;
+            batch.push_back(rq);
+        }
+    }
+
+    double cold_best = -1.0, warm_best = -1.0;
+    double compile_ms = 0.0;
+    std::uint64_t warm_hits = 0, warm_misses = 0;
+    bool complete = true, identical = true;
+    for (int r = 0; r < reps; ++r) {
+        serve::SweepService svc; // fresh cache: the cold measurement
+        const serve::BatchOutcome cold = svc.run(batch);
+        complete = complete && allComplete(cold);
+        if (cold_best < 0.0 || cold.wallMs < cold_best) {
+            cold_best = cold.wallMs;
+            compile_ms = svc.cache().compileMillis();
+        }
+        for (int w = 0; w < 2; ++w) {
+            const serve::BatchOutcome warm = svc.run(batch);
+            complete = complete && allComplete(warm);
+            identical = identical && bitIdentical(cold, warm);
+            if (warm_best < 0.0 || warm.wallMs < warm_best)
+                warm_best = warm.wallMs;
+        }
+        warm_hits = svc.cache().hits();
+        warm_misses = svc.cache().misses();
+    }
+    const double speedup =
+        warm_best > 0.0 ? cold_best / warm_best : 0.0;
+
+    bench::headline(
+        "batched skew serving: cold cache (compile every scenario) vs "
+        "warm cache (hit every scenario)");
+    Table table("8-request batch over 4 mesh/H-tree scenarios",
+                {"cache", "best ms", "speedup", "bit-identical"});
+    table.addRow({"cold (fresh service)", Table::num(cold_best), "1.00",
+                  "-"});
+    table.addRow({"warm (same service)", Table::num(warm_best),
+                  Table::num(speedup), identical ? "yes" : "NO"});
+    emitTable(table, opts);
+
+    bench::BenchJson result("serve_throughput", seed);
+    JsonWriter &json = result.writer();
+    json.keyValue("scenarios",
+                  static_cast<std::uint64_t>(layouts.size()))
+        .keyValue("requests",
+                  static_cast<std::uint64_t>(batch.size()))
+        .keyValue("trials_per_request",
+                  static_cast<std::uint64_t>(trialsPerRequest))
+        .keyValue("reps_per_point", reps)
+        .keyValue("cold_best_ms", cold_best)
+        .keyValue("warm_best_ms", warm_best)
+        .keyValue("speedup", speedup)
+        .keyValue("compile_ms_cold_best", compile_ms)
+        .keyValue("cache_hits_per_rep", warm_hits)
+        .keyValue("cache_misses_per_rep", warm_misses)
+        .keyValue("all_complete", complete)
+        .keyValue("bit_identical", identical);
+
+    const bool gate_ok =
+        complete && identical && speedup >= minWarmSpeedup;
+    json.key("gate").beginObject()
+        .keyValue("min_warm_speedup", minWarmSpeedup)
+        .keyValue("passed", gate_ok)
+        .endObject();
+
+    std::printf("\nwrote BENCH_serve_throughput.json (warm %.2fx vs "
+                "%.1fx gate; results %s)\n",
+                speedup, minWarmSpeedup,
+                complete && identical ? "identical" : "DIVERGED");
+    return gate_ok ? 0 : 1;
+}

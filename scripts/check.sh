@@ -18,9 +18,9 @@ if [[ "${1:-}" == "--fast" ]]; then
     exit 0
 fi
 
-echo "== TSan: parallel Monte-Carlo engine + skew kernel + fault sweeps + observability =="
+echo "== TSan: parallel Monte-Carlo engine + skew kernel + fault sweeps + observability + serving =="
 cmake -B build-tsan -S . -DVSYNC_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$JOBS" --target test_parallel_mc test_skew_kernel test_fault test_obs
-(cd build-tsan && ctest --output-on-failure -R '^test_(parallel_mc|skew_kernel|fault|obs)$')
+cmake --build build-tsan -j"$JOBS" --target test_parallel_mc test_skew_kernel test_fault test_obs test_serve
+(cd build-tsan && ctest --output-on-failure -R '^test_(parallel_mc|skew_kernel|fault|obs|serve)$')
 
 echo "== all checks passed =="

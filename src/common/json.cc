@@ -1,5 +1,6 @@
 #include "common/json.hh"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
@@ -110,10 +111,21 @@ JsonWriter::value(double v)
         os << "null";
         return *this;
     }
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    os << buf;
+    os << formatDouble(v);
     return *this;
+}
+
+std::string
+JsonWriter::formatDouble(double v)
+{
+    // std::to_chars is locale-independent (snprintf "%.17g" emitted
+    // ',' decimal separators under non-C LC_NUMERIC, producing invalid
+    // JSON) and yields the shortest digit string that parses back to
+    // exactly the same double.
+    char buf[40];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    VSYNC_ASSERT(res.ec == std::errc(), "double does not fit buffer");
+    return std::string(buf, res.ptr);
 }
 
 JsonWriter &

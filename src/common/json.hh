@@ -61,6 +61,13 @@ class JsonWriter
     /** JSON string escaping (quotes not included). */
     static std::string escape(const std::string &s);
 
+    /**
+     * Format a finite double exactly as value(double) emits it:
+     * locale-independent (always '.' decimals, whatever LC_NUMERIC
+     * says) and round-trip exact via the shortest representation.
+     */
+    static std::string formatDouble(double v);
+
   private:
     enum class Scope { Top, Object, Array };
     struct Level

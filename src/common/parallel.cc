@@ -1,6 +1,7 @@
 #include "common/parallel.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -12,9 +13,23 @@ unsigned
 defaultThreadCount()
 {
     if (const char *env = std::getenv("VSYNC_THREADS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1)
+        char *end = nullptr;
+        errno = 0;
+        const long v = std::strtol(env, &end, 10);
+        // Reject anything that is not exactly one in-range integer:
+        // trailing garbage ("8abc") used to be silently accepted and
+        // values past LONG/unsigned range ("4294967297") used to wrap
+        // through the cast below.
+        if (end == env || *end != '\0') {
+            warn("VSYNC_THREADS='%s' is not an integer; using the "
+                 "hardware count", env);
+        } else if (errno == ERANGE || v < 1 ||
+                   v > static_cast<long>(maxThreadCount)) {
+            warn("VSYNC_THREADS='%s' outside [1, %u]; using the "
+                 "hardware count", env, maxThreadCount);
+        } else {
             return static_cast<unsigned>(v);
+        }
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1u;
@@ -51,8 +66,9 @@ ThreadPool::workerLoop(unsigned worker)
             return;
         seen = generation;
         PoolObserver *obs = observer; // read under the lock
+        const CancelToken *cancel = jobCancel;
         lock.unlock();
-        runChunks(worker, obs);
+        runChunks(worker, obs, cancel);
         lock.lock();
         if (--workersBusy == 0)
             cvDone.notify_all();
@@ -60,9 +76,16 @@ ThreadPool::workerLoop(unsigned worker)
 }
 
 void
-ThreadPool::runChunks(unsigned worker, PoolObserver *obs)
+ThreadPool::runChunks(unsigned worker, PoolObserver *obs,
+                      const CancelToken *cancel)
 {
     for (;;) {
+        // One failed chunk (or an external cancel) abandons the rest
+        // of the job; chunks already executing run to completion.
+        if (jobAbort.load(std::memory_order_relaxed) ||
+            (cancel && cancel->cancelled())) {
+            return;
+        }
         const std::size_t begin = nextIndex.fetch_add(jobGrain);
         if (begin >= jobSize)
             return;
@@ -82,6 +105,7 @@ ThreadPool::runChunks(unsigned worker, PoolObserver *obs)
 void
 ThreadPool::recordException()
 {
+    jobAbort.store(true, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mutex);
     if (!firstError)
         firstError = std::current_exception();
@@ -89,17 +113,35 @@ ThreadPool::recordException()
 
 void
 ThreadPool::parallelForRange(std::size_t n, std::size_t grain,
-                             const RangeFn &fn)
+                             const RangeFn &fn,
+                             const CancelToken *cancel)
 {
     VSYNC_ASSERT(grain >= 1, "grain must be positive");
     if (n == 0)
         return;
     if (count == 1 || n <= grain) {
-        if (observer)
-            observer->onChunkBegin(0, 0, n);
-        fn(0, n);
-        if (observer)
-            observer->onChunkEnd(0, 0, n);
+        PoolObserver *obs;
+        {
+            // setObserver may race this call from another thread; the
+            // observer is published under `mutex` on both paths.
+            std::lock_guard<std::mutex> lock(mutex);
+            obs = observer;
+        }
+        if (cancel && cancel->cancelled())
+            return;
+        if (obs)
+            obs->onChunkBegin(0, 0, n);
+        try {
+            fn(0, n);
+        } catch (...) {
+            // Keep begin/end paired for the observer even when the
+            // chunk throws; the exception still propagates unchanged.
+            if (obs)
+                obs->onChunkEnd(0, 0, n);
+            throw;
+        }
+        if (obs)
+            obs->onChunkEnd(0, 0, n);
         return;
     }
     PoolObserver *obs;
@@ -108,17 +150,20 @@ ThreadPool::parallelForRange(std::size_t n, std::size_t grain,
         jobFn = &fn;
         jobSize = n;
         jobGrain = grain;
+        jobCancel = cancel;
         nextIndex.store(0, std::memory_order_relaxed);
+        jobAbort.store(false, std::memory_order_relaxed);
         firstError = nullptr;
         workersBusy = static_cast<unsigned>(workers.size());
         ++generation;
         obs = observer;
     }
     cvWork.notify_all();
-    runChunks(0, obs); // the caller is a compute thread too
+    runChunks(0, obs, cancel); // the caller is a compute thread too
     std::unique_lock<std::mutex> lock(mutex);
     cvDone.wait(lock, [&] { return workersBusy == 0; });
     jobFn = nullptr;
+    jobCancel = nullptr;
     if (firstError)
         std::rethrow_exception(firstError);
 }

@@ -31,10 +31,45 @@ namespace vsync
 
 /**
  * Default worker count: the VSYNC_THREADS environment variable when set
- * to a positive integer, else std::thread::hardware_concurrency(),
- * never less than 1.
+ * to an integer in [1, maxThreadCount], else
+ * std::thread::hardware_concurrency(), never less than 1. Malformed or
+ * out-of-range values (trailing garbage, 0, negatives, values past the
+ * clamp) are rejected with a warn() and fall back to the hardware
+ * count.
  */
 unsigned defaultThreadCount();
+
+/** Largest thread count VSYNC_THREADS may request. */
+inline constexpr unsigned maxThreadCount = 1024;
+
+/**
+ * A cooperative cancellation flag shared between a job's submitter and
+ * the pool. Once cancelled, parallelForRange stops handing out chunks:
+ * chunks already running finish, chunks not yet started never run, and
+ * the call returns normally -- the caller decides what a partially
+ * covered index space means (serve::SweepService flags such results as
+ * partial). cancel() may be called from any thread, including from
+ * inside a running chunk.
+ */
+class CancelToken
+{
+  public:
+    /** Request cancellation (sticky until reset()). */
+    void cancel() { flag.store(true, std::memory_order_relaxed); }
+
+    /** True once cancel() was called. */
+    bool cancelled() const
+    {
+        return flag.load(std::memory_order_relaxed);
+    }
+
+    /** Re-arm the token for a new job. Only call while no job that
+     *  watches this token is in flight. */
+    void reset() { flag.store(false, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<bool> flag{false};
+};
 
 /**
  * Observer hooks around chunk execution, called on the executing
@@ -81,13 +116,22 @@ class ThreadPool
 
     /**
      * Run fn over [0, n) split into chunks of at most @p grain indices,
-     * blocking until every chunk completed. Chunks are scheduled
-     * dynamically; callers must make per-index results independent of
-     * the schedule (index-derived RNG streams, per-index output slots).
-     * The first exception thrown by a chunk is rethrown here.
+     * blocking until every started chunk completed. Chunks are
+     * scheduled dynamically; callers must make per-index results
+     * independent of the schedule (index-derived RNG streams, per-index
+     * output slots). The first exception thrown by a chunk is rethrown
+     * here, and aborts the job: chunks not yet started are abandoned
+     * rather than burning CPU on a doomed job.
+     *
+     * @param cancel optional cooperative cancellation: once
+     *        cancel->cancelled() is observed no further chunks start
+     *        and the call returns normally with the index space only
+     *        partially covered. The caller is responsible for knowing
+     *        which indices ran (nullptr = never cancelled).
      */
     void parallelForRange(std::size_t n, std::size_t grain,
-                          const RangeFn &fn);
+                          const RangeFn &fn,
+                          const CancelToken *cancel = nullptr);
 
     /** Run fn(i) for every i in [0, n) with an automatic grain. */
     void parallelFor(std::size_t n, const IndexFn &fn);
@@ -101,7 +145,8 @@ class ThreadPool
 
   private:
     void workerLoop(unsigned worker);
-    void runChunks(unsigned worker, PoolObserver *obs);
+    void runChunks(unsigned worker, PoolObserver *obs,
+                   const CancelToken *cancel);
     void recordException();
 
     unsigned count;
@@ -118,7 +163,12 @@ class ThreadPool
     const RangeFn *jobFn = nullptr;
     std::size_t jobSize = 0;
     std::size_t jobGrain = 1;
+    const CancelToken *jobCancel = nullptr; // published under `mutex`
     std::atomic<std::size_t> nextIndex{0};
+    // Set by the first failing chunk so the remaining chunks of the
+    // job are abandoned instead of executed; the recorded exception is
+    // rethrown by parallelForRange.
+    std::atomic<bool> jobAbort{false};
     std::exception_ptr firstError;
 };
 

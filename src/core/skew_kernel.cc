@@ -263,6 +263,15 @@ SkewKernel::arrivalSkew(std::span<const Time> cell_arrival) const
     return out;
 }
 
+KernelProvider
+directCompile()
+{
+    return [](const layout::Layout &l, const clocktree::ClockTree *t) {
+        return t ? std::make_shared<const SkewKernel>(l, *t)
+                 : std::make_shared<const SkewKernel>(l);
+    };
+}
+
 void
 SkewKernel::exportMetrics(obs::MetricsRegistry &reg,
                           const std::string &prefix) const

@@ -36,6 +36,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -231,6 +233,19 @@ class SkewKernel
     mutable std::atomic<std::uint64_t> served{0};
     mutable std::atomic<std::uint64_t> batches{0};
 };
+
+/**
+ * Source of compiled kernels for a scenario: tree == nullptr asks for
+ * the pairs-only compile of the layout. The Monte-Carlo and fault
+ * sweeps fetch their kernels through a provider so callers can swap
+ * the direct compile for serve::ScenarioCache::provider() -- repeated
+ * sweeps over the same scenario then pay the compile once.
+ */
+using KernelProvider = std::function<std::shared_ptr<const SkewKernel>(
+    const layout::Layout &, const clocktree::ClockTree *)>;
+
+/** The uncached provider: one fresh compile per call. */
+KernelProvider directCompile();
 
 } // namespace vsync::core
 

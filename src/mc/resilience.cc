@@ -1,7 +1,6 @@
 #include "mc/resilience.hh"
 
 #include <array>
-#include <optional>
 #include <unordered_set>
 
 #include "clocktree/buffering.hh"
@@ -75,38 +74,78 @@ gridTrial(const core::SkewKernel &kernel, int rows, int cols,
 
 } // namespace
 
-ResiliencePoint
-resilienceAtRate(const layout::Layout &l, int rows, int cols,
-                 DistributionKind kind, double fault_rate,
-                 const ResilienceConfig &rc, const McConfig &cfg)
+fault::DistributionOutcome
+ResilienceScenario::runTrial(
+    std::uint64_t seed, std::uint64_t trial,
+    const std::array<obs::Counter *, fault::faultKindCount>
+        *kind_counters) const
+{
+    Rng trial_rng = Rng::forTrial(seed, trial);
+    Rng plan_rng = trial_rng.deriveStream(planSalt);
+    Rng delay_rng = trial_rng.deriveStream(delaySalt);
+    const fault::FaultPlan plan =
+        fault::FaultPlan::generate(universe, rates, plan_rng);
+    if (kind_counters)
+        for (const fault::Fault &f : plan.faults())
+            (*kind_counters)[static_cast<std::size_t>(f.kind)]->inc();
+    return kind == DistributionKind::TrixGrid
+               ? gridTrial(*kernel, rows, cols, plan, rc, delay_rng)
+               : treeTrial(*kernel, btree, plan, rc, delay_rng);
+}
+
+ResilienceScenario
+compileResilienceScenario(const layout::Layout &l, int rows, int cols,
+                          DistributionKind kind, double fault_rate,
+                          const ResilienceConfig &rc,
+                          const core::KernelProvider &kernels)
 {
     VSYNC_ASSERT(static_cast<std::size_t>(rows) *
                          static_cast<std::size_t>(cols) ==
                      l.size(),
                  "grid %dx%d does not cover %zu cells", rows, cols,
                  l.size());
+    ResilienceScenario s;
+    s.kind = kind;
+    s.rows = rows;
+    s.cols = cols;
+    s.rc = rc;
+    s.rates = fault::FaultRates::mixed(fault_rate);
+    if (kind == DistributionKind::TrixGrid) {
+        s.universe = fault::TrixGrid::universe(rows, cols);
+        s.kernel = kernels(l, nullptr);
+    } else {
+        s.tree = kind == DistributionKind::HTree
+                     ? clocktree::buildHTreeGrid(l, rows, cols)
+                     : clocktree::buildSpine(l);
+        s.btree = clocktree::BufferedClockTree::insertBuffers(
+            s.tree, rc.bufferSpacing);
+        s.universe = fault::universeOf(s.btree);
+        s.kernel = kernels(l, &s.tree);
+    }
+    return s;
+}
 
+ResiliencePoint
+resilienceAtRate(const layout::Layout &l, int rows, int cols,
+                 DistributionKind kind, double fault_rate,
+                 const ResilienceConfig &rc, const McConfig &cfg)
+{
+    return resilienceAtRate(l, rows, cols, kind, fault_rate, rc, cfg,
+                            core::directCompile());
+}
+
+ResiliencePoint
+resilienceAtRate(const layout::Layout &l, int rows, int cols,
+                 DistributionKind kind, double fault_rate,
+                 const ResilienceConfig &rc, const McConfig &cfg,
+                 const core::KernelProvider &kernels)
+{
     cfg.validate();
     // Shared read-only state, built once before the fan-out: the
     // distribution, its fault universe, and one compiled SkewKernel
     // (pairs-only for the grid, which has no clock tree).
-    clocktree::ClockTree tree;
-    clocktree::BufferedClockTree btree;
-    fault::FaultUniverse universe;
-    std::optional<core::SkewKernel> kernel;
-    if (kind == DistributionKind::TrixGrid) {
-        universe = fault::TrixGrid::universe(rows, cols);
-        kernel.emplace(l);
-    } else {
-        tree = kind == DistributionKind::HTree
-                   ? clocktree::buildHTreeGrid(l, rows, cols)
-                   : clocktree::buildSpine(l);
-        btree = clocktree::BufferedClockTree::insertBuffers(
-            tree, rc.bufferSpacing);
-        universe = fault::universeOf(btree);
-        kernel.emplace(l, tree);
-    }
-    const fault::FaultRates rates = fault::FaultRates::mixed(fault_rate);
+    const ResilienceScenario scenario = compileResilienceScenario(
+        l, rows, cols, kind, fault_rate, rc, kernels);
 
     ResiliencePoint point;
     point.faultRate = fault_rate;
@@ -130,20 +169,10 @@ resilienceAtRate(const layout::Layout &l, int rows, int cols,
         cfg.trials, cfg.grain,
         [&](std::size_t begin, std::size_t end) {
             for (std::size_t i = begin; i < end; ++i) {
-                Rng trial_rng = Rng::forTrial(cfg.seed, i);
-                Rng plan_rng = trial_rng.deriveStream(planSalt);
-                Rng delay_rng = trial_rng.deriveStream(delaySalt);
-                const fault::FaultPlan plan =
-                    fault::FaultPlan::generate(universe, rates, plan_rng);
-                if (cfg.metrics)
-                    for (const fault::Fault &f : plan.faults())
-                        kindCounters[static_cast<std::size_t>(f.kind)]
-                            ->inc();
                 const fault::DistributionOutcome out =
-                    kind == DistributionKind::TrixGrid
-                        ? gridTrial(*kernel, rows, cols, plan, rc,
-                                    delay_rng)
-                        : treeTrial(*kernel, btree, plan, rc, delay_rng);
+                    scenario.runTrial(cfg.seed, i,
+                                      cfg.metrics ? &kindCounters
+                                                  : nullptr);
                 point.maxCommSkew.samples[i] = out.maxCommSkew;
                 point.clockedFraction.samples[i] = out.clockedFraction;
                 faults[i] = static_cast<double>(out.faultCount);

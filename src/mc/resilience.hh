@@ -21,14 +21,25 @@
 #ifndef VSYNC_MC_RESILIENCE_HH
 #define VSYNC_MC_RESILIENCE_HH
 
+#include <array>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "clocktree/buffering.hh"
+#include "clocktree/clock_tree.hh"
+#include "core/skew_kernel.hh"
 #include "core/wire_delay.hh"
 #include "fault/fault_plan.hh"
+#include "fault/injector.hh"
 #include "hybrid/network.hh"
 #include "layout/layout.hh"
 #include "mc/montecarlo.hh"
+
+namespace vsync::obs
+{
+class Counter;
+} // namespace vsync::obs
 
 namespace vsync::mc
 {
@@ -72,6 +83,54 @@ struct ResiliencePoint
 };
 
 /**
+ * The shared read-only state of one resilience experiment, built once
+ * before the trial fan-out: the distribution under test (tree + its
+ * buffered form, or the grid dimensions), its fault universe and
+ * rates, and the compiled kernel. Immutable after compile; safe to
+ * share across threads. serve::SweepService compiles one of these per
+ * resilience request (kernel via the scenario cache) and runs its
+ * trials on the shared pool.
+ */
+struct ResilienceScenario
+{
+    DistributionKind kind = DistributionKind::HTree;
+    int rows = 0;
+    int cols = 0;
+    /** Tree distributions only; empty for TrixGrid. */
+    clocktree::ClockTree tree;
+    clocktree::BufferedClockTree btree;
+    fault::FaultUniverse universe;
+    fault::FaultRates rates;
+    ResilienceConfig rc;
+    /** Tree-compiled, or pairs-only for TrixGrid. */
+    std::shared_ptr<const core::SkewKernel> kernel;
+
+    /**
+     * One trial, bit-identical for any thread count: draws the fault
+     * plan and the wire delays from disjoint substreams of
+     * Rng::forTrial(seed, trial), arms the plan and drives one clock
+     * pulse. @p kind_counters, when set, receives one inc() per
+     * planned fault on the counter of its kind.
+     */
+    fault::DistributionOutcome
+    runTrial(std::uint64_t seed, std::uint64_t trial,
+             const std::array<obs::Counter *, fault::faultKindCount>
+                 *kind_counters = nullptr) const;
+};
+
+/**
+ * Build the shared state resilienceAtRate fans trials over: the
+ * distribution for @p kind over a rows x cols mesh layout @p l (cells
+ * row-major), fault::FaultRates::mixed(fault_rate), and the kernel
+ * fetched from @p kernels (tree-compiled, or pairs-only for TrixGrid).
+ */
+ResilienceScenario
+compileResilienceScenario(const layout::Layout &l, int rows, int cols,
+                          DistributionKind kind, double fault_rate,
+                          const ResilienceConfig &rc,
+                          const core::KernelProvider &kernels);
+
+/**
  * Measure one distribution at one fault rate over a rows x cols mesh
  * layout @p l (cells row-major). Each trial arms
  * fault::FaultRates::mixed(fault_rate) on the distribution and drives
@@ -83,6 +142,18 @@ ResiliencePoint resilienceAtRate(const layout::Layout &l, int rows,
                                  double fault_rate,
                                  const ResilienceConfig &rc,
                                  const McConfig &cfg);
+
+/**
+ * As above with the kernel fetched from @p kernels (pass
+ * serve::ScenarioCache::provider() to amortise the compile across
+ * sweeps). Bit-identical to the direct-compile overload.
+ */
+ResiliencePoint resilienceAtRate(const layout::Layout &l, int rows,
+                                 int cols, DistributionKind kind,
+                                 double fault_rate,
+                                 const ResilienceConfig &rc,
+                                 const McConfig &cfg,
+                                 const core::KernelProvider &kernels);
 
 /**
  * The graceful-degradation curve: resilienceAtRate at every rate of

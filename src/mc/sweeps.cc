@@ -18,11 +18,21 @@ McResult
 skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
           const core::WireDelay &delay, const McConfig &cfg)
 {
+    return skewSweep(l, t, delay, cfg, core::directCompile());
+}
+
+McResult
+skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
+          const core::WireDelay &delay, const McConfig &cfg,
+          const core::KernelProvider &kernels)
+{
     cfg.validate();
-    // One compile of the scenario, shared read-only by every worker;
-    // a kernel is immutable after construction, so no warm-up or
-    // locking is needed before the threads start.
-    const core::SkewKernel kernel(l, t);
+    // One kernel fetch for the scenario, shared read-only by every
+    // worker; a kernel is immutable after construction, so no warm-up
+    // or locking is needed before the threads start. A caching
+    // provider amortises the compile across sweeps as well.
+    const std::shared_ptr<const core::SkewKernel> kptr = kernels(l, &t);
+    const core::SkewKernel &kernel = *kptr;
 
     ThreadPool pool(cfg.threads);
     McResult r;

@@ -23,6 +23,7 @@
 
 #include "circuit/process.hh"
 #include "clocktree/clock_tree.hh"
+#include "core/skew_kernel.hh"
 #include "core/wire_delay.hh"
 #include "hybrid/network.hh"
 #include "layout/layout.hh"
@@ -44,6 +45,17 @@ namespace vsync::mc
  */
 McResult skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
                    const core::WireDelay &delay, const McConfig &cfg);
+
+/**
+ * As above, but the scenario's kernel is fetched from @p kernels
+ * instead of compiled directly -- pass
+ * serve::ScenarioCache::provider() so repeated sweeps over the same
+ * (layout, tree) reuse one compile. Results are bit-identical to the
+ * direct-compile overload for the same cfg.
+ */
+McResult skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
+                   const core::WireDelay &delay, const McConfig &cfg,
+                   const core::KernelProvider &kernels);
 
 /** @deprecated Loose (m, eps) form; use the WireDelay overload. */
 [[deprecated("pass core::WireDelay{m, eps}")]]

@@ -1,0 +1,270 @@
+#include "serve/sweep_service.hh"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace vsync::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** A request's precompiled shared state. */
+struct Compiled
+{
+    bool isSkew = false;
+    /** False when cancellation pre-empted the compile. */
+    bool ready = false;
+    /** Skew requests: the cached kernel. */
+    std::shared_ptr<const core::SkewKernel> kernel;
+    /** Resilience requests: the full scenario. */
+    mc::ResilienceScenario scenario;
+};
+
+/** One schedulable slice of one request's trials. */
+struct WorkUnit
+{
+    std::size_t request = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+
+const mc::McConfig &
+configOf(const SweepRequest &rq)
+{
+    if (const SkewRequest *s = std::get_if<SkewRequest>(&rq))
+        return s->cfg;
+    return std::get<ResilienceRequest>(rq).cfg;
+}
+
+bool
+isSkewRequest(const SweepRequest &rq)
+{
+    return std::holds_alternative<SkewRequest>(rq);
+}
+
+} // namespace
+
+SweepService::SweepService(ServiceConfig config)
+    : cfg(config),
+      kernels(ScenarioCache::Config{config.cacheCapacity, config.metrics,
+                                    "serve.cache."}),
+      pool(config.threads)
+{
+}
+
+void
+SweepService::cancel()
+{
+    userCancel.cancel();
+}
+
+BatchOutcome
+SweepService::run(const std::vector<SweepRequest> &batch,
+                  const BatchOptions &opts)
+{
+    std::lock_guard<std::mutex> runLock(runMutex);
+    userCancel.reset();
+    stopToken.reset();
+    const Clock::time_point t0 = Clock::now();
+    const bool hasDeadline = opts.deadlineSeconds < infinity;
+    const Clock::time_point deadline =
+        hasDeadline ? t0 + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   opts.deadlineSeconds))
+                    : Clock::time_point::max();
+
+    const auto externallyCancelled = [&]() {
+        return userCancel.cancelled() ||
+               (opts.cancel && opts.cancel->cancelled());
+    };
+
+    BatchOutcome out;
+    out.outcomes.resize(batch.size());
+    std::atomic<bool> deadlineHit{false};
+
+    // Phase 1 -- compile. Kernels come through the cache, so repeated
+    // scenarios within the batch (and across batches) compile once.
+    // Cancellation and the deadline are honoured between compiles; a
+    // request whose compile was skipped contributes no work units.
+    std::vector<Compiled> compiled(batch.size());
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+        configOf(batch[r]).validate();
+        out.outcomes[r].trialsRequested = configOf(batch[r]).trials;
+        if (externallyCancelled())
+            continue;
+        if (hasDeadline && Clock::now() >= deadline) {
+            deadlineHit.store(true, std::memory_order_relaxed);
+            continue;
+        }
+        if (const SkewRequest *s = std::get_if<SkewRequest>(&batch[r])) {
+            VSYNC_ASSERT(s->layout && s->tree,
+                         "skew request %zu lacks layout or tree", r);
+            compiled[r].isSkew = true;
+            compiled[r].kernel = kernels.get(*s->layout, *s->tree);
+            compiled[r].ready = true;
+        } else {
+            const ResilienceRequest &q =
+                std::get<ResilienceRequest>(batch[r]);
+            VSYNC_ASSERT(q.layout,
+                         "resilience request %zu lacks a layout", r);
+            compiled[r].scenario = mc::compileResilienceScenario(
+                *q.layout, q.rows, q.cols, q.kind, q.faultRate, q.rc,
+                kernels.provider());
+            compiled[r].ready = true;
+        }
+    }
+
+    // Phase 2 -- shard every request's trials into grain-sized units
+    // and preallocate the per-trial slots they write.
+    std::vector<WorkUnit> units;
+    std::vector<std::vector<double>> faults(batch.size());
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+        const mc::McConfig &mcc = configOf(batch[r]);
+        RequestOutcome &o = out.outcomes[r];
+        if (isSkewRequest(batch[r])) {
+            o.skew.samples.assign(mcc.trials, 0.0);
+        } else {
+            const ResilienceRequest &q =
+                std::get<ResilienceRequest>(batch[r]);
+            o.resilience.faultRate = q.faultRate;
+            o.resilience.maxCommSkew.samples.assign(mcc.trials, 0.0);
+            o.resilience.clockedFraction.samples.assign(mcc.trials, 0.0);
+            faults[r].assign(mcc.trials, 0.0);
+        }
+        if (!compiled[r].ready)
+            continue;
+        for (std::size_t b = 0; b < mcc.trials; b += mcc.grain)
+            units.push_back(
+                WorkUnit{r, b, std::min(b + mcc.grain, mcc.trials)});
+    }
+
+    // Phase 3 -- run the units of all requests interleaved on the one
+    // pool. Each unit is written by exactly one worker and the done
+    // flags are read only after the pool joins, so plain bytes suffice.
+    std::vector<std::uint8_t> unitDone(units.size(), 0);
+    pool.parallelForRange(
+        units.size(), 1,
+        [&](std::size_t ub, std::size_t ue) {
+            std::vector<Time> arrival; // skew scratch, reused per unit
+            for (std::size_t u = ub; u < ue; ++u) {
+                if (externallyCancelled())
+                    stopToken.cancel();
+                else if (hasDeadline && Clock::now() >= deadline) {
+                    deadlineHit.store(true, std::memory_order_relaxed);
+                    stopToken.cancel();
+                }
+                if (stopToken.cancelled())
+                    return;
+                const WorkUnit &w = units[u];
+                const mc::McConfig &mcc = configOf(batch[w.request]);
+                RequestOutcome &o = out.outcomes[w.request];
+                if (compiled[w.request].isSkew) {
+                    const SkewRequest &s =
+                        std::get<SkewRequest>(batch[w.request]);
+                    const core::SkewKernel &kernel =
+                        *compiled[w.request].kernel;
+                    for (std::size_t i = w.begin; i < w.end; ++i) {
+                        Rng rng = Rng::forTrial(mcc.seed, i);
+                        o.skew.samples[i] = kernel.sampleMaxCommSkew(
+                            s.delay, rng, arrival);
+                    }
+                } else {
+                    const mc::ResilienceScenario &sc =
+                        compiled[w.request].scenario;
+                    for (std::size_t i = w.begin; i < w.end; ++i) {
+                        const fault::DistributionOutcome res =
+                            sc.runTrial(mcc.seed, i);
+                        o.resilience.maxCommSkew.samples[i] =
+                            res.maxCommSkew;
+                        o.resilience.clockedFraction.samples[i] =
+                            res.clockedFraction;
+                        faults[w.request][i] =
+                            static_cast<double>(res.faultCount);
+                    }
+                }
+                unitDone[u] = 1;
+            }
+        },
+        &stopToken);
+
+    // Phase 4 -- reduce. Complete requests reduce exactly as the mc::
+    // sweeps do (trial order over all samples: bit-identical). Partial
+    // requests fold only the trials that ran, still in trial order,
+    // and report which ones those were.
+    std::vector<std::uint8_t> trialDone;
+    std::size_t totalDone = 0;
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+        const mc::McConfig &mcc = configOf(batch[r]);
+        RequestOutcome &o = out.outcomes[r];
+        trialDone.assign(mcc.trials, 0);
+        o.trialsDone = 0;
+        for (std::size_t u = 0; u < units.size(); ++u) {
+            if (!unitDone[u] || units[u].request != r)
+                continue;
+            for (std::size_t i = units[u].begin; i < units[u].end; ++i)
+                trialDone[i] = 1;
+            o.trialsDone += units[u].end - units[u].begin;
+        }
+        totalDone += o.trialsDone;
+
+        if (o.trialsDone == mcc.trials) {
+            o.status = RequestStatus::Complete;
+            if (isSkewRequest(batch[r])) {
+                mc::reduceInTrialOrder(o.skew);
+            } else {
+                mc::reduceInTrialOrder(o.resilience.maxCommSkew);
+                mc::reduceInTrialOrder(o.resilience.clockedFraction);
+                double total = 0.0;
+                for (const double f : faults[r])
+                    total += f;
+                o.resilience.meanFaults =
+                    mcc.trials ? total / mcc.trials : 0.0;
+            }
+        } else {
+            o.status = RequestStatus::Partial;
+            o.trialDone = trialDone;
+            double total = 0.0;
+            for (std::size_t i = 0; i < mcc.trials; ++i) {
+                if (!trialDone[i])
+                    continue;
+                if (isSkewRequest(batch[r])) {
+                    o.skew.stat.add(o.skew.samples[i]);
+                } else {
+                    o.resilience.maxCommSkew.stat.add(
+                        o.resilience.maxCommSkew.samples[i]);
+                    o.resilience.clockedFraction.stat.add(
+                        o.resilience.clockedFraction.samples[i]);
+                    total += faults[r][i];
+                }
+            }
+            if (!isSkewRequest(batch[r]))
+                o.resilience.meanFaults =
+                    o.trialsDone ? total / o.trialsDone : 0.0;
+        }
+    }
+
+    out.deadlineExpired = deadlineHit.load(std::memory_order_relaxed);
+    out.cancelled = externallyCancelled();
+    out.wallMs = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                           t0)
+                     .count();
+
+    if (cfg.metrics) {
+        cfg.metrics->counter("serve.batch.requests").inc(batch.size());
+        cfg.metrics->counter("serve.batch.trials_done").inc(totalDone);
+        if (out.cancelled)
+            cfg.metrics->counter("serve.batch.cancelled").inc();
+        if (out.deadlineExpired)
+            cfg.metrics->counter("serve.batch.deadline_expired").inc();
+        cfg.metrics->gauge("serve.batch.wall_ms").add(out.wallMs);
+    }
+    return out;
+}
+
+} // namespace vsync::serve

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Batched sweep serving: shard, cache, cancel.
+ *
+ * A SweepService is the front door for running many Monte-Carlo sweep
+ * requests as one unit of work. It owns one ThreadPool and one
+ * ScenarioCache; a batch of requests (skew sweeps, resilience points --
+ * tree or TRIX grid) is split into fixed-size work units of trials and
+ * the units of every request are sharded across the pool together, so
+ * a batch of small sweeps saturates the machine the way one big sweep
+ * does. Kernels are fetched through the cache: repeated scenarios
+ * across requests or batches compile once.
+ *
+ * Determinism: a request's trials are computed exactly as the
+ * corresponding mc:: entry point computes them -- same Rng::forTrial
+ * streams, same per-trial code, reduction in trial order -- so a
+ * Complete outcome is bit-identical to mc::skewSweep /
+ * mc::resilienceAtRate at any pool width.
+ *
+ * Cancellation and deadlines are cooperative with work-unit
+ * granularity. A cancelled or past-deadline batch stops handing out
+ * units; whatever finished is returned with status Partial, the done
+ * trial ranges identified -- partial results are flagged, never
+ * silently passed off as complete.
+ */
+
+#ifndef VSYNC_SERVE_SWEEP_SERVICE_HH
+#define VSYNC_SERVE_SWEEP_SERVICE_HH
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "common/types.hh"
+#include "core/wire_delay.hh"
+#include "mc/montecarlo.hh"
+#include "mc/resilience.hh"
+#include "serve/scenario_cache.hh"
+
+namespace vsync::serve
+{
+
+/**
+ * One skew sweep: mc::skewSweep(*layout, *tree, delay, cfg). The
+ * layout and tree are borrowed and must outlive the run() call.
+ * cfg.threads and cfg.metrics are ignored -- the service's pool and
+ * registry apply; cfg.seed/trials/grain mean what they mean in mc::.
+ */
+struct SkewRequest
+{
+    const layout::Layout *layout = nullptr;
+    const clocktree::ClockTree *tree = nullptr;
+    core::WireDelay delay{0.05, 0.005};
+    mc::McConfig cfg;
+};
+
+/**
+ * One resilience point: mc::resilienceAtRate(*layout, rows, cols,
+ * kind, faultRate, rc, cfg). Borrowing and cfg caveats as above.
+ */
+struct ResilienceRequest
+{
+    const layout::Layout *layout = nullptr;
+    int rows = 0;
+    int cols = 0;
+    mc::DistributionKind kind = mc::DistributionKind::HTree;
+    double faultRate = 0.0;
+    mc::ResilienceConfig rc;
+    mc::McConfig cfg;
+};
+
+/** A batch element. */
+using SweepRequest = std::variant<SkewRequest, ResilienceRequest>;
+
+/** Whether a request's trials all ran. */
+enum class RequestStatus
+{
+    /** Every trial ran; results bit-identical to the mc:: sweep. */
+    Complete,
+    /**
+     * Cancelled or past deadline before every trial ran. Statistics
+     * cover exactly the trialsDone completed trials (folded in trial
+     * order); samples of missing trials are zero-filled and
+     * trialDone marks which indices are real.
+     */
+    Partial,
+};
+
+/** Per-request result. */
+struct RequestOutcome
+{
+    RequestStatus status = RequestStatus::Complete;
+    /** Trials that actually ran. */
+    std::size_t trialsDone = 0;
+    /** Trials the request asked for. */
+    std::size_t trialsRequested = 0;
+    /** trialDone[i]: trial i ran (empty when Complete -- all did). */
+    std::vector<std::uint8_t> trialDone;
+    /** Skew requests: the sweep result. */
+    mc::McResult skew;
+    /** Resilience requests: the degradation point. */
+    mc::ResiliencePoint resilience;
+};
+
+/** Per-batch execution limits. */
+struct BatchOptions
+{
+    /** Wall-clock budget for the batch; infinity = none. */
+    double deadlineSeconds = infinity;
+    /**
+     * Optional external cancel signal (borrowed), e.g. shared by a
+     * caller that multiplexes several services. The service also has
+     * its own cancel() for the common case.
+     */
+    const CancelToken *cancel = nullptr;
+};
+
+/** What a batch run produced. */
+struct BatchOutcome
+{
+    /** One outcome per request, in request order. */
+    std::vector<RequestOutcome> outcomes;
+    /** The batch was cancelled (externally or via cancel()). */
+    bool cancelled = false;
+    /** The deadline expired mid-batch. */
+    bool deadlineExpired = false;
+    /** Wall-clock duration of the run() call, milliseconds. */
+    double wallMs = 0.0;
+};
+
+/** Service-wide knobs. */
+struct ServiceConfig
+{
+    /** Pool width (caller included); 0 = defaultThreadCount(). */
+    unsigned threads = 0;
+    /** Scenario cache capacity (compiled kernels). */
+    std::size_t cacheCapacity = 32;
+    /**
+     * Optional registry: cache counters under "serve.cache." plus
+     * batch telemetry under "serve.batch." (requests / trials_done /
+     * cancelled / deadline_expired counters, wall_ms gauge).
+     */
+    obs::MetricsRegistry *metrics = nullptr;
+};
+
+/**
+ * A synchronous batched sweep server. One batch runs at a time
+ * (run() serialises internally); cancel() is safe from any thread
+ * while a batch is in flight.
+ */
+class SweepService
+{
+  public:
+    explicit SweepService(ServiceConfig cfg = {});
+
+    SweepService(const SweepService &) = delete;
+    SweepService &operator=(const SweepService &) = delete;
+
+    /** Run @p batch to completion, cancellation or deadline. */
+    BatchOutcome run(const std::vector<SweepRequest> &batch,
+                     const BatchOptions &opts = {});
+
+    /** Cancel the in-flight batch (no-op when idle). */
+    void cancel();
+
+    /** The kernel cache (for stats or pre-warming). */
+    ScenarioCache &cache() { return kernels; }
+
+  private:
+    ServiceConfig cfg;
+    ScenarioCache kernels;
+    ThreadPool pool;
+    /** Set by cancel(); distinguishable from a deadline stop. */
+    CancelToken userCancel;
+    /** Internal aggregate stop signal handed to the pool. */
+    CancelToken stopToken;
+    std::mutex runMutex;
+};
+
+} // namespace vsync::serve
+
+#endif // VSYNC_SERVE_SWEEP_SERVICE_HH

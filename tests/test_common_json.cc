@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the streaming JSON writer, focused on number formatting:
+ * doubles must round-trip exactly and must be locale-independent.
+ * Regression context: formatting used to go through snprintf("%.17g"),
+ * which consults LC_NUMERIC and emits ',' decimal separators under
+ * e.g. de_DE -- producing unparseable BENCH_*.json files on machines
+ * with a non-C locale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+const double kAwkwardDoubles[] = {
+    0.0,
+    -0.0,
+    0.1,
+    -2.5,
+    1.0 / 3.0,
+    3.141592653589793,
+    6.02214076e23,
+    1e22,
+    5e-324,                                  // min subnormal
+    std::numeric_limits<double>::min(),      // min normal
+    std::numeric_limits<double>::max(),
+    -std::numeric_limits<double>::max(),
+    1.7976931348623157e308,
+    2.2250738585072011e-308,                 // largest subnormal-ish
+};
+
+TEST(JsonWriter, FormatDoubleRoundTripsExactly)
+{
+    for (const double v : kAwkwardDoubles) {
+        const std::string s = JsonWriter::formatDouble(v);
+        char *end = nullptr;
+        const double back = std::strtod(s.c_str(), &end);
+        EXPECT_EQ(end, s.c_str() + s.size()) << s;
+        EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0)
+            << s << " round-tripped to " << back;
+    }
+}
+
+TEST(JsonWriter, FormatDoubleNeverEmitsLocaleSeparators)
+{
+    for (const double v : kAwkwardDoubles) {
+        const std::string s = JsonWriter::formatDouble(v);
+        EXPECT_EQ(s.find(','), std::string::npos) << s;
+        // Valid JSON number alphabet only.
+        EXPECT_EQ(s.find_first_not_of("0123456789+-.eE"),
+                  std::string::npos)
+            << s;
+    }
+}
+
+TEST(JsonWriter, FormatDoubleIgnoresCommaDecimalLocale)
+{
+    // The regression only reproduces under a locale whose decimal
+    // separator is ',': install one if this machine has any.
+    const char *candidates[] = {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8",
+                                "fr_FR", "it_IT.UTF-8", "nl_NL.UTF-8"};
+    const char *installed = nullptr;
+    for (const char *c : candidates) {
+        if (std::setlocale(LC_NUMERIC, c)) {
+            installed = c;
+            break;
+        }
+    }
+    if (!installed) {
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    }
+
+    // Prove the locale is live: the old snprintf path *would* emit a
+    // comma here.
+    char viaPrintf[64];
+    std::snprintf(viaPrintf, sizeof viaPrintf, "%.17g", 0.5);
+    const bool commaLocale = std::strchr(viaPrintf, ',') != nullptr;
+
+    const std::string s = JsonWriter::formatDouble(0.1);
+    const std::string pi = JsonWriter::formatDouble(3.141592653589793);
+    std::setlocale(LC_NUMERIC, "C");
+
+    if (!commaLocale) {
+        GTEST_SKIP() << installed << " does not use ',' decimals";
+    }
+    EXPECT_EQ(s, "0.1");
+    EXPECT_EQ(pi.find(','), std::string::npos) << pi;
+}
+
+TEST(JsonWriter, DocumentWithDoublesIsWellFormed)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.keyValue("tenth", 0.1);
+    w.keyValue("tiny", -1e-5);
+    w.keyValue("inf", std::numeric_limits<double>::infinity());
+    w.keyValue("nan", std::nan(""));
+    w.key("list").beginArray().value(2.5).value(1e100).endArray();
+    w.endObject();
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("0.1"), std::string::npos);
+    // Non-finite doubles become null, never "inf"/"nan" barewords.
+    EXPECT_NE(doc.find("\"inf\": null"), std::string::npos);
+    EXPECT_NE(doc.find("\"nan\": null"), std::string::npos);
+    // Commas only separate members: one directly followed by a digit
+    // would mean a number token was split by a locale separator.
+    for (std::size_t i = 0; i + 1 < doc.size(); ++i)
+        if (doc[i] == ',')
+            EXPECT_FALSE(std::isdigit(
+                static_cast<unsigned char>(doc[i + 1])))
+                << "comma inside number at " << i;
+}
+
+} // namespace

@@ -8,13 +8,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "circuit/process.hh"
 #include "circuit/yield.hh"
 #include "clocktree/builders.hh"
+#include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "core/skew_analysis.hh"
@@ -95,6 +99,216 @@ TEST(ThreadPool, PropagatesTaskExceptions)
     std::atomic<int> n{0};
     pool.parallelFor(10, [&](std::size_t) { n.fetch_add(1); });
     EXPECT_EQ(n.load(), 10);
+}
+
+/** Counts begin/end callbacks; safe to share across pool threads. */
+class CountingObserver : public PoolObserver
+{
+  public:
+    void
+    onChunkBegin(unsigned, std::size_t, std::size_t) override
+    {
+        begins.fetch_add(1, std::memory_order_relaxed);
+    }
+    void
+    onChunkEnd(unsigned, std::size_t, std::size_t) override
+    {
+        ends.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::atomic<int> begins{0};
+    std::atomic<int> ends{0};
+};
+
+TEST(ThreadPool, SerialPathObserverHandoffIsRaceFree)
+{
+    // Regression (TSan): the serial fast path of parallelForRange read
+    // `observer` without the mutex. setObserver is documented as "call
+    // while no job is active", but that contract alone provides no
+    // happens-before when the setter is a *different* thread -- the
+    // turn-taking below uses relaxed atomics precisely so the pool's
+    // own mutex is the only synchronisation available.
+    CountingObserver obs;
+    ThreadPool pool(1); // count == 1: every job takes the serial path
+    std::atomic<int> turn{0};
+    std::thread setter([&] {
+        for (int i = 0; i < 100; ++i) {
+            while (turn.load(std::memory_order_relaxed) != 0)
+                std::this_thread::yield();
+            pool.setObserver(i % 2 ? nullptr : &obs);
+            turn.store(1, std::memory_order_relaxed);
+        }
+    });
+    for (int i = 0; i < 100; ++i) {
+        while (turn.load(std::memory_order_relaxed) != 1)
+            std::this_thread::yield();
+        pool.parallelForRange(4, 8,
+                              [](std::size_t, std::size_t) {});
+        turn.store(0, std::memory_order_relaxed);
+    }
+    setter.join();
+    pool.setObserver(nullptr);
+    EXPECT_EQ(obs.begins.load(), obs.ends.load());
+    EXPECT_GT(obs.begins.load(), 0);
+}
+
+TEST(ThreadPool, ObserverEndPairedWhenChunkThrows)
+{
+    // Regression: the serial fast path skipped onChunkEnd when fn
+    // threw, leaving trace tracks with an open span. Both paths must
+    // pair every begin with an end even on the exceptional exit.
+    for (const unsigned tc : {1u, 4u}) {
+        CountingObserver obs;
+        ThreadPool pool(tc);
+        pool.setObserver(&obs);
+        EXPECT_THROW(
+            pool.parallelForRange(10, 16,
+                                  [](std::size_t, std::size_t) {
+                                      throw std::runtime_error("boom");
+                                  }),
+            std::runtime_error);
+        pool.setObserver(nullptr);
+        EXPECT_EQ(obs.begins.load(), obs.ends.load()) << tc;
+        EXPECT_GT(obs.begins.load(), 0) << tc;
+    }
+}
+
+TEST(ThreadPool, FirstExceptionAbandonsRemainingChunks)
+{
+    // Regression: a throwing chunk used to leave all remaining chunks
+    // running to completion before the rethrow. The first chunk here
+    // throws immediately, so only chunks already in flight at that
+    // moment may still run -- nowhere near the full index space.
+    ThreadPool pool(2);
+    std::atomic<std::size_t> executed{0};
+    const std::size_t n = 200000;
+    EXPECT_THROW(
+        pool.parallelForRange(n, 1,
+                              [&](std::size_t b, std::size_t) {
+                                  if (b == 0)
+                                      throw std::runtime_error("boom");
+                                  executed.fetch_add(
+                                      1, std::memory_order_relaxed);
+                              }),
+        std::runtime_error);
+    EXPECT_LT(executed.load(), n / 2);
+}
+
+TEST(ThreadPool, PreCancelledJobRunsNothing)
+{
+    for (const unsigned tc : kThreadCounts) {
+        ThreadPool pool(tc);
+        CancelToken token;
+        token.cancel();
+        std::atomic<std::size_t> executed{0};
+        pool.parallelForRange(
+            1000, 4,
+            [&](std::size_t, std::size_t) {
+                executed.fetch_add(1, std::memory_order_relaxed);
+            },
+            &token);
+        EXPECT_EQ(executed.load(), 0u) << tc;
+    }
+}
+
+TEST(ThreadPool, CancellationStopsHandingOutChunks)
+{
+    for (const unsigned tc : kThreadCounts) {
+        ThreadPool pool(tc);
+        CancelToken token;
+        std::atomic<std::size_t> executed{0};
+        const std::size_t n = 100000;
+        // Cancelling from inside a chunk returns normally with the
+        // index space only partially covered.
+        pool.parallelForRange(
+            n, 1,
+            [&](std::size_t, std::size_t) {
+                if (executed.fetch_add(1, std::memory_order_relaxed) >=
+                    8)
+                    token.cancel();
+            },
+            &token);
+        EXPECT_GE(executed.load(), 1u) << tc;
+        EXPECT_LT(executed.load(), n) << tc;
+
+        // The pool survives a cancelled job and the token re-arms.
+        token.reset();
+        std::atomic<std::size_t> again{0};
+        pool.parallelForRange(
+            100, 4,
+            [&](std::size_t b, std::size_t e) {
+                again.fetch_add(e - b, std::memory_order_relaxed);
+            },
+            &token);
+        EXPECT_EQ(again.load(), 100u) << tc;
+    }
+}
+
+/** RAII: capture warn() lines, restore env + sink on destruction. */
+class EnvThreadsFixture
+{
+  public:
+    EnvThreadsFixture()
+    {
+        const char *prev = std::getenv("VSYNC_THREADS");
+        if (prev)
+            saved = prev;
+        hadPrev = prev != nullptr;
+        setLogSink([this](LogLevel level, const std::string &line) {
+            if (level == LogLevel::Warn)
+                warnings.push_back(line);
+        });
+    }
+
+    ~EnvThreadsFixture()
+    {
+        if (hadPrev)
+            setenv("VSYNC_THREADS", saved.c_str(), 1);
+        else
+            unsetenv("VSYNC_THREADS");
+        setLogSink(nullptr);
+    }
+
+    unsigned
+    withEnv(const char *value)
+    {
+        setenv("VSYNC_THREADS", value, 1);
+        return defaultThreadCount();
+    }
+
+    std::vector<std::string> warnings;
+
+  private:
+    std::string saved;
+    bool hadPrev = false;
+};
+
+TEST(ThreadPool, EnvThreadCountAcceptsExactIntegers)
+{
+    EnvThreadsFixture env;
+    EXPECT_EQ(env.withEnv("3"), 3u);
+    EXPECT_EQ(env.withEnv("1"), 1u);
+    EXPECT_EQ(env.withEnv("1024"), 1024u); // the clamp itself is legal
+    EXPECT_TRUE(env.warnings.empty());
+}
+
+TEST(ThreadPool, EnvThreadCountRejectsGarbageAndWrapAround)
+{
+    EnvThreadsFixture env;
+    unsetenv("VSYNC_THREADS");
+    const unsigned fallback = defaultThreadCount();
+
+    // Regression: "4294967297" is 2^32 + 1 -- a blind cast to unsigned
+    // wraps it to 1 and silently serialises the run. Likewise trailing
+    // garbage used to be accepted by atoi-style parsing.
+    const char *bad[] = {"4294967297", "8x",   "x8", "",
+                         "0",          "-3",   "1025",
+                         "999999999999999999999999"};
+    for (const char *v : bad) {
+        const std::size_t before = env.warnings.size();
+        EXPECT_EQ(env.withEnv(v), fallback) << v;
+        EXPECT_EQ(env.warnings.size(), before + 1)
+            << "no warning for " << v;
+    }
 }
 
 TEST(RngSubstreams, ForTrialIsPureAndDistinct)

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Tests for the serving layer: the content-addressed ScenarioCache
+ * (hit identity, LRU eviction, single-compile under concurrency) and
+ * the SweepService (bit-identity with the mc:: entry points at 1/2/8
+ * threads, cancellation, deadlines, partial-result flagging).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "clocktree/builders.hh"
+#include "layout/generators.hh"
+#include "mc/resilience.hh"
+#include "mc/sweeps.hh"
+#include "obs/metrics.hh"
+#include "serve/scenario_cache.hh"
+#include "serve/sweep_service.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+const unsigned kThreadCounts[] = {1, 2, 8};
+const core::WireDelay kDelay{0.05, 0.005};
+
+TEST(ScenarioCache, HitReturnsTheSameKernel)
+{
+    serve::ScenarioCache cache;
+    const layout::Layout l = layout::meshLayout(4, 4);
+    const auto tree = clocktree::buildHTreeGrid(l, 4, 4);
+
+    const auto first = cache.get(l, tree);
+    const auto second = cache.get(l, tree);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_GE(cache.compileMillis(), 0.0);
+}
+
+TEST(ScenarioCache, ContentAddressingIgnoresObjectIdentity)
+{
+    // Two scenarios built independently but identical in content share
+    // one cache entry; a different scenario does not.
+    serve::ScenarioCache cache;
+    const layout::Layout a = layout::meshLayout(4, 4);
+    const layout::Layout b = layout::meshLayout(4, 4);
+    const auto treeA = clocktree::buildHTreeGrid(a, 4, 4);
+    const auto treeB = clocktree::buildHTreeGrid(b, 4, 4);
+    EXPECT_EQ(cache.get(a, treeA).get(), cache.get(b, treeB).get());
+    EXPECT_EQ(cache.misses(), 1u);
+
+    const layout::Layout c = layout::meshLayout(4, 5);
+    const auto treeC = clocktree::buildHTreeGrid(c, 4, 5);
+    EXPECT_NE(cache.get(c, treeC).get(), cache.get(a, treeA).get());
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(ScenarioCache, PairsOnlyAndTreeKernelsAreDistinctEntries)
+{
+    serve::ScenarioCache cache;
+    const layout::Layout l = layout::meshLayout(3, 3);
+    const auto tree = clocktree::buildHTreeGrid(l, 3, 3);
+    const auto pairsOnly = cache.get(l);
+    const auto withTree = cache.get(l, tree);
+    EXPECT_NE(pairsOnly.get(), withTree.get());
+    EXPECT_FALSE(pairsOnly->hasTree());
+    EXPECT_TRUE(withTree->hasTree());
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ScenarioCache, LruEvictsTheLeastRecentlyUsedEntry)
+{
+    serve::ScenarioCache::Config cfg;
+    cfg.capacity = 2;
+    serve::ScenarioCache cache(cfg);
+    const layout::Layout a = layout::meshLayout(2, 2);
+    const layout::Layout b = layout::meshLayout(2, 3);
+    const layout::Layout c = layout::meshLayout(3, 2);
+
+    const core::SkewKernel *ka = cache.get(a).get();
+    cache.get(b);
+    cache.get(a);              // touch a: b is now the coldest
+    cache.get(c);              // evicts b
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.size(), 2u);
+
+    EXPECT_EQ(cache.get(a).get(), ka); // a survived (hit)
+    const auto hitsBefore = cache.hits();
+    cache.get(b);              // b was evicted: recompile
+    EXPECT_EQ(cache.hits(), hitsBefore);
+    EXPECT_EQ(cache.misses(), 4u); // a, b, c, and b again
+}
+
+TEST(ScenarioCache, ConcurrentGetCompilesExactlyOnce)
+{
+    serve::ScenarioCache cache;
+    const layout::Layout l = layout::meshLayout(8, 8);
+    const auto tree = clocktree::buildHTreeGrid(l, 8, 8);
+
+    constexpr int threads = 8;
+    std::atomic<int> ready{0};
+    std::vector<std::shared_ptr<const core::SkewKernel>> got(threads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back([&, t] {
+            // Rendezvous so the gets really race.
+            ready.fetch_add(1);
+            while (ready.load() < threads)
+                std::this_thread::yield();
+            got[t] = cache.get(l, tree);
+        });
+    for (auto &th : pool)
+        th.join();
+
+    for (int t = 1; t < threads; ++t)
+        EXPECT_EQ(got[t].get(), got[0].get());
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), static_cast<std::uint64_t>(threads - 1));
+}
+
+TEST(ScenarioCache, ProviderFeedsSweepsBitIdentically)
+{
+    // The cached provider must change nothing about the numbers, at
+    // any thread count, for both sweep families.
+    const layout::Layout l = layout::meshLayout(6, 6);
+    const auto tree = clocktree::buildHTreeGrid(l, 6, 6);
+    serve::ScenarioCache cache;
+    const core::KernelProvider cached = cache.provider();
+
+    for (const unsigned tc : kThreadCounts) {
+        mc::McConfig cfg;
+        cfg.seed = 0xfeed;
+        cfg.trials = 48;
+        cfg.threads = tc;
+        cfg.grain = 4;
+        const mc::McResult direct = mc::skewSweep(l, tree, kDelay, cfg);
+        const mc::McResult viaCache =
+            mc::skewSweep(l, tree, kDelay, cfg, cached);
+        EXPECT_TRUE(viaCache.bitIdentical(direct)) << tc;
+
+        mc::ResilienceConfig rc;
+        const mc::ResiliencePoint pd = mc::resilienceAtRate(
+            l, 6, 6, mc::DistributionKind::HTree, 0.02, rc, cfg);
+        const mc::ResiliencePoint pc = mc::resilienceAtRate(
+            l, 6, 6, mc::DistributionKind::HTree, 0.02, rc, cfg,
+            cached);
+        EXPECT_TRUE(
+            pc.maxCommSkew.bitIdentical(pd.maxCommSkew)) << tc;
+        EXPECT_TRUE(pc.clockedFraction.bitIdentical(pd.clockedFraction))
+            << tc;
+        EXPECT_EQ(pc.meanFaults, pd.meanFaults) << tc;
+    }
+    // One tree kernel for the skew sweeps, one more for the resilience
+    // tree (same scenario -> shared), never recompiled across rounds.
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_GE(cache.hits(), 5u);
+}
+
+TEST(SweepService, SkewBatchMatchesMcSweepAtAllThreadCounts)
+{
+    const layout::Layout l = layout::meshLayout(6, 6);
+    const auto tree = clocktree::buildHTreeGrid(l, 6, 6);
+
+    mc::McConfig cfgA;
+    cfgA.seed = 11;
+    cfgA.trials = 64;
+    cfgA.grain = 4;
+    mc::McConfig cfgB;
+    cfgB.seed = 22;
+    cfgB.trials = 37; // deliberately not a multiple of grain
+    cfgB.grain = 16;
+
+    const mc::McResult refA = mc::skewSweep(l, tree, kDelay, cfgA);
+    const mc::McResult refB = mc::skewSweep(l, tree, kDelay, cfgB);
+
+    for (const unsigned tc : kThreadCounts) {
+        serve::ServiceConfig sc;
+        sc.threads = tc;
+        serve::SweepService svc(sc);
+        const std::vector<serve::SweepRequest> batch = {
+            serve::SkewRequest{&l, &tree, kDelay, cfgA},
+            serve::SkewRequest{&l, &tree, kDelay, cfgB},
+        };
+        const serve::BatchOutcome out = svc.run(batch);
+        ASSERT_EQ(out.outcomes.size(), 2u);
+        EXPECT_FALSE(out.cancelled);
+        EXPECT_FALSE(out.deadlineExpired);
+        for (const auto &o : out.outcomes) {
+            EXPECT_EQ(o.status, serve::RequestStatus::Complete);
+            EXPECT_EQ(o.trialsDone, o.trialsRequested);
+            EXPECT_TRUE(o.trialDone.empty());
+        }
+        EXPECT_TRUE(out.outcomes[0].skew.bitIdentical(refA)) << tc;
+        EXPECT_TRUE(out.outcomes[1].skew.bitIdentical(refB)) << tc;
+        // Same scenario twice: one compile, one hit.
+        EXPECT_EQ(svc.cache().misses(), 1u);
+        EXPECT_EQ(svc.cache().hits(), 1u);
+    }
+}
+
+TEST(SweepService, ResilienceBatchMatchesMcAtAllThreadCounts)
+{
+    const layout::Layout l = layout::meshLayout(4, 4);
+    mc::McConfig cfg;
+    cfg.seed = 99;
+    cfg.trials = 40;
+    cfg.grain = 4;
+    mc::ResilienceConfig rc;
+
+    const mc::ResiliencePoint refTree = mc::resilienceAtRate(
+        l, 4, 4, mc::DistributionKind::HTree, 0.05, rc, cfg);
+    const mc::ResiliencePoint refGrid = mc::resilienceAtRate(
+        l, 4, 4, mc::DistributionKind::TrixGrid, 0.05, rc, cfg);
+
+    for (const unsigned tc : kThreadCounts) {
+        serve::ServiceConfig sc;
+        sc.threads = tc;
+        serve::SweepService svc(sc);
+        serve::ResilienceRequest tree;
+        tree.layout = &l;
+        tree.rows = 4;
+        tree.cols = 4;
+        tree.kind = mc::DistributionKind::HTree;
+        tree.faultRate = 0.05;
+        tree.rc = rc;
+        tree.cfg = cfg;
+        serve::ResilienceRequest grid = tree;
+        grid.kind = mc::DistributionKind::TrixGrid;
+
+        const serve::BatchOutcome out = svc.run({tree, grid});
+        ASSERT_EQ(out.outcomes.size(), 2u);
+        const auto &ot = out.outcomes[0].resilience;
+        const auto &og = out.outcomes[1].resilience;
+        EXPECT_TRUE(ot.maxCommSkew.bitIdentical(refTree.maxCommSkew))
+            << tc;
+        EXPECT_TRUE(
+            ot.clockedFraction.bitIdentical(refTree.clockedFraction))
+            << tc;
+        EXPECT_EQ(ot.meanFaults, refTree.meanFaults) << tc;
+        EXPECT_EQ(ot.faultRate, 0.05);
+        EXPECT_TRUE(og.maxCommSkew.bitIdentical(refGrid.maxCommSkew))
+            << tc;
+        EXPECT_EQ(og.meanFaults, refGrid.meanFaults) << tc;
+    }
+}
+
+TEST(SweepService, PreCancelledBatchIsFlaggedPartialWithZeroTrials)
+{
+    const layout::Layout l = layout::meshLayout(4, 4);
+    const auto tree = clocktree::buildHTreeGrid(l, 4, 4);
+    mc::McConfig cfg;
+    cfg.trials = 50;
+
+    serve::SweepService svc;
+    CancelToken token;
+    token.cancel();
+    serve::BatchOptions opts;
+    opts.cancel = &token;
+    const serve::BatchOutcome out =
+        svc.run({serve::SkewRequest{&l, &tree, kDelay, cfg}}, opts);
+
+    ASSERT_EQ(out.outcomes.size(), 1u);
+    EXPECT_TRUE(out.cancelled);
+    const auto &o = out.outcomes[0];
+    EXPECT_EQ(o.status, serve::RequestStatus::Partial);
+    EXPECT_EQ(o.trialsDone, 0u);
+    EXPECT_EQ(o.trialsRequested, 50u);
+    // Never silently truncated: the mask and samples keep full size.
+    ASSERT_EQ(o.trialDone.size(), 50u);
+    for (const auto d : o.trialDone)
+        EXPECT_EQ(d, 0);
+    EXPECT_EQ(o.skew.samples.size(), 50u);
+    EXPECT_EQ(o.skew.stat.count(), 0u);
+}
+
+TEST(SweepService, ZeroDeadlineExpiresBeforeAnyTrial)
+{
+    const layout::Layout l = layout::meshLayout(4, 4);
+    const auto tree = clocktree::buildHTreeGrid(l, 4, 4);
+    mc::McConfig cfg;
+    cfg.trials = 50;
+
+    serve::SweepService svc;
+    serve::BatchOptions opts;
+    opts.deadlineSeconds = 0.0;
+    const serve::BatchOutcome out =
+        svc.run({serve::SkewRequest{&l, &tree, kDelay, cfg}}, opts);
+
+    EXPECT_TRUE(out.deadlineExpired);
+    EXPECT_FALSE(out.cancelled);
+    EXPECT_EQ(out.outcomes[0].status, serve::RequestStatus::Partial);
+    EXPECT_EQ(out.outcomes[0].trialsDone, 0u);
+}
+
+TEST(SweepService, DeadlinedPartialResultsMatchTheFullRunPrefix)
+{
+    // A batch too slow for its deadline must come back Partial with
+    // every completed trial bit-identical to the full run -- partial
+    // means "fewer trials", never "different trials".
+    const layout::Layout l = layout::meshLayout(6, 6);
+    mc::McConfig cfg;
+    cfg.seed = 1234;
+    cfg.trials = 1500;
+    cfg.grain = 1;
+    mc::ResilienceConfig rc;
+    serve::ResilienceRequest rq;
+    rq.layout = &l;
+    rq.rows = 6;
+    rq.cols = 6;
+    rq.kind = mc::DistributionKind::HTree;
+    rq.faultRate = 0.02;
+    rq.rc = rc;
+    rq.cfg = cfg;
+
+    serve::ServiceConfig sc;
+    sc.threads = 2;
+    serve::SweepService svc(sc);
+    serve::BatchOptions opts;
+    opts.deadlineSeconds = 0.03;
+    const serve::BatchOutcome out = svc.run({rq}, opts);
+    const auto &o = out.outcomes[0];
+
+    if (o.status == serve::RequestStatus::Complete) {
+        // Machine fast enough to beat the deadline: nothing to check
+        // beyond completeness (bit-identity is covered elsewhere).
+        EXPECT_EQ(o.trialsDone, cfg.trials);
+        return;
+    }
+
+    EXPECT_TRUE(out.deadlineExpired);
+    EXPECT_LT(o.trialsDone, cfg.trials);
+    ASSERT_EQ(o.trialDone.size(), cfg.trials);
+    std::size_t done = 0;
+    for (const auto d : o.trialDone)
+        done += d;
+    EXPECT_EQ(done, o.trialsDone);
+    EXPECT_EQ(o.resilience.maxCommSkew.stat.count(), o.trialsDone);
+    EXPECT_EQ(o.resilience.clockedFraction.stat.count(), o.trialsDone);
+
+    const mc::ResiliencePoint full = mc::resilienceAtRate(
+        l, 6, 6, mc::DistributionKind::HTree, 0.02, rc, cfg);
+    for (std::size_t i = 0; i < cfg.trials; ++i) {
+        if (!o.trialDone[i])
+            continue;
+        EXPECT_EQ(o.resilience.maxCommSkew.samples[i],
+                  full.maxCommSkew.samples[i])
+            << i;
+        EXPECT_EQ(o.resilience.clockedFraction.samples[i],
+                  full.clockedFraction.samples[i])
+            << i;
+    }
+}
+
+TEST(SweepService, CancelWhileIdleDoesNotPoisonTheNextRun)
+{
+    const layout::Layout l = layout::meshLayout(3, 3);
+    const auto tree = clocktree::buildHTreeGrid(l, 3, 3);
+    mc::McConfig cfg;
+    cfg.trials = 16;
+
+    serve::SweepService svc;
+    svc.cancel(); // no batch in flight: must not affect the next one
+    const serve::BatchOutcome out =
+        svc.run({serve::SkewRequest{&l, &tree, kDelay, cfg}});
+    EXPECT_FALSE(out.cancelled);
+    EXPECT_EQ(out.outcomes[0].status, serve::RequestStatus::Complete);
+}
+
+TEST(SweepService, ExportsCacheAndBatchMetrics)
+{
+    obs::MetricsRegistry reg;
+    const layout::Layout l = layout::meshLayout(4, 4);
+    const auto tree = clocktree::buildHTreeGrid(l, 4, 4);
+    mc::McConfig cfg;
+    cfg.trials = 8;
+
+    serve::ServiceConfig sc;
+    sc.metrics = &reg;
+    serve::SweepService svc(sc);
+    svc.run({serve::SkewRequest{&l, &tree, kDelay, cfg},
+             serve::SkewRequest{&l, &tree, kDelay, cfg}});
+
+    EXPECT_EQ(reg.counter("serve.batch.requests").value(), 2u);
+    EXPECT_EQ(reg.counter("serve.batch.trials_done").value(), 16u);
+    EXPECT_EQ(reg.counter("serve.cache.misses").value(), 1u);
+    EXPECT_EQ(reg.counter("serve.cache.hits").value(), 1u);
+    EXPECT_EQ(reg.counter("serve.batch.cancelled").value(), 0u);
+}
+
+} // namespace
