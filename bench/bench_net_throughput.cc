@@ -1,0 +1,248 @@
+/**
+ * @file
+ * PERF -- network serving throughput at swept offered rates, gated.
+ *
+ * An in-process ScenarioServer is driven over loopback by the
+ * open-loop net::LoadGen at several offered rates with a request mix
+ * spanning both sweep families and three distributions (skew on
+ * H-tree and spine; resilience on H-tree and the TRIX grid). Per rate
+ * the bench reports achieved RPS, the shed fraction and p50/p99
+ * latency, and writes BENCH_net_throughput.json.
+ *
+ * Exit status is the CI gate, nonzero when either serving invariant
+ * breaks:
+ *  - bit identity: every completed response must match a direct
+ *    serve::SweepService (mc::) run of the same scenario, sample for
+ *    sample, through the wire encoding;
+ *  - accounting: every offered request resolves exactly once --
+ *    completed + shed + errors + lost == offered with no errors and
+ *    no losses, and the server's accepted/shed counters must agree
+ *    (shedding is explicit, never silent).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "clocktree/builders.hh"
+#include "layout/generators.hh"
+#include "mc/resilience.hh"
+#include "mc/sweeps.hh"
+#include "net/loadgen.hh"
+#include "net/server.hh"
+#include "obs/metrics.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+const double offeredRates[] = {50.0, 200.0, 800.0};
+constexpr double secondsPerRate = 0.5;
+const core::WireDelay delay{0.05, 0.005};
+
+/** The per-template reference a served response must match. */
+struct Reference
+{
+    std::vector<double> samples;
+    std::vector<double> clockedSamples;
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+bool
+matches(const net::WireResponse &rsp, const Reference &ref)
+{
+    if (!rsp.complete || rsp.samples != ref.samples ||
+        rsp.clockedSamples != ref.clockedSamples)
+        return false;
+    return rsp.mean == ref.mean && rsp.stddev == ref.stddev;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = BenchOptions::parse(argc, argv);
+    const std::uint64_t seed = opts.seedSet ? opts.seed : 0xbe7ULL;
+
+    // The request mix: one template per (family, distribution) pair.
+    std::vector<net::WireRequest> mix;
+    {
+        net::WireRequest rq;
+        rq.kind = net::QueryKind::Skew;
+        rq.scheme = net::WireScheme::HTree;
+        rq.rows = rq.cols = 8;
+        rq.seed = seed;
+        rq.trials = 8;
+        rq.grain = 4;
+        rq.delay = delay;
+        mix.push_back(rq);
+        rq.scheme = net::WireScheme::Spine;
+        mix.push_back(rq);
+        rq.kind = net::QueryKind::Resilience;
+        rq.scheme = net::WireScheme::HTree;
+        rq.rows = rq.cols = 6;
+        rq.faultRate = 0.05;
+        mix.push_back(rq);
+        rq.scheme = net::WireScheme::Trix;
+        mix.push_back(rq);
+    }
+
+    // Direct in-process references, computed exactly the way the
+    // server builds its scenarios (mesh layout, H-tree/spine builders,
+    // default physics) -- the serving path must change nothing.
+    std::vector<Reference> refs;
+    for (const net::WireRequest &rq : mix) {
+        mc::McConfig cfg;
+        cfg.seed = rq.seed;
+        cfg.trials = rq.trials;
+        cfg.grain = rq.grain;
+        const layout::Layout l = layout::meshLayout(rq.rows, rq.cols);
+        Reference ref;
+        if (rq.kind == net::QueryKind::Skew) {
+            const auto tree =
+                rq.scheme == net::WireScheme::HTree
+                    ? clocktree::buildHTreeGrid(l, rq.rows, rq.cols)
+                    : clocktree::buildSpine(l);
+            const mc::McResult r = mc::skewSweep(l, tree, rq.delay, cfg);
+            ref.samples = r.samples;
+            ref.mean = r.stat.mean();
+            ref.stddev = r.stat.stddev();
+        } else {
+            mc::ResilienceConfig rc;
+            rc.delay = rq.delay;
+            const mc::DistributionKind kind =
+                rq.scheme == net::WireScheme::Trix
+                    ? mc::DistributionKind::TrixGrid
+                    : mc::DistributionKind::HTree;
+            const mc::ResiliencePoint p = mc::resilienceAtRate(
+                l, rq.rows, rq.cols, kind, rq.faultRate, rc, cfg);
+            ref.samples = p.maxCommSkew.samples;
+            ref.clockedSamples = p.clockedFraction.samples;
+            ref.mean = p.maxCommSkew.stat.mean();
+            ref.stddev = p.maxCommSkew.stat.stddev();
+        }
+        refs.push_back(std::move(ref));
+    }
+
+    obs::MetricsRegistry metrics;
+    net::ServerConfig sc;
+    sc.metrics = &metrics;
+    net::ScenarioServer server(sc);
+    if (!server.start()) {
+        std::fprintf(stderr, "cannot start loopback server\n");
+        return 1;
+    }
+
+    struct RatePoint
+    {
+        double offeredRps = 0.0;
+        net::LoadGenResult res;
+    };
+    std::vector<RatePoint> points;
+    std::size_t offeredTotal = 0;
+    std::size_t mismatches = 0;
+    bool accountingOk = true;
+
+    for (const double rate : offeredRates) {
+        net::LoadGenConfig lg;
+        lg.port = server.port();
+        lg.connections = 4;
+        lg.offeredRps = rate;
+        lg.requests =
+            static_cast<std::size_t>(rate * secondsPerRate + 0.5);
+        lg.mix = mix;
+        RatePoint pt;
+        pt.offeredRps = rate;
+        pt.res = net::runLoadGen(lg);
+        offeredTotal += pt.res.offered;
+
+        accountingOk = accountingOk && pt.res.transportOk &&
+                       pt.res.completed + pt.res.shed +
+                               pt.res.errors + pt.res.lost ==
+                           pt.res.offered &&
+                       pt.res.errors == 0 && pt.res.lost == 0;
+        for (std::size_t i = 0; i < pt.res.offered; ++i) {
+            if (!pt.res.gotReply[i] || !pt.res.responses[i].ok)
+                continue;
+            if (!matches(pt.res.responses[i], refs[i % refs.size()]))
+                ++mismatches;
+        }
+        points.push_back(std::move(pt));
+    }
+    server.stop();
+
+    // The server-side ledger must agree with the client's: every line
+    // it parsed was either admitted or shed, loudly.
+    const std::uint64_t accepted =
+        metrics.counter("net.requests.accepted").value();
+    const std::uint64_t shedSrv =
+        metrics.counter("net.requests.shed").value();
+    accountingOk = accountingOk &&
+                   accepted + shedSrv ==
+                       static_cast<std::uint64_t>(offeredTotal);
+
+    bench::headline("open-loop loopback serving: offered rate sweep, "
+                    "4-template skew/resilience mix");
+    Table table("net throughput",
+                {"offered rps", "completed", "shed", "achieved rps",
+                 "p50 ms", "p99 ms"});
+    for (const RatePoint &pt : points)
+        table.addRow({Table::num(pt.offeredRps),
+                      Table::integer(static_cast<long long>(
+                          pt.res.completed)),
+                      Table::integer(static_cast<long long>(pt.res.shed)),
+                      Table::num(pt.res.achievedRps),
+                      Table::num(pt.res.p50Ms),
+                      Table::num(pt.res.p99Ms)});
+    emitTable(table, opts);
+
+    bench::BenchJson result("net_throughput", seed);
+    JsonWriter &json = result.writer();
+    json.keyValue("mix_templates",
+                  static_cast<std::uint64_t>(mix.size()))
+        .keyValue("seconds_per_rate", secondsPerRate);
+    json.key("rates").beginArray();
+    for (const RatePoint &pt : points) {
+        const double shedFraction =
+            pt.res.offered
+                ? static_cast<double>(pt.res.shed) /
+                      static_cast<double>(pt.res.offered)
+                : 0.0;
+        json.beginObject()
+            .keyValue("offered_rps", pt.offeredRps)
+            .keyValue("offered",
+                      static_cast<std::uint64_t>(pt.res.offered))
+            .keyValue("completed",
+                      static_cast<std::uint64_t>(pt.res.completed))
+            .keyValue("shed", static_cast<std::uint64_t>(pt.res.shed))
+            .keyValue("shed_fraction", shedFraction)
+            .keyValue("achieved_rps", pt.res.achievedRps)
+            .keyValue("p50_ms", pt.res.p50Ms)
+            .keyValue("p99_ms", pt.res.p99Ms)
+            .endObject();
+    }
+    json.endArray();
+    json.keyValue("accepted_server",
+                  static_cast<std::uint64_t>(accepted))
+        .keyValue("shed_server", static_cast<std::uint64_t>(shedSrv))
+        .keyValue("offered_total",
+                  static_cast<std::uint64_t>(offeredTotal))
+        .keyValue("response_mismatches",
+                  static_cast<std::uint64_t>(mismatches));
+
+    const bool gate_ok = accountingOk && mismatches == 0;
+    json.key("gate").beginObject()
+        .keyValue("bit_identical_responses", mismatches == 0)
+        .keyValue("accounting_balanced", accountingOk)
+        .keyValue("passed", gate_ok)
+        .endObject();
+
+    std::printf("\nwrote BENCH_net_throughput.json (%zu offered; "
+                "%zu mismatches; accounting %s)\n",
+                offeredTotal, mismatches,
+                accountingOk ? "balanced" : "BROKEN");
+    return gate_ok ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Stand-alone scenario server: serve skew/resilience sweeps over TCP.
+//
+// Usage:   scenario_server [port]        (or VSYNC_NET_PORT; default 7391)
+//
+// Then from another terminal:
+//
+//   echo '{"id":1,"kind":"skew","scheme":"htree","rows":8,"cols":8,
+//          "trials":64}' | nc 127.0.0.1 7391
+//
+// Ctrl-C stops gracefully: in-flight requests finish (or come back
+// Partial after the drain budget) before the process exits.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/server.hh"
+#include "obs/metrics.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::uint16_t port = 7391;
+    if (const char *env = std::getenv("VSYNC_NET_PORT"))
+        port = static_cast<std::uint16_t>(std::atoi(env));
+    if (argc > 1)
+        port = static_cast<std::uint16_t>(std::atoi(argv[1]));
+
+    // Block the termination signals before any thread exists so the
+    // server's worker threads inherit the mask and sigwait() below is
+    // the only consumer.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+    vsync::obs::MetricsRegistry metrics;
+    vsync::net::ServerConfig cfg;
+    cfg.port = port;
+    cfg.metrics = &metrics;
+
+    vsync::net::ScenarioServer server(cfg);
+    if (!server.start())
+        return 1;
+    std::printf("scenario_server: listening on port %u (Ctrl-C to stop)\n",
+                unsigned(server.port()));
+
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    std::printf("scenario_server: signal %d, draining...\n", sig);
+    server.stop();
+    std::printf("%s\n", metrics.toJsonString().c_str());
+    return 0;
+}

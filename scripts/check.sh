@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus a ThreadSanitizer pass over the parallel
-# Monte-Carlo engine. Run from the repo root:
+# Tier-1 verify plus sanitizer passes over the concurrent subsystems:
+# ThreadSanitizer and AddressSanitizer over the parallel Monte-Carlo
+# engine, the serving layer and the network front end. Run from the
+# repo root:
 #
-#   scripts/check.sh          # full tier-1 + TSan engine tests
+#   scripts/check.sh          # full tier-1 + TSan + ASan
 #   scripts/check.sh --fast   # tier-1 only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-$(nproc)}
+
+SAN_TARGETS=(test_parallel_mc test_skew_kernel test_fault test_obs
+             test_serve test_net)
+SAN_REGEX='^test_(parallel_mc|skew_kernel|fault|obs|serve|net)$'
 
 echo "== tier-1: configure, build, ctest =="
 cmake -B build -S . >/dev/null
@@ -18,9 +24,14 @@ if [[ "${1:-}" == "--fast" ]]; then
     exit 0
 fi
 
-echo "== TSan: parallel Monte-Carlo engine + skew kernel + fault sweeps + observability + serving =="
+echo "== TSan: parallel MC engine + skew kernel + fault sweeps + observability + serving + net =="
 cmake -B build-tsan -S . -DVSYNC_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$JOBS" --target test_parallel_mc test_skew_kernel test_fault test_obs test_serve
-(cd build-tsan && ctest --output-on-failure -R '^test_(parallel_mc|skew_kernel|fault|obs|serve)$')
+cmake --build build-tsan -j"$JOBS" --target "${SAN_TARGETS[@]}"
+(cd build-tsan && ctest --output-on-failure -R "$SAN_REGEX")
+
+echo "== ASan: same targets under AddressSanitizer =="
+cmake -B build-asan -S . -DVSYNC_SANITIZE=address >/dev/null
+cmake --build build-asan -j"$JOBS" --target "${SAN_TARGETS[@]}"
+(cd build-asan && ctest --output-on-failure -R "$SAN_REGEX")
 
 echo "== all checks passed =="

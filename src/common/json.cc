@@ -10,7 +10,8 @@
 namespace vsync
 {
 
-JsonWriter::JsonWriter(std::ostream &stream) : os(stream)
+JsonWriter::JsonWriter(std::ostream &stream, Style style)
+    : os(stream), style(style)
 {
     stack.push_back({Scope::Top});
 }
@@ -18,6 +19,8 @@ JsonWriter::JsonWriter(std::ostream &stream) : os(stream)
 void
 JsonWriter::indent()
 {
+    if (style == Style::Compact)
+        return;
     os << '\n';
     for (std::size_t i = 1; i < stack.size(); ++i)
         os << "  ";
@@ -50,7 +53,8 @@ JsonWriter::key(const std::string &k)
     if (top.items > 0)
         os << ',';
     indent();
-    os << '"' << escape(k) << "\": ";
+    os << '"' << escape(k)
+       << (style == Style::Compact ? "\":" : "\": ");
     top.keyPending = true;
     return *this;
 }
@@ -75,7 +79,7 @@ JsonWriter::endObject()
     if (!empty)
         indent();
     os << '}';
-    if (stack.back().scope == Scope::Top)
+    if (stack.back().scope == Scope::Top && style == Style::Pretty)
         os << '\n';
     return *this;
 }

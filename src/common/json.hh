@@ -20,14 +20,19 @@ namespace vsync
 {
 
 /**
- * Streaming writer producing pretty-printed JSON. Calls must form a
- * valid document: values at the top level or inside arrays, key()
+ * Streaming writer producing pretty-printed JSON by default, or --
+ * for wire protocols framed by newlines (net::) -- a compact
+ * single-line rendering with no inserted whitespace. Calls must form
+ * a valid document: values at the top level or inside arrays, key()
  * before every value inside objects. Misuse fatal()s.
  */
 class JsonWriter
 {
   public:
-    explicit JsonWriter(std::ostream &os);
+    /** Rendering style; Compact never emits a newline. */
+    enum class Style { Pretty, Compact };
+
+    explicit JsonWriter(std::ostream &os, Style style = Style::Pretty);
 
     JsonWriter &beginObject();
     JsonWriter &endObject();
@@ -81,6 +86,7 @@ class JsonWriter
     void indent();
 
     std::ostream &os;
+    Style style;
     std::vector<Level> stack;
 };
 

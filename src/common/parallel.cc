@@ -129,22 +129,38 @@ ThreadPool::parallelForRange(std::size_t n, std::size_t grain,
         }
         if (cancel && cancel->cancelled())
             return;
-        if (obs)
+        if (obs) {
+            obs->onJobBegin(n, grain);
             obs->onChunkBegin(0, 0, n);
+        }
         try {
             fn(0, n);
         } catch (...) {
             // Keep begin/end paired for the observer even when the
             // chunk throws; the exception still propagates unchanged.
-            if (obs)
+            if (obs) {
                 obs->onChunkEnd(0, 0, n);
+                obs->onJobEnd();
+            }
             throw;
         }
-        if (obs)
+        if (obs) {
             obs->onChunkEnd(0, 0, n);
+            obs->onJobEnd();
+        }
         return;
     }
     PoolObserver *obs;
+    {
+        // Publish onJobBegin before ++generation releases the workers,
+        // so no chunk hook can precede the job hook. setObserver may
+        // not be called while a job is active, so reading the observer
+        // here and reusing it below cannot go stale.
+        std::lock_guard<std::mutex> lock(mutex);
+        obs = observer;
+    }
+    if (obs)
+        obs->onJobBegin(n, grain);
     {
         std::lock_guard<std::mutex> lock(mutex);
         jobFn = &fn;
@@ -156,7 +172,6 @@ ThreadPool::parallelForRange(std::size_t n, std::size_t grain,
         firstError = nullptr;
         workersBusy = static_cast<unsigned>(workers.size());
         ++generation;
-        obs = observer;
     }
     cvWork.notify_all();
     runChunks(0, obs, cancel); // the caller is a compute thread too
@@ -164,6 +179,9 @@ ThreadPool::parallelForRange(std::size_t n, std::size_t grain,
     cvDone.wait(lock, [&] { return workersBusy == 0; });
     jobFn = nullptr;
     jobCancel = nullptr;
+    lock.unlock();
+    if (obs)
+        obs->onJobEnd();
     if (firstError)
         std::rethrow_exception(firstError);
 }

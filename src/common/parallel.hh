@@ -83,6 +83,25 @@ class PoolObserver
   public:
     virtual ~PoolObserver() = default;
 
+    /**
+     * A parallelForRange job over [0, n) in chunks of at most
+     * @p grain indices is starting; called on the submitting thread
+     * before any chunk begins. Default no-op so chunk-only observers
+     * (tracing) need not care; obs::PoolMetricsObserver uses it for
+     * queue-depth accounting.
+     */
+    virtual void
+    onJobBegin(std::size_t n, std::size_t grain)
+    {
+        (void)n;
+        (void)grain;
+    }
+
+    /** The job finished -- every started chunk completed; called on
+     *  the submitting thread, even when the job throws or is
+     *  cancelled after onJobBegin. */
+    virtual void onJobEnd() {}
+
     /** A chunk [begin, end) is about to run on worker @p worker. */
     virtual void onChunkBegin(unsigned worker, std::size_t begin,
                               std::size_t end) = 0;

@@ -1,0 +1,250 @@
+#include "net/loadgen.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace vsync::net
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+int
+connectTo(const std::string &host, std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+bool
+sendAll(int fd, const char *data, std::size_t len)
+{
+    while (len > 0) {
+        const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+double
+quantile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+LoadGenResult
+runLoadGen(const LoadGenConfig &cfg)
+{
+    VSYNC_ASSERT(!cfg.mix.empty(), "LoadGenConfig.mix is empty");
+    VSYNC_ASSERT(cfg.offeredRps > 0.0, "offeredRps must be > 0");
+    const unsigned nconn = std::max(1u, cfg.connections);
+
+    LoadGenResult res;
+    res.offered = cfg.requests;
+    res.responses.resize(cfg.requests);
+    res.gotReply.assign(cfg.requests, 0);
+    if (cfg.requests == 0)
+        return res;
+
+    // Request i -> connection i % nconn; ids carry i, so response
+    // slots are disjoint across reader threads and need no locks.
+    std::vector<int> fds(nconn, -1);
+    for (unsigned c = 0; c < nconn; ++c) {
+        fds[c] = connectTo(cfg.host, cfg.port);
+        if (fds[c] < 0) {
+            warn("loadgen: connect to %s:%u failed: %s",
+                 cfg.host.c_str(), unsigned(cfg.port),
+                 std::strerror(errno));
+            for (int fd : fds)
+                if (fd >= 0)
+                    ::close(fd);
+            res.transportOk = false;
+            res.lost = cfg.requests;
+            return res;
+        }
+    }
+
+    std::vector<Clock::time_point> sendTime(cfg.requests);
+    std::vector<Clock::time_point> recvTime(cfg.requests);
+    std::atomic<bool> parseFailed{false};
+
+    const Clock::time_point t0 = Clock::now();
+    const Clock::time_point lastSendDue =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(
+                     static_cast<double>(cfg.requests - 1) /
+                     cfg.offeredRps));
+    const Clock::time_point recvDeadline =
+        lastSendDue + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              cfg.recvTimeoutSeconds));
+
+    std::vector<std::thread> senders;
+    std::vector<std::thread> readers;
+    senders.reserve(nconn);
+    readers.reserve(nconn);
+
+    for (unsigned c = 0; c < nconn; ++c) {
+        // Sender: walk this connection's schedule slice, sleeping to
+        // each request's due time -- never waiting for responses.
+        senders.emplace_back([&, c] {
+            for (std::size_t i = c; i < cfg.requests; i += nconn) {
+                const Clock::time_point due =
+                    t0 + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 static_cast<double>(i) /
+                                 cfg.offeredRps));
+                std::this_thread::sleep_until(due);
+                WireRequest rq = cfg.mix[i % cfg.mix.size()];
+                rq.id = i;
+                std::string line = encodeRequest(rq);
+                line.push_back('\n');
+                sendTime[i] = Clock::now();
+                if (!sendAll(fds[c], line.data(), line.size())) {
+                    warn("loadgen: send on connection %u failed", c);
+                    return;
+                }
+            }
+        });
+
+        // Reader: collect replies until this connection's share is
+        // resolved or the deadline passes.
+        readers.emplace_back([&, c] {
+            std::size_t expected = 0;
+            for (std::size_t i = c; i < cfg.requests; i += nconn)
+                ++expected;
+            std::string buffer;
+            char chunk[4096];
+            std::size_t got = 0;
+            while (got < expected) {
+                const auto remaining =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(recvDeadline -
+                                                   Clock::now())
+                        .count();
+                if (remaining <= 0)
+                    return;
+                pollfd pfd{fds[c], POLLIN, 0};
+                const int pr =
+                    ::poll(&pfd, 1, static_cast<int>(remaining));
+                if (pr < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    return;
+                }
+                if (pr == 0)
+                    return; // deadline
+                const ssize_t n =
+                    ::recv(fds[c], chunk, sizeof(chunk), 0);
+                if (n < 0 && errno == EINTR)
+                    continue;
+                if (n <= 0)
+                    return; // server closed
+                buffer.append(chunk, static_cast<std::size_t>(n));
+                std::size_t nl;
+                while ((nl = buffer.find('\n')) != std::string::npos) {
+                    const std::string_view line(buffer.data(), nl);
+                    WireResponse rsp;
+                    std::string error;
+                    if (!parseResponse(line, rsp, error)) {
+                        warn("loadgen: bad response: %s",
+                             error.c_str());
+                        parseFailed.store(true);
+                        return;
+                    }
+                    const std::uint64_t id = rsp.id;
+                    if (id < cfg.requests && !res.gotReply[id]) {
+                        recvTime[id] = Clock::now();
+                        res.responses[id] = std::move(rsp);
+                        res.gotReply[id] = 1;
+                        ++got;
+                    }
+                    buffer.erase(0, nl + 1);
+                }
+            }
+        });
+    }
+    for (std::thread &t : senders)
+        t.join();
+    for (std::thread &t : readers)
+        t.join();
+    for (int fd : fds)
+        ::close(fd);
+
+    res.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    res.transportOk = !parseFailed.load();
+
+    std::vector<double> latencies;
+    latencies.reserve(cfg.requests);
+    for (std::size_t i = 0; i < cfg.requests; ++i) {
+        if (!res.gotReply[i]) {
+            ++res.lost;
+            continue;
+        }
+        const WireResponse &rsp = res.responses[i];
+        if (rsp.ok) {
+            ++res.completed;
+            // sendTime/recvTime reads are ordered by the joins above.
+            latencies.push_back(
+                std::chrono::duration<double, std::milli>(
+                    recvTime[i] - sendTime[i])
+                    .count());
+        } else if (rsp.error == errOverloaded) {
+            ++res.shed;
+        } else {
+            ++res.errors;
+        }
+    }
+    res.achievedRps = res.wallSeconds > 0.0
+                          ? static_cast<double>(res.completed) /
+                                res.wallSeconds
+                          : 0.0;
+    std::sort(latencies.begin(), latencies.end());
+    res.p50Ms = quantile(latencies, 0.50);
+    res.p99Ms = quantile(latencies, 0.99);
+    return res;
+}
+
+} // namespace vsync::net

@@ -76,4 +76,54 @@ MetricsExecProbe::onRound(const ExecRoundStats &stats)
     lastCompletion.set(stats.completion);
 }
 
+PoolMetricsObserver::PoolMetricsObserver(MetricsRegistry &registry,
+                                         const std::string &prefix)
+    : jobs(registry.counter(prefix + "jobs")),
+      chunks(registry.counter(prefix + "chunks")),
+      active(registry.gauge(prefix + "active_workers")),
+      activeHwm(registry.gauge(prefix + "active_workers_hwm")),
+      queueHwm(registry.gauge(prefix + "queue_depth_hwm"))
+{
+}
+
+void
+PoolMetricsObserver::onJobBegin(std::size_t n, std::size_t grain)
+{
+    jobs.inc();
+    chunksPending.store(
+        static_cast<std::int64_t>((n + grain - 1) / grain),
+        std::memory_order_relaxed);
+}
+
+void
+PoolMetricsObserver::onJobEnd()
+{
+    // A cancelled or aborted job leaves chunks unstarted; clear them
+    // so the next job's depth accounting starts from zero.
+    chunksPending.store(0, std::memory_order_relaxed);
+}
+
+void
+PoolMetricsObserver::onChunkBegin(unsigned, std::size_t, std::size_t)
+{
+    // Gauge::add of +-1 is exact, so concurrent workers cannot smear
+    // the active count the way racing set() calls would.
+    const std::int64_t now =
+        activeNow.fetch_add(1, std::memory_order_relaxed) + 1;
+    active.add(1.0);
+    activeHwm.recordMax(static_cast<double>(now));
+    const std::int64_t waiting =
+        chunksPending.fetch_sub(1, std::memory_order_relaxed) - 1;
+    if (waiting > 0)
+        queueHwm.recordMax(static_cast<double>(waiting));
+}
+
+void
+PoolMetricsObserver::onChunkEnd(unsigned, std::size_t, std::size_t)
+{
+    chunks.inc();
+    activeNow.fetch_sub(1, std::memory_order_relaxed);
+    active.add(-1.0);
+}
+
 } // namespace vsync::obs

@@ -20,6 +20,16 @@
  *   hybrid.max_stall_ns      gauge    worst single stall
  *   hybrid.rounds            counter  rounds simulated
  *
+ * PoolMetricsObserver does the same for the ThreadPool's PoolObserver
+ * seam (common/parallel.hh), making pool saturation visible next to
+ * request latency when a SweepService runs behind the net:: front end:
+ *
+ *   pool.jobs                counter  parallelForRange jobs submitted
+ *   pool.chunks              counter  chunks executed
+ *   pool.active_workers      gauge    workers inside a chunk right now
+ *   pool.active_workers_hwm  gauge    most workers ever concurrent
+ *   pool.queue_depth_hwm     gauge    most chunks ever waiting to start
+ *
  * The prefixes are configurable so several instrumented engines can
  * share one registry without colliding.
  */
@@ -27,10 +37,12 @@
 #ifndef VSYNC_OBS_PROBES_HH
 #define VSYNC_OBS_PROBES_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
 
+#include "common/parallel.hh"
 #include "obs/metrics.hh"
 #include "obs/probe.hh"
 
@@ -85,6 +97,42 @@ class MetricsExecProbe : public ExecProbe
     Gauge &stallTotal;
     Gauge &stallMax;
     Gauge &lastCompletion;
+};
+
+/**
+ * PoolObserver exporting ThreadPool utilization gauges. Install on
+ * exactly one pool (per-job chunk accounting is a single slot); the
+ * hooks cost a few relaxed atomic updates per chunk.
+ *
+ * "Queue depth" is the number of grain-sized chunks of the current
+ * job not yet handed to a worker, sampled as each chunk starts; its
+ * high-water mark across jobs shows how far submitted work ran ahead
+ * of the pool -- the compute-side counterpart of the net:: admission
+ * queue.
+ */
+class PoolMetricsObserver : public PoolObserver
+{
+  public:
+    explicit PoolMetricsObserver(MetricsRegistry &registry,
+                                 const std::string &prefix = "pool.");
+
+    void onJobBegin(std::size_t n, std::size_t grain) override;
+    void onJobEnd() override;
+    void onChunkBegin(unsigned worker, std::size_t begin,
+                      std::size_t end) override;
+    void onChunkEnd(unsigned worker, std::size_t begin,
+                    std::size_t end) override;
+
+  private:
+    Counter &jobs;
+    Counter &chunks;
+    Gauge &active;
+    Gauge &activeHwm;
+    Gauge &queueHwm;
+    /** Chunks of the current job not yet started. Only one job is in
+     *  flight per pool, so a single slot suffices. */
+    std::atomic<std::int64_t> chunksPending{0};
+    std::atomic<std::int64_t> activeNow{0};
 };
 
 } // namespace vsync::obs

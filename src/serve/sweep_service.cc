@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/probes.hh"
 
 namespace vsync::serve
 {
@@ -56,7 +57,14 @@ SweepService::SweepService(ServiceConfig config)
                                     "serve.cache."}),
       pool(config.threads)
 {
+    if (cfg.metrics) {
+        poolMetrics = std::make_unique<obs::PoolMetricsObserver>(
+            *cfg.metrics, "serve.pool.");
+        pool.setObserver(poolMetrics.get());
+    }
 }
+
+SweepService::~SweepService() = default;
 
 void
 SweepService::cancel()
@@ -73,6 +81,11 @@ SweepService::run(const std::vector<SweepRequest> &batch,
     stopToken.reset();
     const Clock::time_point t0 = Clock::now();
     const bool hasDeadline = opts.deadlineSeconds < infinity;
+    // A zero/negative budget is expired on arrival: fail fast. The
+    // explicit flag (rather than trusting Clock::now() > t0 on the
+    // first phase-1 check) guarantees no compile and no first chunk.
+    const bool expiredOnArrival =
+        hasDeadline && opts.deadlineSeconds <= 0.0;
     const Clock::time_point deadline =
         hasDeadline ? t0 + std::chrono::duration_cast<Clock::duration>(
                                std::chrono::duration<double>(
@@ -98,7 +111,8 @@ SweepService::run(const std::vector<SweepRequest> &batch,
         out.outcomes[r].trialsRequested = configOf(batch[r]).trials;
         if (externallyCancelled())
             continue;
-        if (hasDeadline && Clock::now() >= deadline) {
+        if (expiredOnArrival ||
+            (hasDeadline && Clock::now() >= deadline)) {
             deadlineHit.store(true, std::memory_order_relaxed);
             continue;
         }

@@ -39,6 +39,11 @@
 #include "mc/resilience.hh"
 #include "serve/scenario_cache.hh"
 
+namespace vsync::obs
+{
+class PoolMetricsObserver;
+} // namespace vsync::obs
+
 namespace vsync::serve
 {
 
@@ -107,7 +112,14 @@ struct RequestOutcome
 /** Per-batch execution limits. */
 struct BatchOptions
 {
-    /** Wall-clock budget for the batch; infinity = none. */
+    /**
+     * Wall-clock budget for the batch; infinity = none. A zero or
+     * negative budget is already expired: the batch fails fast --
+     * no kernel compiles, no first chunk runs -- and every request
+     * comes back as an empty Partial (all-false trial mask) with
+     * deadlineExpired set. The net:: front end propagates wire
+     * deadlines here, so "expired on arrival" must cost nothing.
+     */
     double deadlineSeconds = infinity;
     /**
      * Optional external cancel signal (borrowed), e.g. shared by a
@@ -138,9 +150,13 @@ struct ServiceConfig
     /** Scenario cache capacity (compiled kernels). */
     std::size_t cacheCapacity = 32;
     /**
-     * Optional registry: cache counters under "serve.cache." plus
-     * batch telemetry under "serve.batch." (requests / trials_done /
-     * cancelled / deadline_expired counters, wall_ms gauge).
+     * Optional registry: cache counters under "serve.cache.", batch
+     * telemetry under "serve.batch." (requests / trials_done /
+     * cancelled / deadline_expired counters, wall_ms gauge), and pool
+     * utilization under "serve.pool." (jobs/chunks counters,
+     * active_workers, active_workers_hwm and queue_depth_hwm gauges
+     * via obs::PoolMetricsObserver) -- so compute saturation is
+     * visible next to the front end's "net.*" latency metrics.
      */
     obs::MetricsRegistry *metrics = nullptr;
 };
@@ -154,6 +170,7 @@ class SweepService
 {
   public:
     explicit SweepService(ServiceConfig cfg = {});
+    ~SweepService();
 
     SweepService(const SweepService &) = delete;
     SweepService &operator=(const SweepService &) = delete;
@@ -171,6 +188,9 @@ class SweepService
   private:
     ServiceConfig cfg;
     ScenarioCache kernels;
+    /** Pool utilization metrics; declared before the pool so the pool
+     *  (whose jobs call the observer) is destroyed first. */
+    std::unique_ptr<obs::PoolMetricsObserver> poolMetrics;
     ThreadPool pool;
     /** Set by cancel(); distinguishable from a deadline stop. */
     CancelToken userCancel;

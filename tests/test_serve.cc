@@ -357,6 +357,114 @@ TEST(SweepService, DeadlinedPartialResultsMatchTheFullRunPrefix)
     }
 }
 
+TEST(ScenarioCache, CapacityOneSequentialChurnEvictsInOrder)
+{
+    // The degenerate capacity: every distinct scenario evicts its
+    // predecessor, in exactly insertion order, and the cache never
+    // holds more than one entry.
+    serve::ScenarioCache::Config cfg;
+    cfg.capacity = 1;
+    serve::ScenarioCache cache(cfg);
+
+    const layout::Layout a = layout::meshLayout(1, 2);
+    const layout::Layout b = layout::meshLayout(1, 3);
+
+    cache.get(a);
+    EXPECT_EQ(cache.evictions(), 0u);
+    cache.get(b); // evicts a
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    cache.get(b); // resident: a hit, no churn
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    cache.get(a); // evicted earlier: recompile, evicts b
+    EXPECT_EQ(cache.misses(), 3u);
+    EXPECT_EQ(cache.evictions(), 2u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ScenarioCache, ConcurrentInsertStormAtCapacityOne)
+{
+    // Thrash a capacity-1 cache from many threads with distinct
+    // scenarios: inserts race with evictions and with the
+    // generation-tagged erase path. The cache must stay bounded, hand
+    // every caller the kernel of *its* scenario, and keep its
+    // counters consistent.
+    serve::ScenarioCache::Config cfg;
+    cfg.capacity = 1;
+    serve::ScenarioCache cache(cfg);
+
+    constexpr int threads = 8;
+    constexpr int rounds = 6;
+    std::vector<layout::Layout> layouts;
+    for (int i = 0; i < threads; ++i)
+        layouts.push_back(layout::meshLayout(1, 2 + i));
+
+    std::atomic<int> ready{0};
+    std::atomic<int> wrongKernels{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back([&, t] {
+            ready.fetch_add(1);
+            while (ready.load() < threads)
+                std::this_thread::yield();
+            for (int r = 0; r < rounds; ++r) {
+                // Rotate so threads collide on each other's entries.
+                const layout::Layout &l =
+                    layouts[(t + r) % threads];
+                const auto kernel = cache.get(l);
+                if (!kernel || kernel->cellCount() != l.size() ||
+                    kernel->hasTree())
+                    wrongKernels.fetch_add(1);
+            }
+        });
+    for (auto &th : pool)
+        th.join();
+
+    EXPECT_EQ(wrongKernels.load(), 0);
+    EXPECT_LE(cache.size(), 1u);
+    // Every get is a hit or a miss, never both, never neither.
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              static_cast<std::uint64_t>(threads * rounds));
+    // Every miss inserted one entry; all but the survivors left
+    // through the LRU bound (no compile failed, so the generation
+    // erase path removed nothing).
+    EXPECT_EQ(cache.evictions(), cache.misses() - cache.size());
+}
+
+TEST(SweepService, ExpiredDeadlineFailsFastWithoutCompiling)
+{
+    // The net:: front end maps "deadline spent in the admission
+    // queue" to a non-positive budget, so this path must cost
+    // nothing: no compile, no first chunk, full-size all-false mask.
+    const layout::Layout l = layout::meshLayout(4, 4);
+    const auto tree = clocktree::buildHTreeGrid(l, 4, 4);
+    mc::McConfig cfg;
+    cfg.trials = 50;
+
+    for (const double deadline : {0.0, -3.5}) {
+        serve::SweepService svc;
+        serve::BatchOptions opts;
+        opts.deadlineSeconds = deadline;
+        const serve::BatchOutcome out =
+            svc.run({serve::SkewRequest{&l, &tree, kDelay, cfg}},
+                    opts);
+
+        EXPECT_TRUE(out.deadlineExpired) << deadline;
+        EXPECT_FALSE(out.cancelled) << deadline;
+        EXPECT_EQ(svc.cache().misses(), 0u) << deadline;
+        EXPECT_EQ(svc.cache().hits(), 0u) << deadline;
+        const auto &o = out.outcomes[0];
+        EXPECT_EQ(o.status, serve::RequestStatus::Partial) << deadline;
+        EXPECT_EQ(o.trialsDone, 0u) << deadline;
+        EXPECT_EQ(o.trialsRequested, 50u) << deadline;
+        ASSERT_EQ(o.trialDone.size(), 50u) << deadline;
+        for (const auto d : o.trialDone)
+            EXPECT_EQ(d, 0);
+        EXPECT_EQ(o.skew.stat.count(), 0u) << deadline;
+    }
+}
+
 TEST(SweepService, CancelWhileIdleDoesNotPoisonTheNextRun)
 {
     const layout::Layout l = layout::meshLayout(3, 3);
@@ -391,6 +499,38 @@ TEST(SweepService, ExportsCacheAndBatchMetrics)
     EXPECT_EQ(reg.counter("serve.cache.misses").value(), 1u);
     EXPECT_EQ(reg.counter("serve.cache.hits").value(), 1u);
     EXPECT_EQ(reg.counter("serve.batch.cancelled").value(), 0u);
+}
+
+TEST(SweepService, ExportsPoolUtilizationMetrics)
+{
+    // The ThreadPool's utilization flows through the PoolObserver
+    // seam into "serve.pool.*": exact job/chunk counts, an active
+    // count that returns to zero, and high-water marks.
+    obs::MetricsRegistry reg;
+    const layout::Layout l = layout::meshLayout(4, 4);
+    const auto tree = clocktree::buildHTreeGrid(l, 4, 4);
+    mc::McConfig cfg;
+    cfg.trials = 8;
+    cfg.grain = 2;
+
+    serve::ServiceConfig sc;
+    sc.threads = 2;
+    sc.metrics = &reg;
+    serve::SweepService svc(sc);
+    svc.run({serve::SkewRequest{&l, &tree, kDelay, cfg},
+             serve::SkewRequest{&l, &tree, kDelay, cfg}});
+
+    // One parallelForRange per batch; its units are the grain-sized
+    // trial slices of both requests: 2 * (8 / 2).
+    EXPECT_EQ(reg.counter("serve.pool.jobs").value(), 1u);
+    EXPECT_EQ(reg.counter("serve.pool.chunks").value(), 8u);
+    EXPECT_EQ(reg.gauge("serve.pool.active_workers").value(), 0.0);
+    EXPECT_GE(reg.gauge("serve.pool.active_workers_hwm").value(), 1.0);
+    EXPECT_LE(reg.gauge("serve.pool.active_workers_hwm").value(), 2.0);
+    // 8 chunks through a 2-wide pool: some chunk must have seen
+    // others still waiting.
+    EXPECT_GE(reg.gauge("serve.pool.queue_depth_hwm").value(), 1.0);
+    EXPECT_LE(reg.gauge("serve.pool.queue_depth_hwm").value(), 7.0);
 }
 
 } // namespace
