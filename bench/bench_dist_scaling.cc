@@ -1,0 +1,373 @@
+/**
+ * @file
+ * PERF -- distributed coordinator scaling over in-process fleets,
+ * gated.
+ *
+ * A mixed skew/resilience batch is run through dist::Coordinator
+ * against loopback fleets of 1, 2 and 4 single-threaded
+ * ScenarioServer workers, then once more against a fleet of 2 with
+ * one worker killed mid-run. Per fleet the bench reports wall time,
+ * speedup over the one-worker run and the shard ledger, and writes
+ * BENCH_dist_scaling.json.
+ *
+ * Exit status is the CI gate, nonzero when a distribution invariant
+ * breaks:
+ *  - bit identity: every outcome, at every fleet size and after the
+ *    mid-run kill, must match a direct serve::SweepService run of the
+ *    same batch, sample for sample and statistic for statistic;
+ *  - exact ledger: every dispatched shard attempt resolves exactly
+ *    once (dispatched == completed + superseded + failed and
+ *    shards == completed + lost), no shard is lost on a healthy
+ *    fleet, and the kill run still completes every shard.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "clocktree/builders.hh"
+#include "dist/coordinator.hh"
+#include "layout/generators.hh"
+#include "net/protocol.hh"
+#include "net/server.hh"
+#include "serve/sweep_service.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+const core::WireDelay delay{0.05, 0.005};
+
+/** A fleet of real loopback ScenarioServers, one compute thread each
+ * so the scaling curve measures the fleet, not the host's pool. */
+struct Fleet
+{
+    std::vector<std::unique_ptr<net::ScenarioServer>> servers;
+    std::vector<dist::WorkerEndpoint> endpoints;
+    bool ok = true;
+
+    explicit Fleet(unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i) {
+            net::ServerConfig sc;
+            sc.computeThreads = 1;
+            auto s = std::make_unique<net::ScenarioServer>(sc);
+            ok = ok && s->start();
+            endpoints.push_back(
+                dist::WorkerEndpoint{"127.0.0.1", s->port()});
+            servers.push_back(std::move(s));
+        }
+    }
+};
+
+/** The benchmark batch: both sweep families, three distributions. */
+std::vector<net::WireRequest>
+makeBatch(std::uint64_t seed)
+{
+    std::vector<net::WireRequest> batch;
+    net::WireRequest rq;
+    rq.kind = net::QueryKind::Skew;
+    rq.scheme = net::WireScheme::HTree;
+    rq.rows = rq.cols = 8;
+    rq.seed = seed;
+    rq.trials = 12000;
+    rq.grain = 250;
+    rq.delay = delay;
+    batch.push_back(rq); // 48 shards
+
+    rq.kind = net::QueryKind::Resilience;
+    rq.scheme = net::WireScheme::HTree;
+    rq.rows = rq.cols = 6;
+    rq.faultRate = 0.05;
+    rq.trials = 6000;
+    batch.push_back(rq); // 24 shards
+    rq.scheme = net::WireScheme::Trix;
+    batch.push_back(rq); // 24 shards
+    return batch;
+}
+
+/**
+ * The local reference: the same batch on an in-process SweepService,
+ * scenarios built exactly as ScenarioServer builds them. Owns the
+ * layouts and trees the requests borrow.
+ */
+struct LocalReference
+{
+    std::vector<std::unique_ptr<layout::Layout>> layouts;
+    std::vector<std::unique_ptr<clocktree::ClockTree>> trees;
+    std::vector<serve::SweepRequest> batch;
+    serve::BatchOutcome out;
+
+    explicit LocalReference(const std::vector<net::WireRequest> &wire)
+    {
+        for (const net::WireRequest &rq : wire) {
+            auto l = std::make_unique<layout::Layout>(
+                layout::meshLayout(rq.rows, rq.cols));
+            mc::McConfig mcc;
+            mcc.seed = rq.seed;
+            mcc.trials = rq.trials;
+            mcc.grain = rq.grain;
+            if (rq.kind == net::QueryKind::Skew) {
+                auto t = std::make_unique<clocktree::ClockTree>(
+                    rq.scheme == net::WireScheme::Spine
+                        ? clocktree::buildSpine(*l)
+                        : clocktree::buildHTreeGrid(*l, rq.rows,
+                                                    rq.cols));
+                serve::SkewRequest s;
+                s.layout = l.get();
+                s.tree = t.get();
+                s.delay = rq.delay;
+                s.cfg = mcc;
+                batch.emplace_back(s);
+                trees.push_back(std::move(t));
+            } else {
+                serve::ResilienceRequest r;
+                r.layout = l.get();
+                r.rows = rq.rows;
+                r.cols = rq.cols;
+                r.kind = rq.scheme == net::WireScheme::Trix
+                             ? mc::DistributionKind::TrixGrid
+                             : mc::DistributionKind::HTree;
+                r.faultRate = rq.faultRate;
+                r.rc.delay = rq.delay;
+                r.cfg = mcc;
+                batch.emplace_back(r);
+            }
+            layouts.push_back(std::move(l));
+        }
+        serve::SweepService svc;
+        out = svc.run(batch);
+    }
+};
+
+/** Count bitwise differences between an outcome and the reference. */
+std::size_t
+mismatches(const serve::RequestOutcome &got,
+           const serve::RequestOutcome &want)
+{
+    std::size_t n = 0;
+    n += got.status != want.status;
+    n += got.trialsDone != want.trialsDone;
+    n += got.trialsRequested != want.trialsRequested;
+    const auto diffSeries = [&n](const mc::McResult &g,
+                                 const mc::McResult &w) {
+        if (g.samples.size() != w.samples.size()) {
+            ++n;
+            return;
+        }
+        for (std::size_t i = 0; i < w.samples.size(); ++i)
+            n += g.samples[i] != w.samples[i];
+        if (!w.samples.empty()) {
+            n += g.stat.mean() != w.stat.mean();
+            n += g.stat.stddev() != w.stat.stddev();
+            n += g.stat.min() != w.stat.min();
+            n += g.stat.max() != w.stat.max();
+        }
+    };
+    diffSeries(got.skew, want.skew);
+    diffSeries(got.resilience.maxCommSkew, want.resilience.maxCommSkew);
+    diffSeries(got.resilience.clockedFraction,
+               want.resilience.clockedFraction);
+    n += got.resilience.meanFaults != want.resilience.meanFaults;
+    n += got.resilience.faultRate != want.resilience.faultRate;
+    if (got.faultSamples.size() != want.faultSamples.size()) {
+        ++n;
+    } else {
+        for (std::size_t i = 0; i < want.faultSamples.size(); ++i)
+            n += got.faultSamples[i] != want.faultSamples[i];
+    }
+    return n;
+}
+
+std::size_t
+batchMismatches(const dist::DistOutcome &out,
+                const serve::BatchOutcome &ref)
+{
+    if (out.outcomes.size() != ref.outcomes.size())
+        return 1;
+    std::size_t n = 0;
+    for (std::size_t r = 0; r < ref.outcomes.size(); ++r)
+        n += mismatches(out.outcomes[r], ref.outcomes[r]);
+    return n;
+}
+
+dist::DistConfig
+coordConfig(std::vector<dist::WorkerEndpoint> eps, std::uint64_t seed)
+{
+    dist::DistConfig cfg;
+    cfg.workers = std::move(eps);
+    cfg.pool.backoff.baseSeconds = 0.01;
+    cfg.pool.backoff.capSeconds = 0.1;
+    cfg.pool.seed = seed;
+    return cfg;
+}
+
+/** Ledger health on a run that must complete every shard. */
+bool
+ledgerExact(const dist::ShardLedger &lg)
+{
+    return lg.balanced() && lg.completed == lg.shards && lg.lost == 0;
+}
+
+void
+emitLedger(JsonWriter &json, const dist::ShardLedger &lg)
+{
+    json.keyValue("shards", lg.shards)
+        .keyValue("dispatched", lg.dispatched)
+        .keyValue("completed", lg.completed)
+        .keyValue("superseded", lg.superseded)
+        .keyValue("failed", lg.failed)
+        .keyValue("retried", lg.retried)
+        .keyValue("hedged", lg.hedged)
+        .keyValue("lost", lg.lost)
+        .keyValue("balanced", lg.balanced());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = BenchOptions::parse(argc, argv);
+    const std::uint64_t seed = opts.seedSet ? opts.seed : 0xd157ULL;
+
+    const std::vector<net::WireRequest> batch = makeBatch(seed);
+    const LocalReference ref(batch);
+    if (ref.out.deadlineExpired || ref.out.cancelled) {
+        std::fprintf(stderr, "local reference run failed\n");
+        return 1;
+    }
+
+    struct FleetPoint
+    {
+        unsigned workers = 0;
+        dist::DistOutcome out;
+        std::size_t diffs = 0;
+    };
+    std::vector<FleetPoint> points;
+    bool identical = true;
+    bool ledgerOk = true;
+
+    for (const unsigned n : {1u, 2u, 4u}) {
+        Fleet fleet(n);
+        if (!fleet.ok) {
+            std::fprintf(stderr, "cannot start loopback fleet\n");
+            return 1;
+        }
+        dist::Coordinator coord(
+            coordConfig(fleet.endpoints, seed + n));
+        FleetPoint pt;
+        pt.workers = n;
+        pt.out = coord.run(batch);
+        pt.diffs = batchMismatches(pt.out, ref.out);
+        identical = identical && pt.diffs == 0;
+        ledgerOk = ledgerOk && ledgerExact(pt.out.ledger) &&
+                   !pt.out.deadlineExpired;
+        points.push_back(std::move(pt));
+    }
+
+    // Fault-recovery point: fleet of 2, one worker killed mid-run.
+    // The coordinator must reassign its shards and still produce the
+    // reference bytes with a balanced ledger.
+    FleetPoint kill;
+    {
+        Fleet fleet(2);
+        if (!fleet.ok) {
+            std::fprintf(stderr, "cannot start loopback fleet\n");
+            return 1;
+        }
+        dist::DistConfig cfg = coordConfig(fleet.endpoints, seed + 9);
+        cfg.pool.failureBudget = 2;
+        dist::Coordinator coord(cfg);
+        const double halfway = points[1].out.wallMs / 2.0;
+        std::thread killer([&fleet, halfway] {
+            std::this_thread::sleep_for(std::chrono::duration<double,
+                                        std::milli>(halfway));
+            fleet.servers[1]->stop();
+        });
+        kill.workers = 2;
+        kill.out = coord.run(batch);
+        killer.join();
+        kill.diffs = batchMismatches(kill.out, ref.out);
+        identical = identical && kill.diffs == 0;
+        ledgerOk = ledgerOk && ledgerExact(kill.out.ledger) &&
+                   !kill.out.deadlineExpired;
+    }
+    const bool recovered =
+        kill.out.ledger.completed == kill.out.ledger.shards &&
+        kill.diffs == 0;
+
+    bench::headline("distributed coordinator: fleet scaling and "
+                    "mid-run worker kill, mixed 3-request batch");
+    Table table("dist scaling",
+                {"workers", "wall ms", "speedup", "shards",
+                 "dispatched", "retried", "hedged", "mismatches"});
+    const double base = points[0].out.wallMs;
+    for (const FleetPoint &pt : points)
+        table.addRow(
+            {Table::integer(pt.workers), Table::num(pt.out.wallMs),
+             Table::num(base / pt.out.wallMs),
+             Table::integer(
+                 static_cast<long long>(pt.out.ledger.shards)),
+             Table::integer(
+                 static_cast<long long>(pt.out.ledger.dispatched)),
+             Table::integer(
+                 static_cast<long long>(pt.out.ledger.retried)),
+             Table::integer(
+                 static_cast<long long>(pt.out.ledger.hedged)),
+             Table::integer(static_cast<long long>(pt.diffs))});
+    table.addRow(
+        {Table::integer(kill.workers) + " (1 killed)",
+         Table::num(kill.out.wallMs), Table::num(base / kill.out.wallMs),
+         Table::integer(static_cast<long long>(kill.out.ledger.shards)),
+         Table::integer(
+             static_cast<long long>(kill.out.ledger.dispatched)),
+         Table::integer(
+             static_cast<long long>(kill.out.ledger.retried)),
+         Table::integer(
+             static_cast<long long>(kill.out.ledger.hedged)),
+         Table::integer(static_cast<long long>(kill.diffs))});
+    emitTable(table, opts);
+
+    bench::BenchJson result("dist_scaling", seed);
+    JsonWriter &json = result.writer();
+    json.keyValue("requests", static_cast<std::uint64_t>(batch.size()))
+        .keyValue("reference_wall_ms", ref.out.wallMs);
+    json.key("fleets").beginArray();
+    for (const FleetPoint &pt : points) {
+        json.beginObject()
+            .keyValue("workers", static_cast<std::uint64_t>(pt.workers))
+            .keyValue("wall_ms", pt.out.wallMs)
+            .keyValue("speedup", base / pt.out.wallMs)
+            .keyValue("mismatches",
+                      static_cast<std::uint64_t>(pt.diffs));
+        emitLedger(json, pt.out.ledger);
+        json.endObject();
+    }
+    json.endArray();
+    json.key("worker_kill").beginObject()
+        .keyValue("workers", static_cast<std::uint64_t>(kill.workers))
+        .keyValue("wall_ms", kill.out.wallMs)
+        .keyValue("mismatches", static_cast<std::uint64_t>(kill.diffs))
+        .keyValue("recovered", recovered);
+    emitLedger(json, kill.out.ledger);
+    json.endObject();
+
+    const bool gateOk = identical && ledgerOk && recovered;
+    json.key("gate").beginObject()
+        .keyValue("bit_identical_outcomes", identical)
+        .keyValue("ledger_exact", ledgerOk)
+        .keyValue("kill_recovered", recovered)
+        .keyValue("passed", gateOk)
+        .endObject();
+
+    std::printf("\nwrote BENCH_dist_scaling.json (bit identity %s; "
+                "ledger %s; kill recovery %s)\n",
+                identical ? "ok" : "BROKEN",
+                ledgerOk ? "exact" : "BROKEN",
+                recovered ? "ok" : "BROKEN");
+    return gateOk ? 0 : 1;
+}

@@ -12,8 +12,8 @@ cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 
 SAN_TARGETS=(test_parallel_mc test_skew_kernel test_fault test_obs
-             test_serve test_net)
-SAN_REGEX='^test_(parallel_mc|skew_kernel|fault|obs|serve|net)$'
+             test_serve test_net test_dist)
+SAN_REGEX='^test_(parallel_mc|skew_kernel|fault|obs|serve|net|dist)$'
 
 echo "== tier-1: configure, build, ctest =="
 cmake -B build -S . >/dev/null
@@ -24,7 +24,7 @@ if [[ "${1:-}" == "--fast" ]]; then
     exit 0
 fi
 
-echo "== TSan: parallel MC engine + skew kernel + fault sweeps + observability + serving + net =="
+echo "== TSan: parallel MC engine + skew kernel + fault sweeps + observability + serving + net + dist =="
 cmake -B build-tsan -S . -DVSYNC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" --target "${SAN_TARGETS[@]}"
 (cd build-tsan && ctest --output-on-failure -R "$SAN_REGEX")

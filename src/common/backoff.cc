@@ -1,0 +1,59 @@
+#include "common/backoff.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vsync
+{
+
+void
+BackoffConfig::validate() const
+{
+    if (!(baseSeconds >= 0.0))
+        fatal("BackoffConfig.baseSeconds must be >= 0, got %g",
+              baseSeconds);
+    if (!(capSeconds >= baseSeconds))
+        fatal("BackoffConfig.capSeconds (%g) must be >= baseSeconds "
+              "(%g)",
+              capSeconds, baseSeconds);
+    if (!(multiplier >= 1.0))
+        fatal("BackoffConfig.multiplier must be >= 1, got %g",
+              multiplier);
+    if (!(jitterFraction >= 0.0 && jitterFraction <= 1.0))
+        fatal("BackoffConfig.jitterFraction must be in [0, 1], got %g",
+              jitterFraction);
+}
+
+Backoff::Backoff(const BackoffConfig &config, Rng jitter)
+    : cfg(config), rng(std::move(jitter))
+{
+    cfg.validate();
+}
+
+double
+Backoff::envelopeSeconds(unsigned which) const
+{
+    // Multiply up rather than pow(): once the envelope passes the cap
+    // it stays clamped, so the loop runs at most log_mult(cap/base)
+    // iterations and can never overflow to inf.
+    double env = cfg.baseSeconds;
+    for (unsigned k = 0; k < which && env < cfg.capSeconds; ++k)
+        env *= cfg.multiplier;
+    return std::min(env, cfg.capSeconds);
+}
+
+double
+Backoff::nextSeconds()
+{
+    const double env = envelopeSeconds(attempt);
+    ++attempt;
+    // Jitter shortens, never lengthens: the envelope stays a hard
+    // bound. The draw happens even when jitterFraction == 0 so the
+    // stream position -- and therefore every later delay -- does not
+    // depend on the config, only on the seed.
+    const double u = rng.uniform();
+    return env * (1.0 - cfg.jitterFraction * u);
+}
+
+} // namespace vsync

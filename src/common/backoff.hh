@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic exponential backoff with RNG-driven jitter.
+ *
+ * Retry loops need two properties that ad-hoc sleeps do not give:
+ * bounded growth (the k-th delay follows base * multiplier^k but never
+ * exceeds cap, so a long outage cannot push the next probe out by
+ * hours) and decorrelation (independent clients retrying the same dead
+ * peer must not fire in lock step). Jitter provides the second -- and
+ * because it is drawn from an Rng substream the *caller* seeds, the
+ * whole delay sequence is a pure function of (config, seed): two runs
+ * of the same experiment back off identically, which is what lets the
+ * distributed tests assert on shard schedules at all.
+ *
+ * The jittered delay for attempt k (0-based) is
+ *
+ *   envelope(k) = min(cap, base * multiplier^k)
+ *   delay(k)    = envelope(k) * (1 - jitterFraction * u_k)
+ *
+ * with u_k ~ U[0, 1) from the instance's private stream, so delay(k)
+ * lies in (envelope(k) * (1 - jitterFraction), envelope(k)] -- jitter
+ * only ever shortens the wait, keeping the envelope a hard upper
+ * bound.
+ */
+
+#ifndef VSYNC_COMMON_BACKOFF_HH
+#define VSYNC_COMMON_BACKOFF_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace vsync
+{
+
+/** Shape of a backoff schedule. */
+struct BackoffConfig
+{
+    /** First delay, seconds (the k=0 envelope). */
+    double baseSeconds = 0.05;
+    /** Envelope growth per attempt. */
+    double multiplier = 2.0;
+    /** Hard ceiling on any delay, seconds. */
+    double capSeconds = 5.0;
+    /**
+     * Fraction of the envelope the jitter may shave off, in [0, 1].
+     * 0 disables jitter (fully periodic retries).
+     */
+    double jitterFraction = 0.5;
+
+    /** Fatal on nonsensical shapes (negative base/cap, multiplier
+     *  < 1, jitterFraction outside [0, 1]). */
+    void validate() const;
+};
+
+/**
+ * One retry schedule. Not thread safe; give each retry loop (each
+ * worker connection, say) its own instance, seeded so sibling
+ * schedules are decorrelated: Backoff(cfg, Rng::forTrial(seed, k))
+ * for worker k is the idiom.
+ */
+class Backoff
+{
+  public:
+    /** @param rng private jitter stream (moved in; the schedule owns
+     *  its randomness so callers cannot perturb it between calls). */
+    explicit Backoff(const BackoffConfig &cfg = {}, Rng rng = Rng());
+
+    /**
+     * The delay to sleep before the next attempt, advancing the
+     * schedule. Deterministic: call i returns the same value on every
+     * run with the same (config, rng seed).
+     */
+    double nextSeconds();
+
+    /** Envelope (jitter-free upper bound) of attempt @p attempt. */
+    double envelopeSeconds(unsigned attempt) const;
+
+    /** Attempts scheduled so far (calls to nextSeconds). */
+    unsigned attempts() const { return attempt; }
+
+    /** Restart the schedule at attempt 0 (e.g. after a success).
+     *  The jitter stream is *not* rewound: a reset schedule still
+     *  produces fresh, decorrelated jitter. */
+    void reset() { attempt = 0; }
+
+  private:
+    BackoffConfig cfg;
+    Rng rng;
+    unsigned attempt = 0;
+};
+
+} // namespace vsync
+
+#endif // VSYNC_COMMON_BACKOFF_HH

@@ -252,7 +252,12 @@ scanObject(Cursor &c, std::string &error, const FieldFn &field)
 const char *
 queryKindName(QueryKind k)
 {
-    return k == QueryKind::Skew ? "skew" : "resilience";
+    switch (k) {
+    case QueryKind::Skew: return "skew";
+    case QueryKind::Resilience: return "resilience";
+    case QueryKind::Info: return "info";
+    }
+    panic("unreachable query kind %d", static_cast<int>(k));
 }
 
 const char *
@@ -285,6 +290,8 @@ parseRequest(std::string_view line, WireRequest &out, std::string &error)
                 out.kind = QueryKind::Skew;
             else if (v == "resilience")
                 out.kind = QueryKind::Resilience;
+            else if (v == "info")
+                out.kind = QueryKind::Info;
             else {
                 error = "unknown kind '" + std::string(v) + "'";
                 return false;
@@ -355,6 +362,19 @@ parseRequest(std::string_view line, WireRequest &out, std::string &error)
             out.grain = v;
             return true;
         }
+        if (key == "trial_offset") {
+            std::uint64_t v = 0;
+            if (!scanU64(c, v, error))
+                return false;
+            // Substream indices are cheap at any magnitude; the bound
+            // only keeps offset + trials inside size_t arithmetic.
+            if (v > (std::uint64_t{1} << 48)) {
+                error = "trial_offset exceeds 2^48";
+                return false;
+            }
+            out.trialOffset = v;
+            return true;
+        }
         if (key == "m") {
             if (!scanDouble(c, out.delay.m, error))
                 return false;
@@ -381,6 +401,10 @@ parseRequest(std::string_view line, WireRequest &out, std::string &error)
     if (!ok)
         return false;
 
+    // A ping carries no scenario; whatever defaults remain are moot.
+    if (out.kind == QueryKind::Info)
+        return true;
+
     if (static_cast<std::size_t>(out.rows) *
             static_cast<std::size_t>(out.cols) >
         maxWireCells) {
@@ -406,16 +430,24 @@ encodeRequest(const WireRequest &rq)
     JsonWriter w(os, JsonWriter::Style::Compact);
     w.beginObject()
         .keyValue("id", rq.id)
-        .keyValue("kind", queryKindName(rq.kind))
-        .keyValue("scheme", wireSchemeName(rq.scheme))
+        .keyValue("kind", queryKindName(rq.kind));
+    if (rq.kind == QueryKind::Info) {
+        // A ping is just the correlation id and the kind.
+        w.endObject();
+        return os.str();
+    }
+    w.keyValue("scheme", wireSchemeName(rq.scheme))
         .keyValue("rows", rq.rows)
         .keyValue("cols", rq.cols);
     if (rq.kind == QueryKind::Resilience)
         w.keyValue("fault_rate", rq.faultRate);
     w.keyValue("seed", rq.seed)
         .keyValue("trials", static_cast<std::uint64_t>(rq.trials))
-        .keyValue("grain", static_cast<std::uint64_t>(rq.grain))
-        .keyValue("m", rq.delay.m)
+        .keyValue("grain", static_cast<std::uint64_t>(rq.grain));
+    if (rq.trialOffset != 0)
+        w.keyValue("trial_offset",
+                   static_cast<std::uint64_t>(rq.trialOffset));
+    w.keyValue("m", rq.delay.m)
         .keyValue("eps", rq.delay.eps);
     if (rq.deadlineMs < infinity)
         w.keyValue("deadline_ms", rq.deadlineMs);
@@ -459,6 +491,13 @@ encodeOutcome(const WireRequest &rq, const serve::RequestOutcome &o,
         for (const double s : o.resilience.clockedFraction.samples)
             w.value(s);
         w.endArray();
+        // Per-trial fault counts ride along so a distributed fold can
+        // recombine shards into an exact meanFaults: integer counts
+        // sum exactly in doubles, per-shard means do not.
+        w.key("fault_samples").beginArray();
+        for (const double s : o.faultSamples)
+            w.value(s);
+        w.endArray();
         w.keyValue("mean_faults", o.resilience.meanFaults);
     }
     if (o.status == serve::RequestStatus::Partial) {
@@ -468,6 +507,24 @@ encodeOutcome(const WireRequest &rq, const serve::RequestOutcome &o,
         w.endArray();
     }
     w.keyValue("server_ms", server_ms).endObject();
+    return os.str();
+}
+
+std::string
+encodeInfo(std::uint64_t id, const InfoReply &info)
+{
+    std::ostringstream os;
+    JsonWriter w(os, JsonWriter::Style::Compact);
+    w.beginObject()
+        .keyValue("id", id)
+        .keyValue("ok", true)
+        .keyValue("kind", "info")
+        .keyValue("proto", info.proto)
+        .keyValue("threads", info.threads)
+        .keyValue("queue_depth", info.queueDepth)
+        .keyValue("queue_capacity", info.queueCapacity)
+        .keyValue("draining", info.draining)
+        .endObject();
     return os.str();
 }
 
@@ -549,11 +606,80 @@ parseResponse(std::string_view line, WireResponse &out,
             return scanDoubleArray(c, out.samples, error);
         if (key == "clocked_samples")
             return scanDoubleArray(c, out.clockedSamples, error);
+        if (key == "fault_samples")
+            return scanDoubleArray(c, out.faultSamples, error);
         if (key == "trial_done")
             return scanByteArray(c, out.trialDone, error);
+        if (key == "proto")
+            return scanU64(c, out.proto, error);
+        if (key == "threads")
+            return scanU64(c, out.threads, error);
+        if (key == "queue_depth")
+            return scanU64(c, out.queueDepth, error);
+        if (key == "queue_capacity")
+            return scanU64(c, out.queueCapacity, error);
+        if (key == "draining")
+            return c.boolean(out.draining, error);
         error = "unknown key '" + std::string(key) + "'";
         return false;
     });
+}
+
+LineReader::LineReader(std::size_t max_line_bytes) : cap(max_line_bytes)
+{
+    VSYNC_ASSERT(cap >= 1, "LineReader cap must be >= 1");
+}
+
+void
+LineReader::feed(const char *data, std::size_t len)
+{
+    buffer.append(data, len);
+}
+
+LineReader::Next
+LineReader::next(std::string &line)
+{
+    for (;;) {
+        if (discarding) {
+            // Inside an oversized line: throw bytes away until its
+            // terminating newline resynchronises the stream. The
+            // TooLarge event was already emitted when the cap broke.
+            const std::size_t nl = buffer.find('\n');
+            if (nl == std::string::npos) {
+                dropped += buffer.size();
+                buffer.clear();
+                return Next::NeedMore;
+            }
+            dropped += nl + 1;
+            buffer.erase(0, nl + 1);
+            discarding = false;
+            continue;
+        }
+        const std::size_t nl = buffer.find('\n');
+        if (nl == std::string::npos) {
+            if (buffer.size() > cap) {
+                // The partial line outgrew the cap with no newline in
+                // sight: drop it now instead of buffering without
+                // limit, and report exactly once.
+                ++oversized;
+                dropped += buffer.size();
+                buffer.clear();
+                discarding = true;
+                return Next::TooLarge;
+            }
+            return Next::NeedMore;
+        }
+        if (nl > cap) {
+            // A whole oversized line arrived within one feed.
+            ++oversized;
+            dropped += nl + 1;
+            buffer.erase(0, nl + 1);
+            return Next::TooLarge;
+        }
+        line.assign(buffer, 0, nl);
+        buffer.erase(0, nl + 1);
+        return Next::Line;
+    }
 }
 
 } // namespace vsync::net

@@ -242,7 +242,8 @@ ScenarioServer::acceptLoop()
 void
 ScenarioServer::connectionLoop(std::shared_ptr<Connection> conn)
 {
-    std::string buffer;
+    LineReader reader(cfg.maxLineBytes);
+    std::string line;
     char chunk[4096];
 
     const auto fail = [&](const char *why) {
@@ -277,18 +278,28 @@ ScenarioServer::connectionLoop(std::shared_ptr<Connection> conn)
         if (cfg.metrics)
             cfg.metrics->counter("net.bytes.in")
                 .inc(static_cast<std::uint64_t>(n));
-        buffer.append(chunk, static_cast<std::size_t>(n));
-        if (buffer.size() > cfg.maxLineBytes) {
-            writeLine(*conn, encodeError(0, errBadRequest,
-                                         "request line too long"));
-            fail("overlong line");
-            break;
-        }
+        reader.feed(chunk, static_cast<std::size_t>(n));
 
-        std::size_t nl;
-        while ((nl = buffer.find('\n')) != std::string::npos) {
-            std::string_view line(buffer.data(), nl);
+        for (;;) {
+            const LineReader::Next ev = reader.next(line);
+            if (ev == LineReader::Next::NeedMore)
+                break;
             const Clock::time_point arrival = Clock::now();
+            if (ev == LineReader::Next::TooLarge) {
+                // The line's bytes are already dropped; the reply has
+                // no id to echo (the line was never parsed) and the
+                // connection survives, resynchronised at the newline.
+                if (cfg.metrics)
+                    cfg.metrics->counter("net.requests.too_large")
+                        .inc();
+                writeLine(*conn,
+                          encodeError(0, errTooLarge,
+                                      "request line exceeds " +
+                                          std::to_string(
+                                              cfg.maxLineBytes) +
+                                          " bytes"));
+                continue;
+            }
 
             WireRequest rq;
             std::string error;
@@ -299,6 +310,21 @@ ScenarioServer::connectionLoop(std::shared_ptr<Connection> conn)
                     cfg.metrics->counter("net.requests.bad").inc();
                 writeLine(*conn, encodeError(rq.id, errBadRequest,
                                              error));
+            } else if (rq.kind == QueryKind::Info) {
+                // Health ping: answered here on the reader thread, so
+                // liveness probes see the truth even when the
+                // dispatcher and pool are saturated.
+                InfoReply info;
+                info.threads = svc.threads();
+                info.queueCapacity = cfg.admissionCapacity;
+                info.draining = draining.load();
+                {
+                    std::lock_guard<std::mutex> lock(queueMutex);
+                    info.queueDepth = queue.size();
+                }
+                if (cfg.metrics)
+                    cfg.metrics->counter("net.requests.info").inc();
+                writeLine(*conn, encodeInfo(rq.id, info));
             } else if (draining.load()) {
                 writeLine(*conn, encodeError(rq.id, errShuttingDown,
                                              "server stopping"));
@@ -327,7 +353,6 @@ ScenarioServer::connectionLoop(std::shared_ptr<Connection> conn)
                                           "admission queue full"));
                 }
             }
-            buffer.erase(0, nl + 1);
         }
     }
     if (cfg.metrics)
@@ -401,6 +426,7 @@ ScenarioServer::serveOne(Pending &p)
         s.tree = &sc.tree;
         s.delay = rq.delay;
         s.cfg = mcc;
+        s.trialOffset = rq.trialOffset;
         batch.emplace_back(s);
     } else {
         serve::ResilienceRequest r;
@@ -415,6 +441,7 @@ ScenarioServer::serveOne(Pending &p)
         r.faultRate = rq.faultRate;
         r.rc.delay = rq.delay;
         r.cfg = mcc;
+        r.trialOffset = rq.trialOffset;
         batch.emplace_back(r);
     }
 

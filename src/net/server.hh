@@ -76,8 +76,14 @@ struct ServerConfig
     std::size_t admissionCapacity = 64;
     /** Compiled-kernel cache capacity of the embedded service. */
     std::size_t cacheCapacity = 32;
-    /** Longest accepted request line; longer ones kill the connection. */
-    std::size_t maxLineBytes = 1u << 16;
+    /**
+     * Longest accepted request line. An oversized line is answered
+     * with {"ok":false,"error":"too_large"} and skipped (the reader
+     * resynchronises at its newline and the connection survives); the
+     * buffer never grows past this bound, so a stream that simply
+     * never sends '\n' cannot balloon server memory.
+     */
+    std::size_t maxLineBytes = defaultMaxLineBytes;
     /** stop(): queue-drain budget before stragglers are expired. */
     double drainSeconds = 5.0;
     /** Optional registry for "net.*" and the service's "serve.*". */

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/probes.hh"
+#include "serve/work_unit.hh"
 
 namespace vsync::serve
 {
@@ -25,14 +26,6 @@ struct Compiled
     std::shared_ptr<const core::SkewKernel> kernel;
     /** Resilience requests: the full scenario. */
     mc::ResilienceScenario scenario;
-};
-
-/** One schedulable slice of one request's trials. */
-struct WorkUnit
-{
-    std::size_t request = 0;
-    std::size_t begin = 0;
-    std::size_t end = 0;
 };
 
 const mc::McConfig &
@@ -135,9 +128,10 @@ SweepService::run(const std::vector<SweepRequest> &batch,
     }
 
     // Phase 2 -- shard every request's trials into grain-sized units
-    // and preallocate the per-trial slots they write.
+    // (the public appendWorkUnits seam, so the distributed coordinator
+    // shards identically) and preallocate the per-trial slots they
+    // write.
     std::vector<WorkUnit> units;
-    std::vector<std::vector<double>> faults(batch.size());
     for (std::size_t r = 0; r < batch.size(); ++r) {
         const mc::McConfig &mcc = configOf(batch[r]);
         RequestOutcome &o = out.outcomes[r];
@@ -149,13 +143,11 @@ SweepService::run(const std::vector<SweepRequest> &batch,
             o.resilience.faultRate = q.faultRate;
             o.resilience.maxCommSkew.samples.assign(mcc.trials, 0.0);
             o.resilience.clockedFraction.samples.assign(mcc.trials, 0.0);
-            faults[r].assign(mcc.trials, 0.0);
+            o.faultSamples.assign(mcc.trials, 0.0);
         }
         if (!compiled[r].ready)
             continue;
-        for (std::size_t b = 0; b < mcc.trials; b += mcc.grain)
-            units.push_back(
-                WorkUnit{r, b, std::min(b + mcc.grain, mcc.trials)});
+        appendWorkUnits(r, mcc.trials, mcc.grain, units);
     }
 
     // Phase 3 -- run the units of all requests interleaved on the one
@@ -184,21 +176,27 @@ SweepService::run(const std::vector<SweepRequest> &batch,
                     const core::SkewKernel &kernel =
                         *compiled[w.request].kernel;
                     for (std::size_t i = w.begin; i < w.end; ++i) {
-                        Rng rng = Rng::forTrial(mcc.seed, i);
+                        // The substream index is global: a shard of a
+                        // sharded parent request (trialOffset != 0)
+                        // draws the same streams the parent would.
+                        Rng rng = Rng::forTrial(mcc.seed,
+                                                s.trialOffset + i);
                         o.skew.samples[i] = kernel.sampleMaxCommSkew(
                             s.delay, rng, arrival);
                     }
                 } else {
+                    const ResilienceRequest &q =
+                        std::get<ResilienceRequest>(batch[w.request]);
                     const mc::ResilienceScenario &sc =
                         compiled[w.request].scenario;
                     for (std::size_t i = w.begin; i < w.end; ++i) {
                         const fault::DistributionOutcome res =
-                            sc.runTrial(mcc.seed, i);
+                            sc.runTrial(mcc.seed, q.trialOffset + i);
                         o.resilience.maxCommSkew.samples[i] =
                             res.maxCommSkew;
                         o.resilience.clockedFraction.samples[i] =
                             res.clockedFraction;
-                        faults[w.request][i] =
+                        o.faultSamples[i] =
                             static_cast<double>(res.faultCount);
                     }
                 }
@@ -207,60 +205,26 @@ SweepService::run(const std::vector<SweepRequest> &batch,
         },
         &stopToken);
 
-    // Phase 4 -- reduce. Complete requests reduce exactly as the mc::
-    // sweeps do (trial order over all samples: bit-identical). Partial
-    // requests fold only the trials that ran, still in trial order,
-    // and report which ones those were.
+    // Phase 4 -- reduce through the public fold seam: Complete
+    // requests reduce exactly as the mc:: sweeps do (trial order over
+    // all samples: bit-identical), Partial requests fold only the
+    // trials that ran, still in trial order, and report which ones
+    // those were. The distributed coordinator calls the same
+    // foldOutcomeInTrialOrder on remotely computed samples.
     std::vector<std::uint8_t> trialDone;
     std::size_t totalDone = 0;
     for (std::size_t r = 0; r < batch.size(); ++r) {
         const mc::McConfig &mcc = configOf(batch[r]);
         RequestOutcome &o = out.outcomes[r];
         trialDone.assign(mcc.trials, 0);
-        o.trialsDone = 0;
         for (std::size_t u = 0; u < units.size(); ++u) {
             if (!unitDone[u] || units[u].request != r)
                 continue;
             for (std::size_t i = units[u].begin; i < units[u].end; ++i)
                 trialDone[i] = 1;
-            o.trialsDone += units[u].end - units[u].begin;
         }
+        foldOutcomeInTrialOrder(isSkewRequest(batch[r]), trialDone, o);
         totalDone += o.trialsDone;
-
-        if (o.trialsDone == mcc.trials) {
-            o.status = RequestStatus::Complete;
-            if (isSkewRequest(batch[r])) {
-                mc::reduceInTrialOrder(o.skew);
-            } else {
-                mc::reduceInTrialOrder(o.resilience.maxCommSkew);
-                mc::reduceInTrialOrder(o.resilience.clockedFraction);
-                double total = 0.0;
-                for (const double f : faults[r])
-                    total += f;
-                o.resilience.meanFaults =
-                    mcc.trials ? total / mcc.trials : 0.0;
-            }
-        } else {
-            o.status = RequestStatus::Partial;
-            o.trialDone = trialDone;
-            double total = 0.0;
-            for (std::size_t i = 0; i < mcc.trials; ++i) {
-                if (!trialDone[i])
-                    continue;
-                if (isSkewRequest(batch[r])) {
-                    o.skew.stat.add(o.skew.samples[i]);
-                } else {
-                    o.resilience.maxCommSkew.stat.add(
-                        o.resilience.maxCommSkew.samples[i]);
-                    o.resilience.clockedFraction.stat.add(
-                        o.resilience.clockedFraction.samples[i]);
-                    total += faults[r][i];
-                }
-            }
-            if (!isSkewRequest(batch[r]))
-                o.resilience.meanFaults =
-                    o.trialsDone ? total / o.trialsDone : 0.0;
-        }
     }
 
     out.deadlineExpired = deadlineHit.load(std::memory_order_relaxed);

@@ -59,6 +59,15 @@ struct SkewRequest
     const clocktree::ClockTree *tree = nullptr;
     core::WireDelay delay{0.05, 0.005};
     mc::McConfig cfg;
+    /**
+     * Global index of the request's first trial: local trial i draws
+     * from Rng::forTrial(cfg.seed, trialOffset + i). 0 for ordinary
+     * requests; a distributed shard covering trials [b, e) of a
+     * parent request runs with trialOffset = b and cfg.trials = e-b,
+     * which is what makes the shard's samples bit-identical to the
+     * parent's slice no matter which worker computes it.
+     */
+    std::size_t trialOffset = 0;
 };
 
 /**
@@ -74,6 +83,8 @@ struct ResilienceRequest
     double faultRate = 0.0;
     mc::ResilienceConfig rc;
     mc::McConfig cfg;
+    /** First-trial global index; see SkewRequest::trialOffset. */
+    std::size_t trialOffset = 0;
 };
 
 /** A batch element. */
@@ -107,6 +118,13 @@ struct RequestOutcome
     mc::McResult skew;
     /** Resilience requests: the degradation point. */
     mc::ResiliencePoint resilience;
+    /**
+     * Resilience requests: faults injected per trial (indexed like
+     * the sample vectors). Kept alongside the reduced meanFaults so a
+     * distributed fold can recombine shards exactly -- integer counts
+     * sum exactly in doubles, per-shard *means* do not.
+     */
+    std::vector<double> faultSamples;
 };
 
 /** Per-batch execution limits. */
@@ -184,6 +202,9 @@ class SweepService
 
     /** The kernel cache (for stats or pre-warming). */
     ScenarioCache &cache() { return kernels; }
+
+    /** Compute pool width (the net:: info/ping reply reports it). */
+    unsigned threads() const { return pool.threadCount(); }
 
   private:
     ServiceConfig cfg;

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the deterministic exponential backoff: bit-for-bit
+ * reproducibility of jittered schedules, envelope growth and bounds,
+ * substream decorrelation, reset semantics and config validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/backoff.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+TEST(Backoff, SameConfigAndSeedReplaysTheExactSchedule)
+{
+    const BackoffConfig cfg;
+    Backoff a(cfg, Rng::forTrial(42, 0));
+    Backoff b(cfg, Rng::forTrial(42, 0));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(a.nextSeconds(), b.nextSeconds()) << i;
+}
+
+TEST(Backoff, SiblingSubstreamsAreDecorrelated)
+{
+    // The WorkerPool idiom: worker k jitters on Rng::forTrial(seed, k).
+    // Two workers must not sleep identically, or a fleet retries a
+    // dead peer in lock step.
+    const BackoffConfig cfg;
+    Backoff a(cfg, Rng::forTrial(42, 0));
+    Backoff b(cfg, Rng::forTrial(42, 1));
+    int differing = 0;
+    for (int i = 0; i < 16; ++i)
+        differing += a.nextSeconds() != b.nextSeconds() ? 1 : 0;
+    EXPECT_GT(differing, 12);
+}
+
+TEST(Backoff, EnvelopeGrowsGeometricallyThenClampsAtCap)
+{
+    BackoffConfig cfg;
+    cfg.baseSeconds = 0.1;
+    cfg.multiplier = 2.0;
+    cfg.capSeconds = 1.0;
+    const Backoff b(cfg, Rng::forTrial(1, 0));
+    EXPECT_DOUBLE_EQ(b.envelopeSeconds(0), 0.1);
+    EXPECT_DOUBLE_EQ(b.envelopeSeconds(1), 0.2);
+    EXPECT_DOUBLE_EQ(b.envelopeSeconds(2), 0.4);
+    EXPECT_DOUBLE_EQ(b.envelopeSeconds(3), 0.8);
+    EXPECT_DOUBLE_EQ(b.envelopeSeconds(4), 1.0); // 1.6 clamped
+    EXPECT_DOUBLE_EQ(b.envelopeSeconds(100), 1.0);
+    // A huge attempt index must not overflow to inf.
+    EXPECT_DOUBLE_EQ(b.envelopeSeconds(4'000'000'000u), 1.0);
+}
+
+TEST(Backoff, JitterOnlyShortensTheDelay)
+{
+    BackoffConfig cfg;
+    cfg.baseSeconds = 0.05;
+    cfg.multiplier = 3.0;
+    cfg.capSeconds = 2.0;
+    cfg.jitterFraction = 0.5;
+    Backoff b(cfg, Rng::forTrial(7, 3));
+    for (unsigned k = 0; k < 20; ++k) {
+        const double env = b.envelopeSeconds(k);
+        const double d = b.nextSeconds();
+        EXPECT_LE(d, env) << k;
+        EXPECT_GT(d, env * (1.0 - cfg.jitterFraction)) << k;
+    }
+}
+
+TEST(Backoff, ZeroJitterIsFullyPeriodicAndStreamPositionIndependent)
+{
+    BackoffConfig periodic;
+    periodic.jitterFraction = 0.0;
+    Backoff b(periodic, Rng::forTrial(9, 0));
+    EXPECT_DOUBLE_EQ(b.nextSeconds(), periodic.baseSeconds);
+    EXPECT_DOUBLE_EQ(b.nextSeconds(),
+                     periodic.baseSeconds * periodic.multiplier);
+
+    // The stream advances once per call regardless of jitterFraction,
+    // so switching jitter on later in an experiment cannot shift which
+    // u_k a given attempt draws.
+    BackoffConfig jittered = periodic;
+    jittered.jitterFraction = 0.5;
+    Backoff j1(jittered, Rng::forTrial(9, 0));
+    Backoff j2(jittered, Rng::forTrial(9, 0));
+    (void)j1.nextSeconds();
+    (void)j2.nextSeconds();
+    EXPECT_EQ(j1.nextSeconds(), j2.nextSeconds());
+}
+
+TEST(Backoff, ResetRestartsTheEnvelopeButNotTheJitterStream)
+{
+    BackoffConfig cfg;
+    cfg.jitterFraction = 0.0; // make delays predictable
+    Backoff b(cfg, Rng::forTrial(3, 0));
+    (void)b.nextSeconds();
+    (void)b.nextSeconds();
+    EXPECT_EQ(b.attempts(), 2u);
+    b.reset();
+    EXPECT_EQ(b.attempts(), 0u);
+    EXPECT_DOUBLE_EQ(b.nextSeconds(), cfg.baseSeconds);
+}
+
+TEST(Backoff, NonsensicalConfigsAreFatal)
+{
+    BackoffConfig negative;
+    negative.baseSeconds = -1.0;
+    EXPECT_DEATH(negative.validate(), "baseSeconds");
+
+    BackoffConfig capBelowBase;
+    capBelowBase.baseSeconds = 2.0;
+    capBelowBase.capSeconds = 1.0;
+    EXPECT_DEATH(capBelowBase.validate(), "capSeconds");
+
+    BackoffConfig shrinking;
+    shrinking.multiplier = 0.5;
+    EXPECT_DEATH(shrinking.validate(), "multiplier");
+
+    BackoffConfig wildJitter;
+    wildJitter.jitterFraction = 1.5;
+    EXPECT_DEATH(wildJitter.validate(), "jitterFraction");
+}
+
+} // namespace

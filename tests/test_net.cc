@@ -468,6 +468,53 @@ TEST(Server, BadLinesGetErrorsAndTheConnectionSurvives)
     server.stop();
 }
 
+TEST(Server, OversizedLinesAreRefusedLoudlyAndTheConnectionSurvives)
+{
+    net::ServerConfig sc;
+    sc.maxLineBytes = 256; // small cap so the test stays cheap
+    net::ScenarioServer server(sc);
+    ASSERT_TRUE(server.start());
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+
+    // A line longer than the cap must get a too_large error, not an
+    // unbounded buffer or a silent hangup.
+    ASSERT_TRUE(client.sendLine(std::string(1024, 'x')));
+    const net::WireResponse big = parsedOk(client.recvLine());
+    EXPECT_FALSE(big.ok);
+    EXPECT_EQ(big.error, net::errTooLarge);
+
+    // The reader resynchronises on the next newline: a well-formed
+    // request on the same connection still succeeds.
+    net::WireRequest rq = skewRequest(21);
+    rq.trials = 2;
+    ASSERT_TRUE(client.sendLine(net::encodeRequest(rq)));
+    const net::WireResponse rsp = parsedOk(client.recvLine());
+    EXPECT_TRUE(rsp.ok);
+    EXPECT_EQ(rsp.id, 21u);
+    server.stop();
+}
+
+TEST(Server, InfoPingReportsProtocolAndPoolShape)
+{
+    net::ServerConfig sc;
+    sc.computeThreads = 3;
+    net::ScenarioServer server(sc);
+    ASSERT_TRUE(server.start());
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+
+    ASSERT_TRUE(client.sendLine("{\"id\":7,\"kind\":\"info\"}"));
+    const net::WireResponse rsp = parsedOk(client.recvLine());
+    EXPECT_TRUE(rsp.ok);
+    EXPECT_EQ(rsp.id, 7u);
+    EXPECT_EQ(rsp.proto, net::protocolVersion);
+    EXPECT_EQ(rsp.threads, 3u);
+    EXPECT_GT(rsp.queueCapacity, 0u);
+    EXPECT_FALSE(rsp.draining);
+    server.stop();
+}
+
 TEST(Server, GracefulStopDrainsInFlightThenRefusesConnections)
 {
     net::ServerConfig sc;
