@@ -1,0 +1,180 @@
+/**
+ * @file
+ * PERF -- lane-blocked batch skew sampling vs the scalar kernel,
+ * gated in CI.
+ *
+ * One 512-trial Monte-Carlo sweep on a 32x32 mesh clocked by an
+ * H-tree, run once through the scalar per-trial path
+ * (SkewKernel::sampleMaxCommSkew, one non-inlined uniform() call per
+ * tree node) and once per block width W in 1..8 through
+ * SkewKernel::sampleMaxCommSkewBlock (bulk per-lane fillUniform, one
+ * topological pass carrying W trials). Both sides run in the same
+ * process, so the gate is meaningful on any host.
+ *
+ * Every width is checked for bit-identity against the scalar samples
+ * AND for exact draws() accounting -- the blocked path's contract is
+ * "scalar results, fewer passes", so a single differing bit or a
+ * single extra RNG draw at any width fails the run.
+ *
+ * Exit status is the CI gate: nonzero when any width diverges (bits
+ * or draw counts) or the best width's speedup over scalar falls below
+ * 1.5x. Results go to stdout as a table and to BENCH_kernel_batch.json
+ * for the perf trajectory; the autotuned width
+ * (SkewKernel::blockWidth) is reported alongside the measured best so
+ * regressions in the tuner show up in the artifact.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "clocktree/builders.hh"
+#include "common/rng.hh"
+#include "core/skew_kernel.hh"
+#include "layout/generators.hh"
+
+namespace
+{
+
+using namespace vsync;
+
+constexpr int meshSide = 32;
+constexpr std::size_t sweepTrials = 512;
+constexpr std::size_t maxWidth = 8;
+constexpr int reps = 3;
+constexpr double minBestSpeedup = 1.5;
+const core::WireDelay delay{0.05, 0.005};
+
+/** Wall-clock milliseconds of @p fn, best of `reps` runs. */
+template <typename Fn>
+double
+bestMillis(const Fn &fn)
+{
+    double best = -1.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (best < 0.0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vsync;
+    const auto opts = BenchOptions::parse(argc, argv);
+    const std::uint64_t seed = opts.seedSet ? opts.seed : 0xba7cULL;
+
+    const layout::Layout l = layout::meshLayout(meshSide, meshSide);
+    const auto tree = clocktree::buildHTreeGrid(l, meshSide, meshSide);
+    const core::SkewKernel kernel(l, tree);
+    const std::size_t tuned = kernel.blockWidth();
+
+    bench::BenchJson result("kernel_batch", seed);
+    JsonWriter &json = result.writer();
+    json.keyValue("layout", "mesh32x32")
+        .keyValue("trials", static_cast<std::uint64_t>(sweepTrials))
+        .keyValue("reps_per_point", reps);
+
+    // --- Scalar reference: one trial at a time. --------------------
+    std::vector<double> ref_samples(sweepTrials, 0.0);
+    std::uint64_t ref_draws = 0;
+    const double scalar_ms = bestMillis([&] {
+        std::vector<Time> scratch;
+        ref_draws = 0;
+        for (std::size_t i = 0; i < sweepTrials; ++i) {
+            Rng rng = Rng::forTrial(seed, i);
+            ref_samples[i] =
+                kernel.sampleMaxCommSkew(delay, rng, scratch);
+            ref_draws += rng.draws();
+        }
+    });
+
+    // --- Blocked path at every width in the autotune range. --------
+    bench::headline("lane-blocked 512-trial sweep vs scalar "
+                    "(32x32 H-tree)");
+    Table table("sampleMaxCommSkewBlock width sweep",
+                {"width", "best ms", "speedup", "bit-identical",
+                 "draws-equal"});
+    table.addRow({"scalar", Table::num(scalar_ms), "1.00", "-", "-"});
+
+    json.keyValue("scalar_best_ms", scalar_ms);
+    json.key("widths").beginArray();
+
+    bool all_identical = true;
+    bool all_draws_equal = true;
+    double best_ms = -1.0;
+    std::size_t best_width = 0;
+    std::vector<double> samples(sweepTrials, 0.0);
+    for (std::size_t w = 1; w <= maxWidth; ++w) {
+        std::uint64_t draws = 0;
+        const double ms = bestMillis([&] {
+            std::vector<Time> scratch;
+            std::vector<Rng> lanes;
+            draws = 0;
+            for (std::size_t i = 0; i < sweepTrials; i += w) {
+                const std::size_t cnt =
+                    std::min(w, sweepTrials - i);
+                lanes.clear();
+                for (std::size_t j = 0; j < cnt; ++j)
+                    lanes.push_back(Rng::forTrial(seed, i + j));
+                kernel.sampleMaxCommSkewBlock(
+                    delay, {lanes.data(), cnt},
+                    {samples.data() + i, cnt}, scratch);
+                for (std::size_t j = 0; j < cnt; ++j)
+                    draws += lanes[j].draws();
+            }
+        });
+        const bool identical = samples == ref_samples;
+        const bool draws_equal = draws == ref_draws;
+        all_identical = all_identical && identical;
+        all_draws_equal = all_draws_equal && draws_equal;
+        if (best_ms < 0.0 || ms < best_ms) {
+            best_ms = ms;
+            best_width = w;
+        }
+        const double speedup = ms > 0.0 ? scalar_ms / ms : 0.0;
+        table.addRow({"W=" + std::to_string(w), Table::num(ms),
+                      Table::num(speedup), identical ? "yes" : "NO",
+                      draws_equal ? "yes" : "NO"});
+        json.beginObject()
+            .keyValue("width", static_cast<std::uint64_t>(w))
+            .keyValue("best_ms", ms)
+            .keyValue("speedup", speedup)
+            .keyValue("bit_identical", identical)
+            .keyValue("draws_equal", draws_equal)
+            .endObject();
+    }
+    json.endArray();
+    emitTable(table, opts);
+
+    const double best_speedup =
+        best_ms > 0.0 ? scalar_ms / best_ms : 0.0;
+    json.keyValue("best_width", static_cast<std::uint64_t>(best_width))
+        .keyValue("best_speedup", best_speedup)
+        .keyValue("autotuned_width",
+                  static_cast<std::uint64_t>(tuned));
+
+    const bool gate_ok =
+        all_identical && all_draws_equal &&
+        best_speedup >= minBestSpeedup;
+    json.key("gate").beginObject()
+        .keyValue("min_best_speedup", minBestSpeedup)
+        .keyValue("passed", gate_ok)
+        .endObject();
+
+    std::printf("\nwrote BENCH_kernel_batch.json (best W=%zu at "
+                "%.2fx vs %.1fx gate, autotuned W=%zu; results %s)\n",
+                best_width, best_speedup, minBestSpeedup, tuned,
+                all_identical && all_draws_equal ? "identical"
+                                                 : "DIVERGED");
+    return gate_ok ? 0 : 1;
+}

@@ -7,17 +7,7 @@
 namespace vsync
 {
 
-namespace
-{
-
-/** Left-rotate helper for xoshiro. */
-inline std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
+using detail::rotl64;
 
 Rng::Rng(std::uint64_t seed)
     : cachedNormal(0.0), hasCachedNormal(false), seedValue(seed)
@@ -31,14 +21,14 @@ std::uint64_t
 Rng::next()
 {
     ++drawCount;
-    const std::uint64_t result = rotl(s[0] + s[3], 23) + s[0];
+    const std::uint64_t result = rotl64(s[0] + s[3], 23) + s[0];
     const std::uint64_t t = s[1] << 17;
     s[2] ^= s[0];
     s[3] ^= s[1];
     s[1] ^= s[2];
     s[0] ^= s[3];
     s[2] ^= t;
-    s[3] = rotl(s[3], 45);
+    s[3] = rotl64(s[3], 45);
     return result;
 }
 
@@ -131,7 +121,7 @@ Rng::deriveStream(std::uint64_t salt) const
     // Mix the original seed with the salt through SplitMix64 so that
     // derived streams do not depend on how many draws were consumed.
     SplitMix64 sm(seedValue ^ (salt * 0x9e3779b97f4a7c15ULL + 0x1234567ULL));
-    std::uint64_t derived = sm.next() ^ rotl(sm.next(), 13);
+    std::uint64_t derived = sm.next() ^ rotl64(sm.next(), 13);
     return Rng(derived);
 }
 

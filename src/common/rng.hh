@@ -13,10 +13,27 @@
 #define VSYNC_COMMON_RNG_HH
 
 #include <array>
+#include <cmath>
 #include <cstdint>
+#include <span>
+
+#include "common/logging.hh"
 
 namespace vsync
 {
+
+namespace detail
+{
+
+/** Left-rotate, xoshiro's building block (shared by the scalar step in
+ *  rng.cc and the inlined bulk fills below). */
+inline constexpr std::uint64_t
+rotl64(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace detail
 
 /**
  * SplitMix64 generator, used to expand a single seed into a full state
@@ -71,6 +88,27 @@ class Rng
     /** Uniform double in [lo, hi). */
     double uniform(double lo, double hi);
 
+    /**
+     * Fill @p out with out.size() consecutive uniform(lo, hi) draws.
+     *
+     * Produces the exact draw sequence (and draws() accounting) of
+     * calling uniform(lo, hi) once per slot, but with the xoshiro
+     * state hoisted into registers for the whole span -- the scalar
+     * path pays two non-inlined calls and a counter increment per
+     * draw, which dominates tight sampling loops. This is the bulk
+     * feed of SkewKernel::arrivalsBlock.
+     */
+    void fillUniform(double lo, double hi, std::span<double> out);
+
+    /**
+     * Strided variant: writes count draws to out[0], out[stride],
+     * ..., out[(count - 1) * stride]. @pre stride >= 1. Used to fill
+     * one lane's column of a lane-major draw matrix; the draw
+     * sequence is identical to the contiguous form.
+     */
+    void fillUniform(double lo, double hi, double *out,
+                     std::size_t count, std::size_t stride);
+
     /** Uniform integer in [0, n). @pre n > 0. */
     std::uint64_t uniformInt(std::uint64_t n);
 
@@ -79,6 +117,19 @@ class Rng
 
     /** Normal variate with the given mean and standard deviation. */
     double normal(double mean, double stddev);
+
+    /**
+     * Fill @p out with out.size() consecutive normal() draws:
+     * bit-identical to calling normal() per slot, including the
+     * Box-Muller cached-pair interaction -- a pair cached by an
+     * earlier scalar normal() is consumed first, and a trailing
+     * unpaired variate is cached for the next call, scalar or bulk.
+     */
+    void fillNormal(std::span<double> out);
+
+    /** As fillNormal(out) with each draw mapped through
+     *  mean + stddev * z, matching normal(mean, stddev) bitwise. */
+    void fillNormal(double mean, double stddev, std::span<double> out);
 
     /** Bernoulli trial: true with probability p. */
     bool bernoulli(double p);
@@ -112,6 +163,79 @@ class Rng
     std::uint64_t seedValue;
     std::uint64_t drawCount = 0;
 };
+
+inline void
+Rng::fillUniform(double lo, double hi, double *out, std::size_t count,
+                 std::size_t stride)
+{
+    VSYNC_ASSERT(lo <= hi, "bad uniform range [%g, %g)", lo, hi);
+    VSYNC_ASSERT(stride >= 1, "fillUniform needs stride >= 1");
+    // Local copies keep the generator state in registers across the
+    // whole span; the scalar uniform(lo, hi) performs the identical
+    // arithmetic (same expression shapes), so the two paths agree bit
+    // for bit draw by draw.
+    std::uint64_t s0 = s[0], s1 = s[1], s2 = s[2], s3 = s[3];
+    const double scale = hi - lo;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t r = detail::rotl64(s0 + s3, 23) + s0;
+        const std::uint64_t t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = detail::rotl64(s3, 45);
+        out[i * stride] =
+            lo + scale * (static_cast<double>(r >> 11) * 0x1.0p-53);
+    }
+    s = {s0, s1, s2, s3};
+    drawCount += count;
+}
+
+inline void
+Rng::fillUniform(double lo, double hi, std::span<double> out)
+{
+    fillUniform(lo, hi, out.data(), out.size(), 1);
+}
+
+inline void
+Rng::fillNormal(std::span<double> out)
+{
+    std::size_t i = 0;
+    const std::size_t n = out.size();
+    if (hasCachedNormal && i < n) {
+        hasCachedNormal = false;
+        out[i++] = cachedNormal;
+    }
+    while (i < n) {
+        // One Box-Muller round, spelled exactly as normal(): cos first,
+        // sin second; an unpaired sin is cached, never dropped.
+        double u1;
+        do {
+            u1 = uniform();
+        } while (u1 <= 1e-300);
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        const double first = r * std::cos(theta);
+        const double second = r * std::sin(theta);
+        out[i++] = first;
+        if (i < n) {
+            out[i++] = second;
+        } else {
+            cachedNormal = second;
+            hasCachedNormal = true;
+        }
+    }
+}
+
+inline void
+Rng::fillNormal(double mean, double stddev, std::span<double> out)
+{
+    fillNormal(out);
+    for (double &z : out)
+        z = mean + stddev * z;
+}
 
 } // namespace vsync
 

@@ -52,7 +52,7 @@ namespace
 {
 
 /** Tree-node endpoints of every comm pair (pre-kernel helper, kept
- *  for the retained naive paths and the deprecated shim). */
+ *  for the retained naive paths). */
 std::vector<std::pair<NodeId, NodeId>>
 resolveCommNodePairs(const layout::Layout &l,
                      const clocktree::ClockTree &t)
@@ -106,41 +106,6 @@ sampleSkewInstance(const layout::Layout &l, const clocktree::ClockTree &t,
         inst.maxCommSkew = std::max(inst.maxCommSkew, skew);
     }
     return inst;
-}
-
-SkewInstance
-sampleSkewInstance(const layout::Layout &l, const clocktree::ClockTree &t,
-                   double m, double eps, Rng &rng)
-{
-    return sampleSkewInstance(l, t, WireDelay{m, eps}, rng);
-}
-
-std::vector<std::pair<NodeId, NodeId>>
-commNodePairs(const layout::Layout &l, const clocktree::ClockTree &t)
-{
-    const SkewKernel kernel(l, t);
-    std::vector<std::pair<NodeId, NodeId>> pairs;
-    pairs.reserve(kernel.pairCount());
-    for (std::size_t i = 0; i < kernel.pairCount(); ++i)
-        pairs.emplace_back(kernel.pairNodesA()[i],
-                           kernel.pairNodesB()[i]);
-    return pairs;
-}
-
-Time
-sampleMaxCommSkew(const clocktree::ClockTree &t,
-                  const std::vector<std::pair<NodeId, NodeId>> &pairs,
-                  double m, double eps, Rng &rng,
-                  std::vector<Time> &arrival)
-{
-    const WireDelay delay{m, eps};
-    VSYNC_ASSERT(delay.valid(), "bad delay parameters m=%g eps=%g", m,
-                 eps);
-    sampleArrivals(t, delay, rng, arrival);
-    Time worst = 0.0;
-    for (const auto &[na, nb] : pairs)
-        worst = std::max(worst, std::fabs(arrival[na] - arrival[nb]));
-    return worst;
 }
 
 SkewInstance
@@ -205,14 +170,6 @@ adversarialSkewInstance(const layout::Layout &l,
         inst.maxCommSkew = std::max(inst.maxCommSkew, skew);
     }
     return inst;
-}
-
-SkewInstance
-adversarialSkewInstance(const layout::Layout &l,
-                        const clocktree::ClockTree &t, double m,
-                        double eps)
-{
-    return adversarialSkewInstance(l, t, WireDelay{m, eps});
 }
 
 ArrivalSkew

@@ -11,12 +11,12 @@
  *
  * All pair evaluation is backed by core::SkewKernel (one flat compile
  * of the scenario, O(1) NCA per pair); the raw-pair surface that
- * predates the kernel (commNodePairs / sampleMaxCommSkew) remains as
- * deprecated shims for one release. sampleSkewInstance is retained
- * un-deprecated as the naive per-chip reference path: it re-resolves
- * the scenario on every call, which is exactly what the kernel
- * amortises, and bench_perf_skew measures the two against each other
- * in-run.
+ * predated the kernel (commNodePairs / free sampleMaxCommSkew) shipped
+ * as deprecated shims for one release and is now gone.
+ * sampleSkewInstance is retained as the naive per-chip reference path:
+ * it re-resolves the scenario on every call, which is exactly what the
+ * kernel amortises, and bench_perf_skew measures the two against each
+ * other in-run.
  */
 
 #ifndef VSYNC_CORE_SKEW_ANALYSIS_HH
@@ -116,42 +116,6 @@ SkewInstance sampleSkewInstance(const layout::Layout &l,
                                 const clocktree::ClockTree &t,
                                 const WireDelay &delay, Rng &rng);
 
-/** @deprecated Loose (m, eps) form; use the WireDelay overload. */
-[[deprecated("pass core::WireDelay{m, eps}")]]
-SkewInstance sampleSkewInstance(const layout::Layout &l,
-                                const clocktree::ClockTree &t,
-                                double m, double eps, Rng &rng);
-
-/**
- * Tree-node endpoints (na, nb) of every communicating cell pair, in
- * the same order as SkewReport::edges.
- *
- * @deprecated The raw-pair surface predates SkewKernel; compile a
- * kernel and use pairNodesA()/pairNodesB() (no per-call allocation,
- * shared O(1) NCA state). This shim delegates to a throwaway kernel.
- */
-[[deprecated("compile a core::SkewKernel and use pairNodesA()/"
-             "pairNodesB()")]]
-std::vector<std::pair<NodeId, NodeId>>
-commNodePairs(const layout::Layout &l, const clocktree::ClockTree &t);
-
-/**
- * Sample one chip and return only its maximum communicating skew.
- *
- * @deprecated This was the pre-kernel Monte-Carlo hot path; use
- * SkewKernel::sampleMaxCommSkew, which draws identically but reads
- * flat compiled state.
- *
- * @param pairs   precomputed comm node pairs.
- * @param arrival scratch buffer, resized as needed and reusable across
- *                calls on the same thread.
- */
-[[deprecated("use core::SkewKernel::sampleMaxCommSkew")]]
-Time sampleMaxCommSkew(const clocktree::ClockTree &t,
-                       const std::vector<std::pair<NodeId, NodeId>> &pairs,
-                       double m, double eps, Rng &rng,
-                       std::vector<Time> &arrival);
-
 /**
  * Evaluate the realised skew of @p cell_arrival (indexed by cell id,
  * infinity = never clocked) over @p l's communicating pairs. This is
@@ -176,12 +140,6 @@ skewFromArrivals(const layout::Layout &l,
 SkewInstance adversarialSkewInstance(const layout::Layout &l,
                                      const clocktree::ClockTree &t,
                                      const WireDelay &delay);
-
-/** @deprecated Loose (m, eps) form; use the WireDelay overload. */
-[[deprecated("pass core::WireDelay{m, eps}")]]
-SkewInstance adversarialSkewInstance(const layout::Layout &l,
-                                     const clocktree::ClockTree &t,
-                                     double m, double eps);
 
 } // namespace vsync::core
 

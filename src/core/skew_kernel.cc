@@ -1,8 +1,10 @@
 #include "core/skew_kernel.hh"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -57,6 +59,39 @@ SkewKernel::compilePairs(const layout::Layout &l,
                          pair.src, pair.dst);
             pairNodeA.push_back(na);
             pairNodeB.push_back(nb);
+        }
+    }
+
+    // Fold-only sorted copies. The public arrays above keep
+    // undirectedEdges() order (SkewReport/SkewInstance depend on it);
+    // the folds are max/count reductions, exact under any order, so
+    // they get endpoint-sorted copies whose gathers walk the arrival
+    // surface near-monotonically instead of in layout order.
+    const std::size_t npairs = pairCellA.size();
+    std::vector<std::pair<CellId, CellId>> cellPairs(npairs);
+    for (std::size_t i = 0; i < npairs; ++i) {
+        cellPairs[i] = {std::min(pairCellA[i], pairCellB[i]),
+                        std::max(pairCellA[i], pairCellB[i])};
+    }
+    std::sort(cellPairs.begin(), cellPairs.end());
+    foldCellA.resize(npairs);
+    foldCellB.resize(npairs);
+    for (std::size_t i = 0; i < npairs; ++i) {
+        foldCellA[i] = cellPairs[i].first;
+        foldCellB[i] = cellPairs[i].second;
+    }
+    if (t) {
+        std::vector<std::pair<NodeId, NodeId>> nodePairs(npairs);
+        for (std::size_t i = 0; i < npairs; ++i) {
+            nodePairs[i] = {std::min(pairNodeA[i], pairNodeB[i]),
+                            std::max(pairNodeA[i], pairNodeB[i])};
+        }
+        std::sort(nodePairs.begin(), nodePairs.end());
+        foldNodeA.resize(npairs);
+        foldNodeB.resize(npairs);
+        for (std::size_t i = 0; i < npairs; ++i) {
+            foldNodeA[i] = nodePairs[i].first;
+            foldNodeB[i] = nodePairs[i].second;
         }
     }
 }
@@ -209,19 +244,39 @@ SkewKernel::arrivals(const WireDelay &delay, Rng &rng,
 Time
 SkewKernel::maxCommSkew(std::span<const Time> node_arrival) const
 {
-    VSYNC_ASSERT(hasTree(), "maxCommSkew() needs a tree kernel");
-    VSYNC_ASSERT(node_arrival.size() == nodeCount(),
-                 "%zu arrivals for %zu nodes", node_arrival.size(),
-                 nodeCount());
+    // laneStride(1) == 1, so a contiguous arrival surface IS a
+    // width-1 lane-major matrix: the scalar fold is the blocked fold.
     Time worst = 0.0;
-    const std::size_t pairs = pairCount();
-    for (std::size_t i = 0; i < pairs; ++i) {
-        worst = std::max(worst,
-                         std::fabs(node_arrival[pairNodeA[i]] -
-                                   node_arrival[pairNodeB[i]]));
-    }
-    served.fetch_add(pairs, std::memory_order_relaxed);
+    maxCommSkewBlock(node_arrival, std::span<Time>(&worst, 1));
     return worst;
+}
+
+void
+SkewKernel::maxCommSkewBlock(std::span<const Time> lane_arrival,
+                             std::span<Time> out) const
+{
+    VSYNC_ASSERT(hasTree(), "maxCommSkew() needs a tree kernel");
+    const std::size_t width = out.size();
+    VSYNC_ASSERT(width >= 1 && width <= maxLanes,
+                 "%zu lanes (1..%zu supported)", width, maxLanes);
+    const std::size_t stride = laneStride(width);
+    VSYNC_ASSERT(lane_arrival.size() == nodeCount() * stride,
+                 "%zu arrival slots for %zu nodes x stride %zu",
+                 lane_arrival.size(), nodeCount(), stride);
+    Time worst[maxLanes] = {};
+    const std::size_t pairs = pairCount();
+    const Time *arr = lane_arrival.data();
+    for (std::size_t i = 0; i < pairs; ++i) {
+        const Time *ra =
+            arr + static_cast<std::size_t>(foldNodeA[i]) * stride;
+        const Time *rb =
+            arr + static_cast<std::size_t>(foldNodeB[i]) * stride;
+        for (std::size_t j = 0; j < width; ++j)
+            worst[j] = std::max(worst[j], std::fabs(ra[j] - rb[j]));
+    }
+    for (std::size_t j = 0; j < width; ++j)
+        out[j] = worst[j];
+    served.fetch_add(pairs * width, std::memory_order_relaxed);
 }
 
 Time
@@ -233,34 +288,185 @@ SkewKernel::sampleMaxCommSkew(const WireDelay &delay, Rng &rng,
     return maxCommSkew(scratch);
 }
 
+void
+SkewKernel::arrivalsBlock(const WireDelay &delay, std::span<Rng> lanes,
+                          std::span<Time> out) const
+{
+    VSYNC_ASSERT(hasTree(), "arrivals() needs a tree-compiled kernel");
+    VSYNC_ASSERT(delay.valid(), "bad delay parameters m=%g eps=%g",
+                 delay.m, delay.eps);
+    const std::size_t width = lanes.size();
+    VSYNC_ASSERT(width >= 1 && width <= maxLanes,
+                 "%zu lanes (1..%zu supported)", width, maxLanes);
+    const std::size_t stride = laneStride(width);
+    VSYNC_ASSERT(out.size() == nodeCount() * stride,
+                 "%zu arrival slots for %zu nodes x stride %zu",
+                 out.size(), nodeCount(), stride);
+    const double lo = delay.m - delay.eps;
+    const double hi = delay.m + delay.eps;
+    Time *arr = out.data();
+    for (std::size_t j = 0; j < width; ++j)
+        arr[j] = 0.0;
+    // Node chunks keep the draw matrix L1-resident: each lane
+    // bulk-fills its strided column (one fillUniform call per lane per
+    // chunk, in node id order, so lane j consumes the exact scalar
+    // draw sequence of arrivals()), then the node-outer, lane-inner
+    // propagation reads the rows back. The arithmetic per lane is the
+    // identical expression shape as the scalar path, so every slot is
+    // bitwise what arrivals() would have produced for that lane's Rng.
+    constexpr std::size_t chunkNodes = 64;
+    alignas(64) double draw[chunkNodes * (maxLanes + 1)];
+    const std::size_t n = nodeCount();
+    for (std::size_t v0 = 1; v0 < n; v0 += chunkNodes) {
+        const std::size_t cnt = std::min(chunkNodes, n - v0);
+        for (std::size_t j = 0; j < width; ++j)
+            lanes[j].fillUniform(lo, hi, draw + j, cnt, stride);
+        for (std::size_t k = 0; k < cnt; ++k) {
+            const std::size_t v = v0 + k;
+            const Time *parentRow =
+                arr + static_cast<std::size_t>(parentOf[v]) * stride;
+            Time *row = arr + v * stride;
+            const double *drow = draw + k * stride;
+            const Length wl = wireLen[v];
+            for (std::size_t j = 0; j < width; ++j)
+                row[j] = parentRow[j] + drow[j] * wl;
+        }
+    }
+    batches.fetch_add(width, std::memory_order_relaxed);
+}
+
+void
+SkewKernel::sampleMaxCommSkewBlock(const WireDelay &delay,
+                                   std::span<Rng> lanes,
+                                   std::span<Time> out_skew,
+                                   std::vector<Time> &scratch) const
+{
+    VSYNC_ASSERT(out_skew.size() == lanes.size(),
+                 "%zu skew slots for %zu lanes", out_skew.size(),
+                 lanes.size());
+    scratch.resize(nodeCount() * laneStride(lanes.size()));
+    arrivalsBlock(delay, lanes, scratch);
+    maxCommSkewBlock(scratch, out_skew);
+}
+
 ArrivalSkew
 SkewKernel::arrivalSkew(std::span<const Time> cell_arrival) const
 {
-    VSYNC_ASSERT(cell_arrival.size() == cellCount(),
-                 "%zu arrivals for %zu cells", cell_arrival.size(),
-                 cellCount());
+    // Width-1 blocked evaluation (laneStride(1) == 1; see
+    // maxCommSkew).
     ArrivalSkew out;
-    if (!cellCount())
-        return out;
+    arrivalSkewBlock(cell_arrival, std::span<ArrivalSkew>(&out, 1));
+    return out;
+}
 
-    std::size_t clocked = 0;
-    for (const Time t : cell_arrival)
-        clocked += t < infinity;
-    out.clockedFraction = static_cast<double>(clocked) /
-                          static_cast<double>(cellCount());
+void
+SkewKernel::arrivalSkewBlock(std::span<const Time> lane_cell_arrival,
+                             std::span<ArrivalSkew> out) const
+{
+    const std::size_t width = out.size();
+    VSYNC_ASSERT(width >= 1 && width <= maxLanes,
+                 "%zu lanes (1..%zu supported)", width, maxLanes);
+    const std::size_t stride = laneStride(width);
+    VSYNC_ASSERT(lane_cell_arrival.size() == cellCount() * stride,
+                 "%zu arrival slots for %zu cells x stride %zu",
+                 lane_cell_arrival.size(), cellCount(), stride);
+    for (ArrivalSkew &o : out)
+        o = ArrivalSkew{};
+    if (!cellCount())
+        return;
+
+    const Time *arr = lane_cell_arrival.data();
+    std::size_t clocked[maxLanes] = {};
+    const std::size_t ncells = cellCount();
+    for (std::size_t c = 0; c < ncells; ++c) {
+        const Time *row = arr + c * stride;
+        for (std::size_t j = 0; j < width; ++j)
+            clocked[j] += row[j] < infinity;
+    }
 
     const std::size_t pairs = pairCount();
-    out.pairCount = pairs;
     for (std::size_t i = 0; i < pairs; ++i) {
-        const Time ta = cell_arrival[pairCellA[i]];
-        const Time tb = cell_arrival[pairCellB[i]];
-        if (ta >= infinity || tb >= infinity)
-            continue;
-        ++out.clockedPairs;
-        out.maxCommSkew = std::max(out.maxCommSkew, std::fabs(ta - tb));
+        const Time *ra =
+            arr + static_cast<std::size_t>(foldCellA[i]) * stride;
+        const Time *rb =
+            arr + static_cast<std::size_t>(foldCellB[i]) * stride;
+        for (std::size_t j = 0; j < width; ++j) {
+            const Time ta = ra[j];
+            const Time tb = rb[j];
+            if (ta >= infinity || tb >= infinity)
+                continue;
+            ++out[j].clockedPairs;
+            out[j].maxCommSkew =
+                std::max(out[j].maxCommSkew, std::fabs(ta - tb));
+        }
     }
-    served.fetch_add(pairs, std::memory_order_relaxed);
-    return out;
+    for (std::size_t j = 0; j < width; ++j) {
+        out[j].clockedFraction = static_cast<double>(clocked[j]) /
+                                 static_cast<double>(ncells);
+        out[j].pairCount = pairs;
+    }
+    served.fetch_add(pairs * width, std::memory_order_relaxed);
+}
+
+std::size_t
+SkewKernel::blockWidth() const
+{
+    std::call_once(tuneOnce, [this] { tunedWidth = autotuneWidth(); });
+    return tunedWidth;
+}
+
+std::size_t
+SkewKernel::autotuneWidth() const
+{
+    // A tiny best-of-reps sweep over widths 1..8 on this kernel's own
+    // arrays. The probe trial count per call equals the width, so the
+    // per-trial cost is bestMs / w; every width is bit-identical, so a
+    // noisy pick costs speed, never correctness. The counter traffic
+    // (batches/served) is a fixed function of the kernel shape --
+    // independent of the measured timings -- keeping metric exports
+    // deterministic across hosts and runs.
+    constexpr std::size_t probeMax = 8;
+    constexpr int reps = 3;
+    constexpr std::uint64_t probeSeed = 0x7a9eb10cULL;
+    if (!hasTree() && !cellCount())
+        return 1;
+    using ProbeClock = std::chrono::steady_clock;
+    const WireDelay probeDelay; // defaults are valid()
+    std::vector<Time> scratch;
+    std::array<Time, probeMax> skews;
+    std::array<ArrivalSkew, probeMax> surfaces;
+    std::vector<Rng> lanes;
+    lanes.reserve(probeMax);
+    double bestPerTrial = infinity;
+    std::size_t best = 1;
+    for (std::size_t w = 1; w <= probeMax; ++w) {
+        double bestMs = infinity;
+        for (int rep = 0; rep < reps; ++rep) {
+            const auto t0 = ProbeClock::now();
+            if (hasTree()) {
+                lanes.clear();
+                for (std::size_t j = 0; j < w; ++j)
+                    lanes.push_back(
+                        Rng::forTrial(probeSeed, w * probeMax + j));
+                sampleMaxCommSkewBlock(probeDelay, {lanes.data(), w},
+                                       {skews.data(), w}, scratch);
+            } else {
+                scratch.assign(cellCount() * laneStride(w), 0.0);
+                arrivalSkewBlock(scratch, {surfaces.data(), w});
+            }
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    ProbeClock::now() - t0)
+                    .count();
+            bestMs = std::min(bestMs, ms);
+        }
+        const double perTrial = bestMs / static_cast<double>(w);
+        if (perTrial < bestPerTrial) {
+            bestPerTrial = perTrial;
+            best = w;
+        }
+    }
+    return best;
 }
 
 KernelProvider

@@ -20,15 +20,26 @@
  *  - the communicating pairs as four flat endpoint arrays (tree-node
  *    ids and cell ids), in layout::Layout::comm() undirectedEdges()
  *    order -- the order every pre-kernel surface used, so results are
- *    bit-identical to the pointer-chasing paths they replace.
+ *    bit-identical to the pointer-chasing paths they replace -- plus
+ *    endpoint-sorted copies used only by the pair folds: the fold is a
+ *    max of |differences| (exact under any order), so sorting for
+ *    gather locality cannot change a single bit.
  *
  * The batch entry points are allocation-free: arrivals() propagates a
  * sampled per-wire delay realisation down the tree into a caller-owned
  * span, maxCommSkew() folds a node-arrival surface over the pairs, and
  * arrivalSkew() evaluates a per-cell arrival surface (the fault
- * subsystem's shared reduction). A kernel is immutable after
- * construction and safe to share read-only across threads; the query
- * counters are relaxed atomics.
+ * subsystem's shared reduction). Each has a lane-blocked sibling
+ * (arrivalsBlock / maxCommSkewBlock / sampleMaxCommSkewBlock /
+ * arrivalSkewBlock) that carries W independent Monte-Carlo trial lanes
+ * through one pass over the flat arrays -- node-outer, lane-inner over
+ * a lane-major scratch whose row stride laneStride(W) is padded to an
+ * odd count so power-of-two widths cannot alias cache sets. Each lane
+ * advances its own Rng in lockstep and replays the scalar draw
+ * sequence exactly, so blocked results are BIT-IDENTICAL to the scalar
+ * path at every width; blockWidth() picks W by a one-shot autotune.
+ * A kernel is immutable after construction and safe to share read-only
+ * across threads; the query counters are relaxed atomics.
  */
 
 #ifndef VSYNC_CORE_SKEW_KERNEL_HH
@@ -38,6 +49,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -178,6 +190,76 @@ class SkewKernel
      */
     ArrivalSkew arrivalSkew(std::span<const Time> cell_arrival) const;
 
+    /** Hard cap on trial lanes per blocked call. */
+    static constexpr std::size_t maxLanes = 32;
+
+    /**
+     * Row stride (in Time slots) of a lane-major matrix carrying
+     * @p width lanes: width padded up to the next odd count when even.
+     * Power-of-two widths make every lane's column stride a multiple
+     * of the cache-set period, so all W working columns fight over the
+     * same L1 sets -- the conflict-miss regression that sank the first
+     * blocking attempt at width 8. An odd stride walks the columns
+     * across all sets. laneStride(1) == 1, so a plain contiguous
+     * surface IS a valid width-1 lane-major matrix.
+     */
+    static constexpr std::size_t
+    laneStride(std::size_t width)
+    {
+        return (width % 2 == 0 && width > 0) ? width + 1 : width;
+    }
+
+    /**
+     * Blocked arrivals(): propagate lanes.size() independent trials in
+     * one node-outer, lane-inner pass. Lane j advances lanes[j] through
+     * the exact scalar draw sequence (bulk strided Rng::fillUniform per
+     * node chunk), so row v of @p out holds, for every lane j,
+     * bitwise the value arrivals() would produce for that lane's Rng.
+     *
+     * @param out lane-major, nodeCount() * laneStride(lanes.size())
+     *            slots; node v's lane-j arrival is
+     *            out[v * laneStride(W) + j]. Padding slots are never
+     *            read back.
+     */
+    void arrivalsBlock(const WireDelay &delay, std::span<Rng> lanes,
+                       std::span<Time> out) const;
+
+    /** Blocked maxCommSkew(): fold a lane-major node-arrival matrix
+     *  (as filled by arrivalsBlock()) into out[j] = lane j's max comm
+     *  skew; out.size() selects the width. Bitwise equal to scalar
+     *  maxCommSkew() per lane. */
+    void maxCommSkewBlock(std::span<const Time> lane_arrival,
+                          std::span<Time> out) const;
+
+    /**
+     * arrivalsBlock() + maxCommSkewBlock(): the blocked Monte-Carlo
+     * per-trial hot path, evaluating lanes.size() trials per pass.
+     * @p scratch is resized to the lane-major matrix size once and
+     * reusable across calls on the same thread.
+     */
+    void sampleMaxCommSkewBlock(const WireDelay &delay,
+                                std::span<Rng> lanes,
+                                std::span<Time> out_skew,
+                                std::vector<Time> &scratch) const;
+
+    /** Blocked arrivalSkew(): evaluate a lane-major per-cell arrival
+     *  matrix (cellCount() * laneStride(out.size()) slots, infinity =
+     *  never clocked) into out[j] = lane j's ArrivalSkew. Works on
+     *  pairs-only kernels. */
+    void arrivalSkewBlock(std::span<const Time> lane_cell_arrival,
+                          std::span<ArrivalSkew> out) const;
+
+    /**
+     * The lane width the blocked entry points should be driven at on
+     * this host, in [1, 8]. The first call measures widths 1..8 once
+     * on this kernel's own arrays (a few dozen blocked trials) and
+     * caches the winner for the kernel's lifetime -- a ScenarioCache
+     * hit therefore reuses the tuned width along with the compiled
+     * arrays. Thread safe; every width is bit-identical, so the choice
+     * affects speed only, never results.
+     */
+    std::size_t blockWidth() const;
+
     /** Wall-clock milliseconds the compile took. */
     double buildMillis() const { return buildMs; }
 
@@ -209,6 +291,7 @@ class SkewKernel
     void compilePairs(const layout::Layout &l,
                       const clocktree::ClockTree *t);
     void compileTree(const clocktree::ClockTree &t);
+    std::size_t autotuneWidth() const;
 
     std::size_t cells = 0;
 
@@ -225,13 +308,22 @@ class SkewKernel
     std::vector<std::int32_t> logTable;   // floor(log2(len))
     std::vector<std::vector<std::int32_t>> sparse; // min-depth positions
 
-    // Comm-pair endpoints, undirectedEdges() order.
+    // Comm-pair endpoints, undirectedEdges() order -- the public,
+    // order-contracted view (SkewReport edges, SkewInstance::edgeSkew).
     std::vector<NodeId> pairNodeA, pairNodeB;
     std::vector<CellId> pairCellA, pairCellB;
+
+    // Endpoint-sorted copies (canonical a <= b, sorted by (a, b)) used
+    // only by the max/count folds, where order cannot change a bit but
+    // sorted gathers walk the arrival surface near-monotonically.
+    std::vector<NodeId> foldNodeA, foldNodeB;
+    std::vector<CellId> foldCellA, foldCellB;
 
     double buildMs = 0.0;
     mutable std::atomic<std::uint64_t> served{0};
     mutable std::atomic<std::uint64_t> batches{0};
+    mutable std::once_flag tuneOnce;
+    mutable std::size_t tunedWidth = 1;
 };
 
 /**

@@ -172,11 +172,12 @@ finishOutcome(const core::SkewKernel &kernel, const FaultPlan &plan,
 
 } // namespace
 
-DistributionOutcome
-simulateTreeUnderFaults(const core::SkewKernel &kernel,
-                        const clocktree::BufferedClockTree &btree,
-                        const desim::ClockNet::DelayFn &delay_of,
-                        const FaultPlan &plan)
+void
+simulateTreeArrivalsUnderFaults(const core::SkewKernel &kernel,
+                                const clocktree::BufferedClockTree &btree,
+                                const desim::ClockNet::DelayFn &delay_of,
+                                const FaultPlan &plan,
+                                std::vector<Time> &cell_arrival)
 {
     VSYNC_ASSERT(kernel.hasTree(),
                  "tree fault driver needs a tree-compiled kernel");
@@ -186,15 +187,25 @@ simulateTreeUnderFaults(const core::SkewKernel &kernel,
     injector.armClockNet(net);
     net.drive(1.0, 1);
 
-    DistributionOutcome out;
     const std::size_t cells = kernel.cellCount();
-    out.cellArrival.resize(cells, infinity);
+    cell_arrival.assign(cells, infinity);
     for (CellId c = 0; c < static_cast<CellId>(cells); ++c) {
         const std::vector<Time> &arr =
             net.risingArrivals(kernel.nodeOfCell(c));
         if (!arr.empty())
-            out.cellArrival[c] = arr.front();
+            cell_arrival[c] = arr.front();
     }
+}
+
+DistributionOutcome
+simulateTreeUnderFaults(const core::SkewKernel &kernel,
+                        const clocktree::BufferedClockTree &btree,
+                        const desim::ClockNet::DelayFn &delay_of,
+                        const FaultPlan &plan)
+{
+    DistributionOutcome out;
+    simulateTreeArrivalsUnderFaults(kernel, btree, delay_of, plan,
+                                    out.cellArrival);
     finishOutcome(kernel, plan, out);
     return out;
 }
@@ -222,10 +233,12 @@ simulateTreeUnderFaults(const layout::Layout &l,
                                    plan);
 }
 
-DistributionOutcome
-simulateGridUnderFaults(const core::SkewKernel &kernel, int rows,
-                        int cols, const TrixGrid::LinkDelayFn &delay_of,
-                        const FaultPlan &plan)
+void
+simulateGridArrivalsUnderFaults(const core::SkewKernel &kernel, int rows,
+                                int cols,
+                                const TrixGrid::LinkDelayFn &delay_of,
+                                const FaultPlan &plan,
+                                std::vector<Time> &cell_arrival)
 {
     VSYNC_ASSERT(static_cast<std::size_t>(rows) *
                          static_cast<std::size_t>(cols) ==
@@ -237,9 +250,17 @@ simulateGridUnderFaults(const core::SkewKernel &kernel, int rows,
     FaultInjector injector(sim, plan);
     injector.armTrixGrid(grid);
     grid.pulse();
+    cell_arrival = grid.cellArrivals();
+}
 
+DistributionOutcome
+simulateGridUnderFaults(const core::SkewKernel &kernel, int rows,
+                        int cols, const TrixGrid::LinkDelayFn &delay_of,
+                        const FaultPlan &plan)
+{
     DistributionOutcome out;
-    out.cellArrival = grid.cellArrivals();
+    simulateGridArrivalsUnderFaults(kernel, rows, cols, delay_of, plan,
+                                    out.cellArrival);
     finishOutcome(kernel, plan, out);
     return out;
 }

@@ -131,6 +131,20 @@ simulateTreeUnderFaults(const core::SkewKernel &kernel,
                         const FaultPlan &plan);
 
 /**
+ * The arrivals-only half of simulateTreeUnderFaults: run the faulty
+ * pulse and fill @p cell_arrival (resized to kernel.cellCount();
+ * infinity = never clocked) without the pair-fold reduction. Blocked
+ * resilience trials batch several of these surfaces lane-major and
+ * reduce them in one core::SkewKernel::arrivalSkewBlock pass.
+ */
+void
+simulateTreeArrivalsUnderFaults(const core::SkewKernel &kernel,
+                                const clocktree::BufferedClockTree &btree,
+                                const desim::ClockNet::DelayFn &delay_of,
+                                const FaultPlan &plan,
+                                std::vector<Time> &cell_arrival);
+
+/**
  * Convenience overload compiling the kernel per call. Sweeps should
  * compile once and use the kernel overload.
  */
@@ -166,6 +180,15 @@ DistributionOutcome
 simulateGridUnderFaults(const core::SkewKernel &kernel, int rows,
                         int cols, const TrixGrid::LinkDelayFn &delay_of,
                         const FaultPlan &plan);
+
+/** The arrivals-only half of simulateGridUnderFaults (see
+ *  simulateTreeArrivalsUnderFaults). */
+void
+simulateGridArrivalsUnderFaults(const core::SkewKernel &kernel, int rows,
+                                int cols,
+                                const TrixGrid::LinkDelayFn &delay_of,
+                                const FaultPlan &plan,
+                                std::vector<Time> &cell_arrival);
 
 /** Convenience overload compiling a pairs-only kernel per call. */
 DistributionOutcome

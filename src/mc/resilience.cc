@@ -36,6 +36,32 @@ namespace
 constexpr std::uint64_t planSalt = 1;
 constexpr std::uint64_t delaySalt = 2;
 
+/** The per-chip tree stage-delay model, shared by the scalar and
+ *  blocked trial paths. Captures by reference; consume immediately. */
+desim::ClockNet::DelayFn
+treeDelayFn(const ResilienceConfig &rc, Rng &delay_rng)
+{
+    return [&rc, &delay_rng](const clocktree::BufferedSite &site,
+                             std::size_t) {
+        const double unit =
+            delay_rng.uniform(rc.delay.lo(), rc.delay.hi());
+        const Time stage = site.wireFromParent * unit +
+                           (site.isBuffer ? rc.bufferDelay : 0.0);
+        return desim::EdgeDelays::same(stage);
+    };
+}
+
+/** Per-link grid delays from the same model: one buffered unit-pitch
+ *  link per stage -- buffer delay plus one lambda of varied wire. */
+fault::TrixGrid::LinkDelayFn
+gridDelayFn(const ResilienceConfig &rc, Rng &delay_rng)
+{
+    return [&rc, &delay_rng](int, int, int) {
+        return rc.bufferDelay +
+               delay_rng.uniform(rc.delay.lo(), rc.delay.hi());
+    };
+}
+
 /** One faulty-tree trial: build the per-chip DelayFn and simulate. */
 fault::DistributionOutcome
 treeTrial(const core::SkewKernel &kernel,
@@ -43,16 +69,8 @@ treeTrial(const core::SkewKernel &kernel,
           const fault::FaultPlan &plan, const ResilienceConfig &rc,
           Rng &delay_rng)
 {
-    const desim::ClockNet::DelayFn delay_of =
-        [&rc, &delay_rng](const clocktree::BufferedSite &site,
-                          std::size_t) {
-            const double unit =
-                delay_rng.uniform(rc.delay.lo(), rc.delay.hi());
-            const Time stage = site.wireFromParent * unit +
-                               (site.isBuffer ? rc.bufferDelay : 0.0);
-            return desim::EdgeDelays::same(stage);
-        };
-    return fault::simulateTreeUnderFaults(kernel, btree, delay_of, plan);
+    return fault::simulateTreeUnderFaults(
+        kernel, btree, treeDelayFn(rc, delay_rng), plan);
 }
 
 /** One faulty-grid trial: per-link delays from the same delay model. */
@@ -61,15 +79,8 @@ gridTrial(const core::SkewKernel &kernel, int rows, int cols,
           const fault::FaultPlan &plan, const ResilienceConfig &rc,
           Rng &delay_rng)
 {
-    const fault::TrixGrid::LinkDelayFn delay_of =
-        [&rc, &delay_rng](int, int, int) {
-            // One buffered unit-pitch link per stage: buffer delay plus
-            // one lambda of varied wire.
-            return rc.bufferDelay +
-                   delay_rng.uniform(rc.delay.lo(), rc.delay.hi());
-        };
-    return fault::simulateGridUnderFaults(kernel, rows, cols, delay_of,
-                                          plan);
+    return fault::simulateGridUnderFaults(
+        kernel, rows, cols, gridDelayFn(rc, delay_rng), plan);
 }
 
 } // namespace
@@ -91,6 +102,62 @@ ResilienceScenario::runTrial(
     return kind == DistributionKind::TrixGrid
                ? gridTrial(*kernel, rows, cols, plan, rc, delay_rng)
                : treeTrial(*kernel, btree, plan, rc, delay_rng);
+}
+
+void
+ResilienceScenario::runTrialBlock(
+    std::uint64_t seed, std::uint64_t first_trial, std::size_t count,
+    std::span<double> out_skew, std::span<double> out_clocked,
+    std::span<double> out_faults,
+    const std::array<obs::Counter *, fault::faultKindCount>
+        *kind_counters,
+    std::vector<Time> &lane_scratch) const
+{
+    VSYNC_ASSERT(count >= 1 && count <= core::SkewKernel::maxLanes,
+                 "%zu trials per block (1..%zu supported)", count,
+                 core::SkewKernel::maxLanes);
+    VSYNC_ASSERT(out_skew.size() == count &&
+                     out_clocked.size() == count &&
+                     out_faults.size() == count,
+                 "output spans must cover the %zu block trials", count);
+    const std::size_t stride = core::SkewKernel::laneStride(count);
+    const std::size_t cells = kernel->cellCount();
+    lane_scratch.resize(cells * stride);
+    // The desim pulses stay per-trial (event-driven simulation has no
+    // lanes); only their arrival surfaces are batched, scattered
+    // lane-major and reduced in one blocked pair fold.
+    std::vector<Time> arrival;
+    for (std::size_t j = 0; j < count; ++j) {
+        Rng trial_rng = Rng::forTrial(seed, first_trial + j);
+        Rng plan_rng = trial_rng.deriveStream(planSalt);
+        Rng delay_rng = trial_rng.deriveStream(delaySalt);
+        const fault::FaultPlan plan =
+            fault::FaultPlan::generate(universe, rates, plan_rng);
+        if (kind_counters)
+            for (const fault::Fault &f : plan.faults())
+                (*kind_counters)[static_cast<std::size_t>(f.kind)]
+                    ->inc();
+        if (kind == DistributionKind::TrixGrid) {
+            fault::simulateGridArrivalsUnderFaults(
+                *kernel, rows, cols, gridDelayFn(rc, delay_rng), plan,
+                arrival);
+        } else {
+            fault::simulateTreeArrivalsUnderFaults(
+                *kernel, btree, treeDelayFn(rc, delay_rng), plan,
+                arrival);
+        }
+        for (std::size_t c = 0; c < cells; ++c)
+            lane_scratch[c * stride + j] = arrival[c];
+        out_faults[j] = static_cast<double>(plan.size());
+    }
+    std::array<core::ArrivalSkew, core::SkewKernel::maxLanes> reduced;
+    kernel->arrivalSkewBlock(
+        std::span<const Time>(lane_scratch.data(), cells * stride),
+        std::span<core::ArrivalSkew>(reduced.data(), count));
+    for (std::size_t j = 0; j < count; ++j) {
+        out_skew[j] = reduced[j].maxCommSkew;
+        out_clocked[j] = reduced[j].clockedFraction;
+    }
 }
 
 ResilienceScenario
@@ -164,18 +231,24 @@ resilienceAtRate(const layout::Layout &l, int rows, int cols,
                     fault::faultKindName(static_cast<fault::FaultKind>(k)));
     }
 
+    // Blocked trial loop: runTrialBlock batches blockW arrival
+    // surfaces per pair-fold pass (bit-identical to per-trial
+    // runTrial at any width, grain or thread count).
+    const std::size_t blockW = scenario.kernel->blockWidth();
     ThreadPool pool(cfg.threads);
     pool.parallelForRange(
         cfg.trials, cfg.grain,
         [&](std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) {
-                const fault::DistributionOutcome out =
-                    scenario.runTrial(cfg.seed, i,
-                                      cfg.metrics ? &kindCounters
-                                                  : nullptr);
-                point.maxCommSkew.samples[i] = out.maxCommSkew;
-                point.clockedFraction.samples[i] = out.clockedFraction;
-                faults[i] = static_cast<double>(out.faultCount);
+            std::vector<Time> laneScratch; // reused per chunk
+            for (std::size_t i = begin; i < end; i += blockW) {
+                const std::size_t w = std::min(blockW, end - i);
+                scenario.runTrialBlock(
+                    cfg.seed, i, w,
+                    {point.maxCommSkew.samples.data() + i, w},
+                    {point.clockedFraction.samples.data() + i, w},
+                    {faults.data() + i, w},
+                    cfg.metrics ? &kindCounters : nullptr,
+                    laneScratch);
             }
         });
     reduceInTrialOrder(point.maxCommSkew);

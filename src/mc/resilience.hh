@@ -23,6 +23,7 @@
 
 #include <array>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -116,6 +117,27 @@ struct ResilienceScenario
     runTrial(std::uint64_t seed, std::uint64_t trial,
              const std::array<obs::Counter *, fault::faultKindCount>
                  *kind_counters = nullptr) const;
+
+    /**
+     * Trials [first_trial, first_trial + count) in one blocked pass:
+     * each trial's faulty pulse still runs individually (a discrete
+     * event simulation cannot be lane-blocked), but the per-cell
+     * arrival surfaces are scattered into a lane-major matrix and
+     * reduced by a single core::SkewKernel::arrivalSkewBlock call --
+     * trial j's slots are bitwise what runTrial would have produced.
+     * @p count <= core::SkewKernel::maxLanes; callers drive this with
+     * kernel->blockWidth() and a narrower remainder block.
+     * @p lane_scratch is resized once and reusable across calls on the
+     * same thread.
+     */
+    void runTrialBlock(std::uint64_t seed, std::uint64_t first_trial,
+                       std::size_t count, std::span<double> out_skew,
+                       std::span<double> out_clocked,
+                       std::span<double> out_faults,
+                       const std::array<obs::Counter *,
+                                        fault::faultKindCount>
+                           *kind_counters,
+                       std::vector<Time> &lane_scratch) const;
 };
 
 /**

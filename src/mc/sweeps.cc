@@ -45,17 +45,29 @@ skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
     if (cfg.metrics)
         wall0 = std::chrono::steady_clock::now();
 
+    // Lane-blocked trial loop: W trials share one pass over the flat
+    // arrays (autotuned once per kernel; any W is bit-identical, and a
+    // chunk end just runs a narrower remainder block, so results do
+    // not depend on grain or thread count).
+    const std::size_t blockW = kernel.blockWidth();
     pool.parallelForRange(
         cfg.trials, cfg.grain,
         [&](std::size_t begin, std::size_t end) {
             std::vector<Time> arrival; // scratch, reused per chunk
+            std::vector<Rng> lanes;
+            lanes.reserve(blockW);
             std::uint64_t chunk_draws = 0;
-            for (std::size_t i = begin; i < end; ++i) {
-                Rng rng = Rng::forTrial(cfg.seed, i);
-                r.samples[i] =
-                    kernel.sampleMaxCommSkew(delay, rng, arrival);
+            for (std::size_t i = begin; i < end; i += blockW) {
+                const std::size_t w = std::min(blockW, end - i);
+                lanes.clear();
+                for (std::size_t j = 0; j < w; ++j)
+                    lanes.push_back(Rng::forTrial(cfg.seed, i + j));
+                kernel.sampleMaxCommSkewBlock(
+                    delay, {lanes.data(), w},
+                    {r.samples.data() + i, w}, arrival);
                 if (cfg.metrics)
-                    chunk_draws += rng.draws();
+                    for (std::size_t j = 0; j < w; ++j)
+                        chunk_draws += lanes[j].draws();
             }
             if (cfg.metrics)
                 draws.fetch_add(chunk_draws, std::memory_order_relaxed);
@@ -73,13 +85,6 @@ skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
                              "mc." + cfg.metricsName + ".kernel.");
     }
     return r;
-}
-
-McResult
-skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
-          double m, double eps, const McConfig &cfg)
-{
-    return skewSweep(l, t, core::WireDelay{m, eps}, cfg);
 }
 
 McResult

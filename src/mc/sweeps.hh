@@ -37,9 +37,10 @@ namespace vsync::mc
  * Maximum realised communicating skew per sampled chip: cfg.trials
  * chips, each with per-wire unit delays drawn from
  * [delay.lo(), delay.hi()]. Compiles one core::SkewKernel for the
- * scenario, shares it read-only across the worker threads, and reuses
- * per-chunk arrival scratch; results are bit-identical to the
- * pre-kernel per-chip sampler for the same cfg.seed. When cfg.metrics
+ * scenario, shares it read-only across the worker threads, and runs
+ * trials kernel.blockWidth() lanes at a time through the blocked
+ * entry points; results are bit-identical to the pre-kernel per-chip
+ * sampler for the same cfg.seed at any width. When cfg.metrics
  * is set, the kernel's stats are exported under
  * "mc.<metricsName>.kernel." alongside the sweep counters.
  */
@@ -56,11 +57,6 @@ McResult skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
 McResult skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
                    const core::WireDelay &delay, const McConfig &cfg,
                    const core::KernelProvider &kernels);
-
-/** @deprecated Loose (m, eps) form; use the WireDelay overload. */
-[[deprecated("pass core::WireDelay{m, eps}")]]
-McResult skewSweep(const layout::Layout &l, const clocktree::ClockTree &t,
-                   double m, double eps, const McConfig &cfg);
 
 /**
  * Minimum pipelined cycle time per fabricated n-stage inverter string

@@ -26,6 +26,10 @@ struct Compiled
     std::shared_ptr<const core::SkewKernel> kernel;
     /** Resilience requests: the full scenario. */
     mc::ResilienceScenario scenario;
+    /** The kernel's autotuned lane width, resolved at compile time so
+     *  the (one-shot) tune never runs inside a timed work unit. A
+     *  cache hit reuses the width tuned at first compile. */
+    std::size_t width = 1;
 };
 
 const mc::McConfig &
@@ -114,6 +118,7 @@ SweepService::run(const std::vector<SweepRequest> &batch,
                          "skew request %zu lacks layout or tree", r);
             compiled[r].isSkew = true;
             compiled[r].kernel = kernels.get(*s->layout, *s->tree);
+            compiled[r].width = compiled[r].kernel->blockWidth();
             compiled[r].ready = true;
         } else {
             const ResilienceRequest &q =
@@ -123,6 +128,8 @@ SweepService::run(const std::vector<SweepRequest> &batch,
             compiled[r].scenario = mc::compileResilienceScenario(
                 *q.layout, q.rows, q.cols, q.kind, q.faultRate, q.rc,
                 kernels.provider());
+            compiled[r].width =
+                compiled[r].scenario.kernel->blockWidth();
             compiled[r].ready = true;
         }
     }
@@ -157,7 +164,8 @@ SweepService::run(const std::vector<SweepRequest> &batch,
     pool.parallelForRange(
         units.size(), 1,
         [&](std::size_t ub, std::size_t ue) {
-            std::vector<Time> arrival; // skew scratch, reused per unit
+            std::vector<Time> arrival; // lane scratch, reused per unit
+            std::vector<Rng> lanes;
             for (std::size_t u = ub; u < ue; ++u) {
                 if (externallyCancelled())
                     stopToken.cancel();
@@ -170,34 +178,51 @@ SweepService::run(const std::vector<SweepRequest> &batch,
                 const WorkUnit &w = units[u];
                 const mc::McConfig &mcc = configOf(batch[w.request]);
                 RequestOutcome &o = out.outcomes[w.request];
+                // Lane-blocked trial loops: blocks restart at every
+                // unit boundary, so shard/grain choices cannot change
+                // a bit of the output (each lane replays its global
+                // substream regardless of neighbours).
+                const std::size_t blockW = compiled[w.request].width;
                 if (compiled[w.request].isSkew) {
                     const SkewRequest &s =
                         std::get<SkewRequest>(batch[w.request]);
                     const core::SkewKernel &kernel =
                         *compiled[w.request].kernel;
-                    for (std::size_t i = w.begin; i < w.end; ++i) {
+                    for (std::size_t i = w.begin; i < w.end;
+                         i += blockW) {
+                        const std::size_t bw =
+                            std::min(blockW, w.end - i);
                         // The substream index is global: a shard of a
                         // sharded parent request (trialOffset != 0)
                         // draws the same streams the parent would.
-                        Rng rng = Rng::forTrial(mcc.seed,
-                                                s.trialOffset + i);
-                        o.skew.samples[i] = kernel.sampleMaxCommSkew(
-                            s.delay, rng, arrival);
+                        lanes.clear();
+                        for (std::size_t j = 0; j < bw; ++j)
+                            lanes.push_back(Rng::forTrial(
+                                mcc.seed, s.trialOffset + i + j));
+                        kernel.sampleMaxCommSkewBlock(
+                            s.delay, {lanes.data(), bw},
+                            {o.skew.samples.data() + i, bw}, arrival);
                     }
                 } else {
                     const ResilienceRequest &q =
                         std::get<ResilienceRequest>(batch[w.request]);
                     const mc::ResilienceScenario &sc =
                         compiled[w.request].scenario;
-                    for (std::size_t i = w.begin; i < w.end; ++i) {
-                        const fault::DistributionOutcome res =
-                            sc.runTrial(mcc.seed, q.trialOffset + i);
-                        o.resilience.maxCommSkew.samples[i] =
-                            res.maxCommSkew;
-                        o.resilience.clockedFraction.samples[i] =
-                            res.clockedFraction;
-                        o.faultSamples[i] =
-                            static_cast<double>(res.faultCount);
+                    for (std::size_t i = w.begin; i < w.end;
+                         i += blockW) {
+                        const std::size_t bw =
+                            std::min(blockW, w.end - i);
+                        sc.runTrialBlock(
+                            mcc.seed, q.trialOffset + i, bw,
+                            {o.resilience.maxCommSkew.samples.data() +
+                                 i,
+                             bw},
+                            {o.resilience.clockedFraction.samples
+                                     .data() +
+                                 i,
+                             bw},
+                            {o.faultSamples.data() + i, bw}, nullptr,
+                            arrival);
                     }
                 }
                 unitDone[u] = 1;

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -146,6 +148,95 @@ TEST(Rng, DerivedStreamsWithDifferentSaltsDiffer)
     for (int i = 0; i < 64; ++i)
         same += s1.next() == s2.next() ? 1 : 0;
     EXPECT_LT(same, 4);
+}
+
+TEST(RngFill, FillUniformReplaysScalarSequence)
+{
+    Rng bulk(4242), scalar(4242);
+    std::vector<double> got(257); // odd, not a power of two
+    bulk.fillUniform(-2.5, 7.75, std::span<double>(got));
+    for (std::size_t i = 0; i < got.size(); ++i)
+        ASSERT_EQ(got[i], scalar.uniform(-2.5, 7.75)) << "draw " << i;
+    EXPECT_EQ(bulk.draws(), scalar.draws());
+    // The streams stay in lockstep after the fill.
+    EXPECT_EQ(bulk.next(), scalar.next());
+}
+
+TEST(RngFill, StridedFillMatchesContiguousFill)
+{
+    Rng a(77), b(77);
+    constexpr std::size_t count = 64, stride = 5;
+    std::vector<double> flat(count);
+    std::vector<double> mat(count * stride, -1.0);
+    a.fillUniform(0.0, 1.0, std::span<double>(flat));
+    b.fillUniform(0.0, 1.0, mat.data(), count, stride);
+    for (std::size_t i = 0; i < count; ++i)
+        ASSERT_EQ(mat[i * stride], flat[i]) << i;
+    // Slots between the strided writes are untouched.
+    for (std::size_t i = 0; i < mat.size(); ++i) {
+        if (i % stride != 0) {
+            ASSERT_EQ(mat[i], -1.0) << i;
+        }
+    }
+    EXPECT_EQ(a.draws(), b.draws());
+}
+
+TEST(RngFill, FillNormalReplaysScalarSequence)
+{
+    for (const std::size_t n : {std::size_t{1}, std::size_t{2},
+                                std::size_t{7}, std::size_t{64}}) {
+        Rng bulk(909), scalar(909);
+        std::vector<double> got(n);
+        bulk.fillNormal(std::span<double>(got));
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(got[i], scalar.normal()) << "n " << n << " i " << i;
+        EXPECT_EQ(bulk.draws(), scalar.draws()) << n;
+    }
+}
+
+TEST(RngFill, FillNormalConsumesAndLeavesBoxMullerCache)
+{
+    // A scalar normal() caches the unpaired sin; the bulk fill must
+    // consume that cache first. An odd-length fill then leaves its own
+    // trailing sin cached for the next scalar call.
+    Rng bulk(31337), scalar(31337);
+    ASSERT_EQ(bulk.normal(), scalar.normal()); // both now hold a cache
+    std::vector<double> got(5);                // odd: ends mid-pair
+    bulk.fillNormal(std::span<double>(got));
+    for (double g : got)
+        ASSERT_EQ(g, scalar.normal());
+    // Crossing back to scalar: the bulk fill's cached sin comes out.
+    EXPECT_EQ(bulk.normal(), scalar.normal());
+    EXPECT_EQ(bulk.draws(), scalar.draws());
+}
+
+TEST(RngFill, FillNormalScaledMatchesScalar)
+{
+    Rng bulk(555), scalar(555);
+    std::vector<double> got(9);
+    bulk.fillNormal(3.0, 0.25, std::span<double>(got));
+    for (double g : got)
+        ASSERT_EQ(g, scalar.normal(3.0, 0.25));
+}
+
+TEST(RngFill, BulkFillPreservesDeriveStream)
+{
+    // deriveStream is a pure function of the seed and salt, so a
+    // stream derived after a bulk fill equals one derived after the
+    // equivalent scalar draws (and one derived with no draws at all).
+    Rng bulk(99), scalar(99), fresh(99);
+    std::vector<double> sink(33);
+    bulk.fillUniform(0.0, 1.0, std::span<double>(sink));
+    for (int i = 0; i < 33; ++i)
+        scalar.uniform();
+    Rng da = bulk.deriveStream(5);
+    Rng db = scalar.deriveStream(5);
+    Rng dc = fresh.deriveStream(5);
+    for (int i = 0; i < 64; ++i) {
+        const std::uint64_t v = da.next();
+        ASSERT_EQ(v, db.next());
+        ASSERT_EQ(v, dc.next());
+    }
 }
 
 /** Property sweep: uniform(lo, hi) stays in range for many ranges. */

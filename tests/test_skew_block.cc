@@ -1,0 +1,280 @@
+/**
+ * @file
+ * The lane-blocked skew-sampling path.
+ *
+ * The blocked entry points' whole contract is "scalar results, fewer
+ * passes": at every width the lanes must replay the scalar draw
+ * sequence draw-for-draw (same Rng::draws() accounting) and produce
+ * bitwise-identical results. These tests pin that contract across
+ * widths {1, 2, 3, 4, 7, 8, 16} -- odd, even, power-of-two (the
+ * stride-padding case) and wider than the autotune range -- on the
+ * htree, spine and TRIX-grid scenarios, through remainder blocks
+ * (trials % W != 0) and through the blocked SweepService at 1/2/8
+ * threads.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "clocktree/builders.hh"
+#include "common/rng.hh"
+#include "core/skew_kernel.hh"
+#include "layout/generators.hh"
+#include "mc/resilience.hh"
+#include "mc/sweeps.hh"
+#include "serve/sweep_service.hh"
+
+namespace
+{
+
+using namespace vsync;
+using core::SkewKernel;
+using core::WireDelay;
+
+constexpr WireDelay kDelay{0.05, 0.005};
+constexpr std::size_t kWidths[] = {1, 2, 3, 4, 7, 8, 16};
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+TEST(LaneStride, PadsEvenWidthsToOdd)
+{
+    EXPECT_EQ(SkewKernel::laneStride(1), 1u);
+    EXPECT_EQ(SkewKernel::laneStride(2), 3u);
+    EXPECT_EQ(SkewKernel::laneStride(3), 3u);
+    EXPECT_EQ(SkewKernel::laneStride(4), 5u);
+    EXPECT_EQ(SkewKernel::laneStride(7), 7u);
+    EXPECT_EQ(SkewKernel::laneStride(8), 9u);
+    EXPECT_EQ(SkewKernel::laneStride(16), 17u);
+}
+
+/** Tree scenarios the blocked propagation must replay exactly. */
+std::vector<std::pair<layout::Layout, clocktree::ClockTree>>
+treeScenarios()
+{
+    std::vector<std::pair<layout::Layout, clocktree::ClockTree>> out;
+    layout::Layout mesh = layout::meshLayout(8, 8);
+    clocktree::ClockTree htree = clocktree::buildHTreeGrid(mesh, 8, 8);
+    out.emplace_back(std::move(mesh), std::move(htree));
+    layout::Layout line = layout::meshLayout(6, 6);
+    clocktree::ClockTree spine = clocktree::buildSpine(line);
+    out.emplace_back(std::move(line), std::move(spine));
+    return out;
+}
+
+TEST(SkewBlock, ArrivalsBitIdenticalToScalarAtEveryWidth)
+{
+    for (const auto &[l, tree] : treeScenarios()) {
+        const SkewKernel kernel(l, tree);
+        const std::size_t n = kernel.nodeCount();
+        for (const std::size_t w : kWidths) {
+            const std::size_t stride = SkewKernel::laneStride(w);
+            std::vector<Rng> lanes;
+            for (std::size_t j = 0; j < w; ++j)
+                lanes.push_back(Rng::forTrial(0xb10c, j));
+            std::vector<Time> block(n * stride, -1.0);
+            kernel.arrivalsBlock(kDelay, {lanes.data(), w},
+                                 std::span<Time>(block));
+
+            for (std::size_t j = 0; j < w; ++j) {
+                Rng scalar_rng = Rng::forTrial(0xb10c, j);
+                std::vector<Time> scalar(n);
+                kernel.arrivals(kDelay, scalar_rng,
+                                std::span<Time>(scalar));
+                for (std::size_t v = 0; v < n; ++v)
+                    ASSERT_EQ(block[v * stride + j], scalar[v])
+                        << "width " << w << " lane " << j << " node "
+                        << v;
+                // Exact draw accounting: lane j consumed precisely the
+                // scalar sequence, no more, no fewer.
+                EXPECT_EQ(lanes[j].draws(), scalar_rng.draws())
+                    << "width " << w << " lane " << j;
+            }
+        }
+    }
+}
+
+TEST(SkewBlock, SampleMaxCommSkewBlockMatchesScalarAtEveryWidth)
+{
+    for (const auto &[l, tree] : treeScenarios()) {
+        const SkewKernel kernel(l, tree);
+        std::vector<Time> scratch, scalar_scratch;
+        for (const std::size_t w : kWidths) {
+            std::vector<Rng> lanes;
+            for (std::size_t j = 0; j < w; ++j)
+                lanes.push_back(Rng::forTrial(0x5eed, 100 + j));
+            std::vector<Time> skew(w, -1.0);
+            kernel.sampleMaxCommSkewBlock(kDelay, {lanes.data(), w},
+                                          std::span<Time>(skew),
+                                          scratch);
+            for (std::size_t j = 0; j < w; ++j) {
+                Rng scalar_rng = Rng::forTrial(0x5eed, 100 + j);
+                const Time ref = kernel.sampleMaxCommSkew(
+                    kDelay, scalar_rng, scalar_scratch);
+                EXPECT_EQ(skew[j], ref)
+                    << "width " << w << " lane " << j;
+                EXPECT_EQ(lanes[j].draws(), scalar_rng.draws())
+                    << "width " << w << " lane " << j;
+            }
+        }
+    }
+}
+
+TEST(SkewBlock, ArrivalSkewBlockMatchesScalarOnTrixSurfaces)
+{
+    // Pairs-only kernel, as the TRIX-grid drivers compile it; random
+    // surfaces with unclocked (infinite) cells exercise the pair
+    // exclusion and clocked-fraction counting per lane.
+    const layout::Layout l = layout::meshLayout(7, 7);
+    const SkewKernel kernel(l);
+    const std::size_t cells = kernel.cellCount();
+    for (const std::size_t w : kWidths) {
+        const std::size_t stride = SkewKernel::laneStride(w);
+        std::vector<std::vector<Time>> scalar(w,
+                                              std::vector<Time>(cells));
+        std::vector<Time> block(cells * stride, 0.0);
+        Rng rng(0xfab + w);
+        for (std::size_t j = 0; j < w; ++j) {
+            for (std::size_t c = 0; c < cells; ++c) {
+                const Time t = rng.bernoulli(0.2)
+                                   ? infinity
+                                   : rng.uniform(0.0, 5.0);
+                scalar[j][c] = t;
+                block[c * stride + j] = t;
+            }
+        }
+        std::vector<core::ArrivalSkew> got(w);
+        kernel.arrivalSkewBlock(std::span<const Time>(block),
+                                std::span<core::ArrivalSkew>(got));
+        for (std::size_t j = 0; j < w; ++j) {
+            const core::ArrivalSkew ref =
+                kernel.arrivalSkew(scalar[j]);
+            EXPECT_EQ(got[j].maxCommSkew, ref.maxCommSkew) << j;
+            EXPECT_EQ(got[j].clockedFraction, ref.clockedFraction) << j;
+            EXPECT_EQ(got[j].clockedPairs, ref.clockedPairs) << j;
+            EXPECT_EQ(got[j].pairCount, ref.pairCount) << j;
+        }
+    }
+}
+
+TEST(SkewBlock, BlockWidthIsStableAndInAutotuneRange)
+{
+    const layout::Layout l = layout::meshLayout(8, 8);
+    const auto tree = clocktree::buildHTreeGrid(l, 8, 8);
+    const SkewKernel kernel(l, tree);
+    const std::size_t w = kernel.blockWidth();
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, 8u);
+    // One-shot: later calls reuse the cached choice.
+    EXPECT_EQ(kernel.blockWidth(), w);
+
+    const SkewKernel pairsOnly(l);
+    const std::size_t wp = pairsOnly.blockWidth();
+    EXPECT_GE(wp, 1u);
+    EXPECT_LE(wp, 8u);
+}
+
+TEST(SkewBlock, SkewSweepHandlesRemainderTrials)
+{
+    // trials not divisible by any candidate width, and a grain that
+    // splits chunks mid-block: every chunk end runs a narrower
+    // remainder block, which must not change a single bit vs the
+    // scalar per-trial sampler.
+    const layout::Layout l = layout::meshLayout(6, 6);
+    const auto tree = clocktree::buildHTreeGrid(l, 6, 6);
+    const SkewKernel kernel(l, tree);
+
+    mc::McConfig cfg;
+    cfg.seed = 0xabcd;
+    cfg.trials = 29;
+    cfg.grain = 5;
+    const mc::McResult sweep = mc::skewSweep(l, tree, kDelay, cfg);
+
+    std::vector<Time> scratch;
+    for (std::size_t i = 0; i < cfg.trials; ++i) {
+        Rng rng = Rng::forTrial(cfg.seed, i);
+        EXPECT_EQ(sweep.samples[i],
+                  kernel.sampleMaxCommSkew(kDelay, rng, scratch))
+            << "trial " << i;
+    }
+}
+
+TEST(SkewBlock, ResilienceRunTrialBlockMatchesRunTrial)
+{
+    const layout::Layout l = layout::meshLayout(5, 5);
+    const mc::ResilienceConfig rc;
+    for (const auto kind : {mc::DistributionKind::HTree,
+                            mc::DistributionKind::TrixGrid}) {
+        const mc::ResilienceScenario scenario =
+            mc::compileResilienceScenario(l, 5, 5, kind, 0.05, rc,
+                                          core::directCompile());
+        std::vector<Time> laneScratch;
+        for (const std::size_t w : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{4}, std::size_t{8}}) {
+            std::vector<double> skew(w), clocked(w), faults(w);
+            scenario.runTrialBlock(0x77, 10, w,
+                                   std::span<double>(skew),
+                                   std::span<double>(clocked),
+                                   std::span<double>(faults), nullptr,
+                                   laneScratch);
+            for (std::size_t j = 0; j < w; ++j) {
+                const fault::DistributionOutcome ref =
+                    scenario.runTrial(0x77, 10 + j);
+                EXPECT_EQ(skew[j], ref.maxCommSkew)
+                    << mc::distributionKindName(kind) << " lane " << j;
+                EXPECT_EQ(clocked[j], ref.clockedFraction)
+                    << mc::distributionKindName(kind) << " lane " << j;
+                EXPECT_EQ(faults[j],
+                          static_cast<double>(ref.faultCount))
+                    << mc::distributionKindName(kind) << " lane " << j;
+            }
+        }
+    }
+}
+
+TEST(SkewBlock, SweepServiceBitIdenticalAcrossThreadCounts)
+{
+    // The blocked work-unit loops must preserve the service's
+    // determinism contract: outcomes equal the mc:: references at
+    // 1/2/8 threads, including remainder blocks at unit boundaries.
+    const layout::Layout l = layout::meshLayout(6, 6);
+    const auto tree = clocktree::buildHTreeGrid(l, 6, 6);
+
+    mc::McConfig cfg;
+    cfg.seed = 0x5107;
+    cfg.trials = 37; // prime: remainder blocks at every grain
+    cfg.grain = 5;
+    const mc::ResilienceConfig rc;
+    const mc::McResult refSkew = mc::skewSweep(l, tree, kDelay, cfg);
+    const mc::ResiliencePoint refRes = mc::resilienceAtRate(
+        l, 6, 6, mc::DistributionKind::HTree, 0.05, rc, cfg);
+
+    for (const unsigned tc : kThreadCounts) {
+        serve::ServiceConfig sc;
+        sc.threads = tc;
+        serve::SweepService svc(sc);
+        serve::ResilienceRequest rq;
+        rq.layout = &l;
+        rq.rows = 6;
+        rq.cols = 6;
+        rq.kind = mc::DistributionKind::HTree;
+        rq.faultRate = 0.05;
+        rq.rc = rc;
+        rq.cfg = cfg;
+        const std::vector<serve::SweepRequest> batch = {
+            serve::SkewRequest{&l, &tree, kDelay, cfg},
+            rq,
+        };
+        const serve::BatchOutcome out = svc.run(batch);
+        ASSERT_EQ(out.outcomes.size(), 2u);
+        EXPECT_TRUE(out.outcomes[0].skew.bitIdentical(refSkew)) << tc;
+        EXPECT_TRUE(out.outcomes[1].resilience.maxCommSkew.bitIdentical(
+            refRes.maxCommSkew))
+            << tc;
+        EXPECT_TRUE(
+            out.outcomes[1].resilience.clockedFraction.bitIdentical(
+                refRes.clockedFraction))
+            << tc;
+    }
+}
+
+} // namespace

@@ -7,8 +7,8 @@
  * The NCA property test drives randomized tree shapes (seeded via
  * Rng::forTrial, so failures reproduce by trial index) against the
  * naive parent-climb; the sweep tests pin the Monte-Carlo bit-identity
- * guarantee at 1/2/8 threads; the shim tests keep the deprecated
- * raw-pair surface honest until it is removed.
+ * guarantee at 1/2/8 threads. The lane-blocked entry points have their
+ * own suite in test_skew_block.cc.
  */
 
 #include <cmath>
@@ -273,50 +273,5 @@ TEST(SkewKernelDeath, GuardsDegenerateInputs)
                                      }),
                  "grain must be positive");
 }
-
-// The deprecated raw-pair surface must stay functional (and delegating
-// to the kernel) until its removal release.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(SkewKernel, DeprecatedShimsAgreeWithKernel)
-{
-    const layout::Layout l = layout::meshLayout(4, 4);
-    const auto tree = clocktree::buildHTreeGrid(l, 4, 4);
-    const SkewKernel kernel(l, tree);
-
-    const auto pairs = core::commNodePairs(l, tree);
-    ASSERT_EQ(pairs.size(), kernel.pairCount());
-    for (std::size_t i = 0; i < pairs.size(); ++i) {
-        EXPECT_EQ(pairs[i].first, kernel.pairNodesA()[i]);
-        EXPECT_EQ(pairs[i].second, kernel.pairNodesB()[i]);
-    }
-
-    std::vector<Time> shim_scratch, kernel_scratch;
-    Rng shim_rng = Rng::forTrial(99, 0);
-    Rng kernel_rng = Rng::forTrial(99, 0);
-    const Time shim = core::sampleMaxCommSkew(tree, pairs, 0.05, 0.005,
-                                              shim_rng, shim_scratch);
-    const Time direct = kernel.sampleMaxCommSkew(
-        WireDelay{0.05, 0.005}, kernel_rng, kernel_scratch);
-    EXPECT_EQ(shim, direct);
-
-    // Two-double overloads are the WireDelay primaries, verbatim.
-    Rng a = Rng::forTrial(7, 1), b = Rng::forTrial(7, 1);
-    EXPECT_EQ(
-        core::sampleSkewInstance(l, tree, 0.05, 0.005, a).maxCommSkew,
-        core::sampleSkewInstance(l, tree, WireDelay{0.05, 0.005}, b)
-            .maxCommSkew);
-    EXPECT_EQ(
-        core::adversarialSkewInstance(l, tree, 0.05, 0.005).maxCommSkew,
-        core::adversarialSkewInstance(l, tree, WireDelay{0.05, 0.005})
-            .maxCommSkew);
-
-    mc::McConfig cfg;
-    cfg.trials = 8;
-    EXPECT_TRUE(mc::skewSweep(l, tree, 0.05, 0.005, cfg)
-                    .bitIdentical(mc::skewSweep(
-                        l, tree, WireDelay{0.05, 0.005}, cfg)));
-}
-#pragma GCC diagnostic pop
 
 } // namespace
